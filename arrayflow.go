@@ -1,0 +1,243 @@
+// Package arrayflow is a reproduction of Duesterwald, Gupta & Soffa,
+// "A Practical Data Flow Framework for Array Reference Analysis and its Use
+// in Optimizations" (PLDI 1993).
+//
+// The package exposes the full pipeline: a Fortran-like DO-loop
+// mini-language front end, the loop flow graph, the iteration-distance data
+// flow framework with its four canned problem instances, and the paper's
+// optimizations (register pipelining, redundant load/store elimination,
+// controlled loop unrolling), plus the tight-loop-nest distance-vector
+// extension sketched in the paper's §6.
+//
+// Quick start:
+//
+//	prog := arrayflow.MustParse(`
+//	do i = 1, 1000
+//	  A[i+2] := A[i] + X
+//	enddo
+//	`)
+//	g, _ := arrayflow.BuildGraph(prog.Body[0].(*arrayflow.Loop))
+//	res := arrayflow.Analyze(g, arrayflow.MustReachingDefs())
+//	for _, r := range arrayflow.Reuses(res) {
+//	    fmt.Println(r) // use A[i]@n1 reuses A[i + 2] @ distance 2
+//	}
+package arrayflow
+
+import (
+	"repro/internal/ast"
+	"repro/internal/baseline"
+	"repro/internal/dataflow"
+	"repro/internal/depend"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/nest"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/problems"
+	"repro/internal/regalloc"
+	"repro/internal/sema"
+	"repro/internal/tac"
+	"repro/internal/tacopt"
+)
+
+// Re-exported core types. The aliases keep example and client code inside
+// one import while the implementation stays modular.
+type (
+	// Program is a parsed program.
+	Program = ast.Program
+	// Loop is a DO loop.
+	Loop = ast.DoLoop
+	// Graph is the loop flow graph of paper §3 (statement, summary and
+	// exit nodes plus the back edge).
+	Graph = ir.Graph
+	// Spec is a data flow problem: the (G, K) pair with direction and
+	// polarity.
+	Spec = dataflow.Spec
+	// Result is a fixed point solution.
+	Result = dataflow.Result
+	// Class is a tracked reference class (array + affine subscript form).
+	Class = dataflow.Class
+	// Reuse is a guaranteed cross- or same-iteration value reuse.
+	Reuse = problems.Reuse
+	// RedundantStore marks a store overwritten unread within δ iterations.
+	RedundantStore = problems.RedundantStore
+	// Dependence is a (possibly loop-carried) data dependence.
+	Dependence = problems.Dependence
+	// Allocation is a register-pipeline allocation (paper §4.1).
+	Allocation = regalloc.Allocation
+	// DependenceGraph supports the §4.3 critical path predictions.
+	DependenceGraph = depend.Graph
+	// State is an interpreter state (scalars + arrays).
+	State = interp.State
+	// Machine types for compiled execution.
+	MachineProg   = tac.Prog
+	MachineMemory = machine.Memory
+	MachineResult = machine.Result
+	// NestRecurrence is a distance-vector recurrence in a tight nest.
+	NestRecurrence = nest.Recurrence
+)
+
+// Parse parses mini-language source.
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// MustParse parses and panics on error (for literals in examples/tests).
+func MustParse(src string) *Program { return parser.MustParse(src) }
+
+// Check validates the framework's structural preconditions and collects
+// program information.
+func Check(prog *Program) (*sema.Info, error) { return sema.Check(prog) }
+
+// Normalize rewrites all loops to run from 1 with step 1 (paper §1).
+func Normalize(prog *Program) (*Program, error) { return sema.Normalize(prog) }
+
+// RemoveDerivedIVs eliminates non-basic induction variables from the loop
+// at prog.Body[idx], replacing them with closed forms in the basic
+// induction variable — the preprocessing the paper assumes (§1, citing the
+// Dragon Book). Returns the transformed program and the variables removed.
+func RemoveDerivedIVs(prog *Program, idx int) (*Program, []sema.RemovedIV, error) {
+	return sema.RemoveDerivedIVs(prog, idx)
+}
+
+// BuildGraph constructs the loop flow graph for one loop; nested loops
+// become summary nodes (paper §3.2).
+func BuildGraph(loop *Loop) (*Graph, error) { return ir.Build(loop, nil) }
+
+// The four problem instances of the paper.
+
+// MustReachingDefs is §3.5's instance (G = defs, K = defs).
+func MustReachingDefs() *Spec { return problems.MustReachingDefs() }
+
+// AvailableValues is §4.1.1's δ-available instance (G = defs ∪ uses,
+// K = defs).
+func AvailableValues() *Spec { return problems.AvailableValues() }
+
+// BusyStores is §4.2.1's backward δ-busy instance (G = stores, K = uses).
+func BusyStores() *Spec { return problems.BusyStores() }
+
+// ReachingRefs is §4.3's may instance for dependence detection.
+func ReachingRefs() *Spec { return problems.ReachingRefs() }
+
+// Analyze solves a problem on a graph (init pass + ≤ 2 iteration passes for
+// must-problems; ≤ 2 passes for may-problems).
+func Analyze(g *Graph, spec *Spec) *Result { return dataflow.Solve(g, spec, nil) }
+
+// AnalyzeTraced additionally records the per-pass tuple snapshots used to
+// regenerate the paper's Table 1.
+func AnalyzeTraced(g *Graph, spec *Spec) *Result {
+	return dataflow.Solve(g, spec, &dataflow.Options{CollectTrace: true})
+}
+
+// Reuses extracts guaranteed value reuses from a must-solution.
+func Reuses(res *Result) []Reuse { return problems.FindReuses(res) }
+
+// RedundantStores extracts δ-redundant stores from a δ-busy solution.
+func RedundantStores(res *Result) []RedundantStore { return problems.FindRedundantStores(res) }
+
+// Dependences extracts data dependences (distance ≤ maxDist) from a
+// δ-reaching solution.
+func Dependences(res *Result, maxDist int64) []Dependence {
+	return problems.FindDependences(res, maxDist)
+}
+
+// AllocateRegisters runs the §4.1 register-pipelining allocation with k
+// registers.
+func AllocateRegisters(g *Graph, k int) *Allocation {
+	return regalloc.Allocate(g, &regalloc.Options{K: k})
+}
+
+// BuildDependenceGraph builds the §4.3 dependence graph with distances up
+// to maxDist.
+func BuildDependenceGraph(g *Graph, maxDist int64) *DependenceGraph {
+	return depend.BuildFromLoop(g, maxDist)
+}
+
+// Optimizations (all return fresh programs; inputs are never mutated).
+
+// EliminateStores removes δ-redundant stores from the loop at
+// prog.Body[idx] and unpeels the final δ iterations (Figure 6).
+func EliminateStores(prog *Program, idx int) (*opt.StoreElimResult, error) {
+	return opt.EliminateStores(prog, idx)
+}
+
+// EliminateLoads replaces redundant loads with scalar temporaries
+// (Figure 7 / §4.2.2).
+func EliminateLoads(prog *Program, idx int) (*opt.LoadElimResult, error) {
+	return opt.EliminateLoads(prog, idx)
+}
+
+// ControlledUnroll applies the §4.3 prediction-driven unrolling.
+func ControlledUnroll(prog *Program, idx int, threshold float64, maxFactor int) (*opt.UnrollResult, error) {
+	return opt.ControlledUnroll(prog, idx, &opt.UnrollOptions{Threshold: threshold, MaxFactor: maxFactor})
+}
+
+// Unroll mechanically unrolls a normalized loop.
+func Unroll(prog *Program, idx int, factor int) (*Program, error) {
+	return opt.Unroll(prog, idx, factor)
+}
+
+// NestRecurrences finds distance-vector recurrences in a tight two-level
+// nest (§6 extension).
+func NestRecurrences(outer *Loop, maxDist int64) ([]NestRecurrence, error) {
+	return nest.FindRecurrences(outer, maxDist)
+}
+
+// AnalyzeProgram runs the paper's §3.2 whole-program protocol: every loop
+// analyzed innermost-first on its own graph (nested loops summarized), the
+// §3.6 re-analyses with respect to enclosing induction variables on tight
+// nests, and — when nestVectors is set — the §6 distance-vector extension.
+// specs may be nil for must-reaching definitions only.
+func AnalyzeProgram(prog *Program, specs []*Spec, nestVectors bool) (*driver.ProgramAnalysis, error) {
+	return driver.Analyze(prog, &driver.Options{Specs: specs, NestVectors: nestVectors})
+}
+
+// Execution substrates.
+
+// Interpret runs a program on an initial state (nil = empty), returning the
+// final state and source-level load/store statistics.
+func Interpret(prog *Program, init *State) (*State, *interp.Stats, error) {
+	return interp.Run(prog, init, nil)
+}
+
+// NewState returns an empty interpreter state.
+func NewState() *State { return interp.NewState() }
+
+// ArraysEqual compares the array contents of two states (missing elements
+// count as zero) — the differential-testing check for optimizations, which
+// may introduce scalar temporaries but must preserve memory.
+func ArraysEqual(a, b *State) bool { return interp.ArraysEqual(a, b) }
+
+// Compile lowers a program to three-address code; hooks (may be nil) carry
+// register-pipelining rewrites from Allocation.GenOptions.
+func Compile(prog *Program, hooks *tac.GenOptions) (*MachineProg, error) {
+	return tac.Gen(prog, hooks)
+}
+
+// OptimizeTAC applies classical local optimization (constant folding, copy
+// propagation, local redundant-load elimination, liveness-based dead code
+// elimination) to compiled code, returning a new program. It realizes the
+// competent flow-insensitive baseline the paper's comparisons assume.
+func OptimizeTAC(p *MachineProg) (*MachineProg, tacopt.Stats) {
+	return tacopt.Optimize(p)
+}
+
+// Execute runs compiled code on the abstract machine, counting loads,
+// stores and cycles under the default early-90s cost model.
+func Execute(p *MachineProg, mem *MachineMemory, initRegs map[string]int64) (*MachineResult, error) {
+	return machine.Run(p, mem, &machine.Options{InitRegs: initRegs})
+}
+
+// NewMemory returns empty machine memory.
+func NewMemory() *MachineMemory { return machine.NewMemory() }
+
+// BaselineMustReachingDefs runs the Rau-style name-propagation baseline
+// (related work, paper §5) with the given instance-distance limit.
+func BaselineMustReachingDefs(g *Graph, limit int64) *baseline.Result {
+	return baseline.MustReachingDefs(g, &baseline.Options{Limit: limit})
+}
+
+// Render helpers.
+
+// ProgramString renders a program in source syntax.
+func ProgramString(p *Program) string { return ast.ProgramString(p) }

@@ -1,0 +1,415 @@
+// Benchmarks regenerating every table and figure of the paper (experiment
+// IDs E1–E12 per DESIGN.md). Each benchmark measures the cost of the
+// corresponding reproduction and asserts its shape once before timing, so
+// `go test -bench=. -benchmem` doubles as the full reproduction run.
+// cmd/benchrepro prints the same rows as human-readable reports.
+package arrayflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	arrayflow "repro"
+	"repro/internal/ast"
+	"repro/internal/baseline"
+	"repro/internal/dataflow"
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/lattice"
+	"repro/internal/machine"
+	"repro/internal/problems"
+	"repro/internal/synth"
+)
+
+func mustGraph(b *testing.B, src string) *ir.Graph {
+	b.Helper()
+	prog := arrayflow.MustParse(src)
+	loop := prog.Body[0].(*ast.DoLoop)
+	g, err := ir.Build(loop, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- E1: Table 1 (i), the initialization pass --------------------------------
+
+func BenchmarkTable1InitPass(b *testing.B) {
+	g := mustGraph(b, experiments.Fig1Source)
+	// Shape check: init pass rows match the paper.
+	res := dataflow.Solve(g, problems.MustReachingDefs(), &dataflow.Options{CollectTrace: true})
+	if got := res.InitOut[1].String(); got != "(T,_,_,_)" {
+		b.Fatalf("Table 1 (i) OUT[1] = %s, want (T,_,_,_)", got)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Solve(g, problems.MustReachingDefs(), &dataflow.Options{MaxPasses: 1})
+	}
+}
+
+// --- E2: Table 1 (ii), fixed point in two iteration passes -------------------
+
+func BenchmarkTable1FixedPoint(b *testing.B) {
+	g := mustGraph(b, experiments.Fig1Source)
+	res := dataflow.Solve(g, problems.MustReachingDefs(), nil)
+	if res.ChangedPasses > 2 {
+		b.Fatalf("changed passes = %d, want ≤ 2", res.ChangedPasses)
+	}
+	if got := res.In[1].String(); got != "(2,1,_,T)" {
+		b.Fatalf("fixed point IN[1] = %s, want (2,1,_,T)", got)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataflow.Solve(g, problems.MustReachingDefs(), nil)
+	}
+}
+
+// --- E3: Figure 1/3, flow graph construction + reuse conclusions -------------
+
+func BenchmarkFig3ReuseDetection(b *testing.B) {
+	r := experiments.Fig3()
+	if len(r.Reuses) != 5 {
+		b.Fatalf("reuses = %d, want 5", len(r.Reuses))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := mustGraphQuiet(experiments.Fig1Source)
+		res := dataflow.Solve(g, problems.MustReachingDefs(), nil)
+		if len(problems.FindReuses(res)) != 5 {
+			b.Fatal("reuse count changed")
+		}
+	}
+}
+
+func mustGraphQuiet(src string) *ir.Graph {
+	prog := arrayflow.MustParse(src)
+	loop := prog.Body[0].(*ast.DoLoop)
+	g, err := ir.Build(loop, nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// --- E4: Figure 2, the chain lattice -----------------------------------------
+
+func BenchmarkFig2LatticeOps(b *testing.B) {
+	xs := []lattice.Dist{lattice.None(), lattice.D(0), lattice.D(3), lattice.D(17), lattice.All()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc lattice.Dist = lattice.All()
+		for _, x := range xs {
+			acc = lattice.Min(acc, lattice.Max(x, lattice.D(0)).Inc())
+		}
+		if acc.IsNone() {
+			b.Fatal("unexpected bottom")
+		}
+	}
+}
+
+// --- E5: Figure 4, multi-dimensional recurrences ------------------------------
+
+func BenchmarkFig4MultiDim(b *testing.B) {
+	r, err := experiments.Fig4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exclusive := 0
+	for _, rec := range r.Recurrences {
+		if !rec.FoundBySingleLoop {
+			exclusive++
+		}
+	}
+	if exclusive != 1 {
+		b.Fatalf("extension-exclusive recurrences = %d, want 1 (Z)", exclusive)
+	}
+	prog := arrayflow.MustParse(experiments.Fig4Source)
+	outer := prog.Body[0].(*ast.DoLoop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arrayflow.NestRecurrences(outer, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: Figure 5, register pipelining ----------------------------------------
+
+func BenchmarkFig5RegisterPipeline(b *testing.B) {
+	r, err := experiments.Fig5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.Equal || r.Pipelined.Loads["A"] != 2 || r.Conventional.Loads["A"] != 1000 {
+		b.Fatalf("Figure 5 shape wrong: equal=%v loads=%d/%d",
+			r.Equal, r.Conventional.Loads["A"], r.Pipelined.Loads["A"])
+	}
+	b.ReportMetric(float64(r.Conventional.Cycles), "cycles-conventional")
+	b.ReportMetric(float64(r.Pipelined.Cycles), "cycles-pipelined")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6b: §4.1.4 unroll-by-depth removes pipeline shifts -----------------------
+
+func BenchmarkFig5UnrollByDepth(b *testing.B) {
+	r, err := experiments.Fig5Unrolled()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.Equal {
+		b.Fatal("semantics diverge")
+	}
+	b.ReportMetric(r.MovesPerIterPipelined, "moves/iter-pipelined")
+	b.ReportMetric(r.MovesPerIterUnrolled, "moves/iter-unrolled")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5Unrolled(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: Figure 6, redundant store elimination ---------------------------------
+
+func BenchmarkFig6StoreElimination(b *testing.B) {
+	r, err := experiments.Fig6()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.SemanticsOK || r.StoresBefore != 2000 || r.StoresAfter != 1001 {
+		b.Fatalf("Figure 6 shape wrong: %+v", r)
+	}
+	b.ReportMetric(float64(r.StoresBefore), "stores-before")
+	b.ReportMetric(float64(r.StoresAfter), "stores-after")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: Figure 7, redundant load elimination ----------------------------------
+
+func BenchmarkFig7LoadElimination(b *testing.B) {
+	r, err := experiments.Fig7()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !r.SemanticsOK || r.LoadsAfter > 2 || r.LoadsBefore < 900 {
+		b.Fatalf("Figure 7 shape wrong: %+v", r)
+	}
+	b.ReportMetric(float64(r.LoadsBefore), "loads-before")
+	b.ReportMetric(float64(r.LoadsAfter), "loads-after")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: convergence within 3 passes (must) / 2 passes (may) -------------------
+
+func BenchmarkConvergencePasses(b *testing.B) {
+	for _, n := range []int{10, 50, 250, 1000} {
+		b.Run(fmt.Sprintf("stmts=%d", n), func(b *testing.B) {
+			prog := synth.Loop(synth.Params{Seed: int64(n), Stmts: n, Arrays: 4, MaxDist: 5, CondProb: 0.3})
+			loop := prog.Body[0].(*ast.DoLoop)
+			g, err := ir.Build(loop, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			if res.ChangedPasses > 2 {
+				b.Fatalf("changed passes = %d > 2", res.ChangedPasses)
+			}
+			b.ReportMetric(float64(res.ChangedPasses), "changing-passes")
+			b.ReportMetric(float64(res.NodeVisits)/float64(len(g.Nodes)), "visits/node")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			}
+		})
+	}
+}
+
+// --- E10: framework vs. Rau-style baseline --------------------------------------
+
+func BenchmarkVsRauBaseline(b *testing.B) {
+	for _, d := range []int64{4, 16, 64} {
+		prog := synth.KilledRecurrenceLoop(d, 0)
+		loop := prog.Body[0].(*ast.DoLoop)
+		g, err := ir.Build(loop, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("framework/d=%d", d), func(b *testing.B) {
+			res := dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			b.ReportMetric(float64(res.ChangedPasses), "passes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			}
+		})
+		b.Run(fmt.Sprintf("baseline/d=%d", d), func(b *testing.B) {
+			res := baseline.MustReachingDefs(g, &baseline.Options{Limit: 2 * d})
+			if !res.Converged {
+				b.Fatal("baseline did not converge")
+			}
+			b.ReportMetric(float64(res.Passes), "passes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				baseline.MustReachingDefs(g, &baseline.Options{Limit: 2 * d})
+			}
+		})
+	}
+}
+
+// --- E11: linear scaling in loop size --------------------------------------------
+
+func BenchmarkScalingLinear(b *testing.B) {
+	// Fixed number of tracked classes (4 arrays × bounded offsets): solver
+	// time grows linearly with the statement count, matching the paper's
+	// 3·N node-visit bound.
+	for _, n := range []int{32, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("bounded-classes/stmts=%d", n), func(b *testing.B) {
+			prog := synth.Loop(synth.Params{Seed: 1, Stmts: n, Arrays: 4, MaxDist: 5, CondProb: 0.2})
+			loop := prog.Body[0].(*ast.DoLoop)
+			g, err := ir.Build(loop, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			}
+		})
+	}
+	// Classes growing with N (every statement its own array): total work is
+	// O(N·m) = O(N²), matching the paper's O(N²) space statement for the
+	// IN/OUT sets.
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("growing-classes/stmts=%d", n), func(b *testing.B) {
+			prog := synth.WideLoop(n, 0)
+			loop := prog.Body[0].(*ast.DoLoop)
+			g, err := ir.Build(loop, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Solve(g, problems.MustReachingDefs(), nil)
+			}
+		})
+	}
+}
+
+// --- E12: controlled unrolling predictions ----------------------------------------
+
+func BenchmarkControlledUnrolling(b *testing.B) {
+	rows := experiments.Unrolling()
+	for _, r := range rows {
+		if r.L2 < r.L || r.L2 > 2*r.L {
+			b.Fatalf("paper bound violated: %+v", r)
+		}
+	}
+	progs := []*ast.Program{
+		arrayflow.MustParse("do i = 1, 100\n A[i+2] := A[i] + x\nenddo"),
+		arrayflow.MustParse("do i = 1, 100\n A[i+1] := A[i] + x\nenddo"),
+		synth.ChainLoop(4, 1, 100),
+		synth.WideLoop(6, 100),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := arrayflow.ControlledUnroll(p, 0, 1.2, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation: initialization pass (DESIGN.md §5.2) -------------------------------
+
+func BenchmarkAblationInitPass(b *testing.B) {
+	g := mustGraph(b, experiments.Fig1Source)
+	b.Run("with-init", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataflow.Solve(g, problems.MustReachingDefs(), nil)
+		}
+	})
+	b.Run("without-init-unsound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataflow.Solve(g, problems.MustReachingDefs(), &dataflow.Options{SkipInitPass: true})
+		}
+	})
+}
+
+// --- Ablation: §4.1.4 hardware pipeline progression ----------------------------
+//
+// The Cydra 5's iteration control pointer performs the pipeline shift as a
+// register-window update at no per-iteration instruction cost. Model it by
+// zeroing the move cost on the pipelined code and compare.
+
+func BenchmarkAblationHardwareShifts(b *testing.B) {
+	prog := arrayflow.MustParse(experiments.Fig5Source)
+	loop := prog.Body[0].(*ast.DoLoop)
+	g, err := ir.Build(loop, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := arrayflow.AllocateRegisters(g, 16)
+	hooks, err := alloc.GenOptions()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := arrayflow.Compile(prog, hooks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(moveCost int64) int64 {
+		mem := machine.NewMemory()
+		res, err := machine.Run(pipe, mem, &machine.Options{
+			Costs:    machine.Costs{Load: 4, Store: 4, ALU: 1, Mul: 4, Move: moveCost, Branch: 1},
+			InitRegs: map[string]int64{"X": 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	soft := run(1)
+	hard := run(0)
+	if hard >= soft {
+		b.Fatalf("hardware shifts must be cheaper: %d vs %d", hard, soft)
+	}
+	b.ReportMetric(float64(soft), "cycles-software-shift")
+	b.ReportMetric(float64(hard), "cycles-hardware-shift")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(0)
+	}
+}
+
+// --- Ablation: UB clamping ---------------------------------------------------------
+
+func BenchmarkAblationUBClamp(b *testing.B) {
+	known := mustGraph(b, "do i = 1, 1000\n A[i+2] := A[i] + x\nenddo")
+	symbolic := mustGraph(b, "do i = 1, N\n A[i+2] := A[i] + x\nenddo")
+	b.Run("constant-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataflow.Solve(known, problems.MustReachingDefs(), nil)
+		}
+	})
+	b.Run("symbolic-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataflow.Solve(symbolic, problems.MustReachingDefs(), nil)
+		}
+	})
+}

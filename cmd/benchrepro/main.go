@@ -1,0 +1,20 @@
+// Command benchrepro regenerates every table and figure of the paper in
+// one run, printing the per-experiment reports indexed in DESIGN.md and
+// summarized in EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	rep, err := experiments.FullReport()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepro:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}

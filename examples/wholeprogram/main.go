@@ -1,0 +1,60 @@
+// Whole-program analysis (paper §3.2): the full preprocessing and analysis
+// pipeline on a program with several loops — derived induction variables
+// removed (§1's assumed preprocessing), loops normalized, then every loop
+// analyzed innermost-first with nested loops summarized, tight nests
+// re-analyzed per enclosing induction variable (§3.6) and scanned for
+// distance vectors (§6 extension).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrayflow "repro"
+)
+
+const src = `
+! A loop with a derived induction variable (k walks twice as fast as i).
+k := 0
+do i = 1, 100, 1
+  A[k+2] := A[k] + x
+  k := k + 2
+enddo
+
+! A tight nest carrying recurrences in three different ways.
+do j = 1, UB
+  do i = 1, UB1
+    X[i+1, j] := X[i, j]
+    Z[i+1, j] := Z[i, j-1]
+  enddo
+enddo
+`
+
+func main() {
+	prog, err := arrayflow.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Preprocessing the paper assumes: derived IVs out, loops normalized.
+	prog, removed, err := arrayflow.RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range removed {
+		fmt.Printf("removed derived induction variable %s (step %d)\n", r.Name, r.Step)
+	}
+	prog, err = arrayflow.Normalize(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("preprocessed program:")
+	fmt.Print(arrayflow.ProgramString(prog))
+
+	pa, err := arrayflow.AnalyzeProgram(prog, nil, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhierarchical analysis (§3.2, innermost first):")
+	fmt.Print(pa.Report())
+}

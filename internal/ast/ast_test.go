@@ -1,0 +1,165 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func loopFixture() *DoLoop {
+	// do i = 1, N { A[i+1] := A[i] + x; if x > 0 then A[i] := 0 }
+	return &DoLoop{
+		Var: "i", Lo: &IntLit{Value: 1}, Hi: &Ident{Name: "N"}, Label: 1,
+		Body: []Stmt{
+			&Assign{
+				LHS: &ArrayRef{Name: "A", Subs: []Expr{&Binary{Op: token.PLUS, L: &Ident{Name: "i"}, R: &IntLit{Value: 1}}}},
+				RHS: &Binary{Op: token.PLUS,
+					L: &ArrayRef{Name: "A", Subs: []Expr{&Ident{Name: "i"}}},
+					R: &Ident{Name: "x"}},
+			},
+			&If{
+				Cond: &Binary{Op: token.GT, L: &Ident{Name: "x"}, R: &IntLit{Value: 0}},
+				Then: []Stmt{&Assign{
+					LHS: &ArrayRef{Name: "A", Subs: []Expr{&Ident{Name: "i"}}},
+					RHS: &IntLit{Value: 0},
+				}},
+			},
+		},
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := loopFixture()
+	cl := CloneStmt(orig).(*DoLoop)
+	// Mutate the clone deeply; the original must be unaffected.
+	cl.Var = "k"
+	cl.Body[0].(*Assign).LHS.(*ArrayRef).Name = "B"
+	cl.Body[1].(*If).Cond.(*Binary).Op = token.LT
+	if orig.Var != "i" {
+		t.Error("clone shares loop header")
+	}
+	if orig.Body[0].(*Assign).LHS.(*ArrayRef).Name != "A" {
+		t.Error("clone shares LHS")
+	}
+	if orig.Body[1].(*If).Cond.(*Binary).Op != token.GT {
+		t.Error("clone shares condition")
+	}
+}
+
+func TestInspectVisitsEverything(t *testing.T) {
+	loop := loopFixture()
+	var arrays, idents, ints int
+	Inspect([]Stmt{loop}, func(n Node) bool {
+		switch n.(type) {
+		case *ArrayRef:
+			arrays++
+		case *Ident:
+			idents++
+		case *IntLit:
+			ints++
+		}
+		return true
+	})
+	if arrays != 3 {
+		t.Errorf("arrays = %d, want 3", arrays)
+	}
+	if idents < 4 {
+		t.Errorf("idents = %d, want ≥ 4", idents)
+	}
+	if ints < 3 {
+		t.Errorf("ints = %d, want ≥ 3", ints)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	loop := loopFixture()
+	count := 0
+	Inspect([]Stmt{loop}, func(n Node) bool {
+		count++
+		_, isIf := n.(*If)
+		return !isIf // prune the if's children
+	})
+	pruned := count
+	count = 0
+	Inspect([]Stmt{loop}, func(n Node) bool { count++; return true })
+	if pruned >= count {
+		t.Errorf("pruning did not reduce visits: %d vs %d", pruned, count)
+	}
+}
+
+func TestSubstituteIdent(t *testing.T) {
+	e := &Binary{Op: token.PLUS,
+		L: &Ident{Name: "i"},
+		R: &ArrayRef{Name: "A", Subs: []Expr{&Ident{Name: "i"}}}}
+	repl := &Binary{Op: token.PLUS, L: &Ident{Name: "i"}, R: &IntLit{Value: 1}}
+	out := SubstituteIdent(e, "i", repl)
+	if got := ExprString(out); got != "i + 1 + A[i + 1]" {
+		t.Errorf("substituted = %q", got)
+	}
+	// Original unchanged.
+	if got := ExprString(e); got != "i + A[i]" {
+		t.Errorf("original mutated: %q", got)
+	}
+}
+
+func TestSubstituteShadowedByInnerLoop(t *testing.T) {
+	inner := &DoLoop{Var: "i", Lo: &IntLit{Value: 1}, Hi: &IntLit{Value: 5},
+		Body: []Stmt{&Assign{
+			LHS: &ArrayRef{Name: "B", Subs: []Expr{&Ident{Name: "i"}}},
+			RHS: &IntLit{Value: 0}}}}
+	outer := []Stmt{
+		&Assign{LHS: &ArrayRef{Name: "A", Subs: []Expr{&Ident{Name: "i"}}}, RHS: &IntLit{Value: 1}},
+		inner,
+	}
+	out := SubstituteIdentStmts(outer, "i", &IntLit{Value: 9})
+	if got := StmtsString(out); got != "A[9] := 1\ndo i = 1, 5\n  B[i] := 0\nenddo\n" {
+		t.Errorf("substitution with shadowing = %q", got)
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	// (a + b) * c needs parentheses; a + b * c does not.
+	e1 := &Binary{Op: token.STAR,
+		L: &Binary{Op: token.PLUS, L: &Ident{Name: "a"}, R: &Ident{Name: "b"}},
+		R: &Ident{Name: "c"}}
+	if got := ExprString(e1); got != "(a + b) * c" {
+		t.Errorf("got %q", got)
+	}
+	e2 := &Binary{Op: token.PLUS,
+		L: &Ident{Name: "a"},
+		R: &Binary{Op: token.STAR, L: &Ident{Name: "b"}, R: &Ident{Name: "c"}}}
+	if got := ExprString(e2); got != "a + b * c" {
+		t.Errorf("got %q", got)
+	}
+	// Left-associative subtraction: (a - b) - c prints without parens but
+	// a - (b - c) needs them.
+	e3 := &Binary{Op: token.MINUS,
+		L: &Ident{Name: "a"},
+		R: &Binary{Op: token.MINUS, L: &Ident{Name: "b"}, R: &Ident{Name: "c"}}}
+	if got := ExprString(e3); got != "a - (b - c)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{Body: []Stmt{loopFixture()}}
+	want := "do i = 1, N\n  A[i + 1] := A[i] + x\n  if x > 0 then\n    A[i] := 0\n  endif\nenddo\n"
+	if got := ProgramString(p); got != want {
+		t.Errorf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestPosAccessors(t *testing.T) {
+	loop := loopFixture()
+	loop.DoPos = token.Pos{Line: 2, Col: 1}
+	if loop.Pos().Line != 2 {
+		t.Error("DoLoop.Pos wrong")
+	}
+	p := &Program{Body: []Stmt{loop}}
+	if p.Pos().Line != 2 {
+		t.Error("Program.Pos wrong")
+	}
+	if (&Program{}).Pos().IsValid() {
+		t.Error("empty program has no position")
+	}
+}

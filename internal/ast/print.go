@@ -1,0 +1,128 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ExprString renders an expression in source syntax.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// Operator precedence levels for printing (higher binds tighter).
+func prec(op token.Kind) int {
+	switch op {
+	case token.OR:
+		return 1
+	case token.AND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH, token.MOD:
+		return 5
+	}
+	return 6
+}
+
+func writeExpr(b *strings.Builder, e Expr, outer int) {
+	switch ex := e.(type) {
+	case *Ident:
+		b.WriteString(ex.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", ex.Value)
+	case *ArrayRef:
+		b.WriteString(ex.Name)
+		b.WriteByte('[')
+		for i, s := range ex.Subs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, s, 0)
+		}
+		b.WriteByte(']')
+	case *Binary:
+		p := prec(ex.Op)
+		if p < outer {
+			b.WriteByte('(')
+		}
+		writeExpr(b, ex.L, p)
+		fmt.Fprintf(b, " %s ", ex.Op)
+		writeExpr(b, ex.R, p+1)
+		if p < outer {
+			b.WriteByte(')')
+		}
+	case *Unary:
+		b.WriteString(ex.Op.String())
+		if ex.Op == token.NOT {
+			b.WriteByte(' ')
+		}
+		writeExpr(b, ex.X, 6)
+	default:
+		b.WriteString("<?expr>")
+	}
+}
+
+// StmtString renders a single statement (and its nested body) in source
+// syntax with the given indentation depth.
+func StmtString(s Stmt, depth int) string {
+	var b strings.Builder
+	writeStmt(&b, s, depth)
+	return b.String()
+}
+
+// ProgramString renders a whole program in source syntax.
+func ProgramString(p *Program) string {
+	var b strings.Builder
+	for _, s := range p.Body {
+		writeStmt(&b, s, 0)
+	}
+	return b.String()
+}
+
+// StmtsString renders a statement list in source syntax.
+func StmtsString(list []Stmt) string {
+	var b strings.Builder
+	for _, s := range list {
+		writeStmt(&b, s, 0)
+	}
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch st := s.(type) {
+	case *DoLoop:
+		fmt.Fprintf(b, "%sdo %s = %s, %s", ind, st.Var, ExprString(st.Lo), ExprString(st.Hi))
+		if st.Step != nil {
+			fmt.Fprintf(b, ", %s", ExprString(st.Step))
+		}
+		b.WriteByte('\n')
+		for _, inner := range st.Body {
+			writeStmt(b, inner, depth+1)
+		}
+		fmt.Fprintf(b, "%senddo\n", ind)
+	case *If:
+		fmt.Fprintf(b, "%sif %s then\n", ind, ExprString(st.Cond))
+		for _, inner := range st.Then {
+			writeStmt(b, inner, depth+1)
+		}
+		if st.Else != nil {
+			fmt.Fprintf(b, "%selse\n", ind)
+			for _, inner := range st.Else {
+				writeStmt(b, inner, depth+1)
+			}
+		}
+		fmt.Fprintf(b, "%sendif\n", ind)
+	case *Assign:
+		fmt.Fprintf(b, "%s%s := %s\n", ind, ExprString(st.LHS), ExprString(st.RHS))
+	default:
+		fmt.Fprintf(b, "%s<?stmt>\n", ind)
+	}
+}

@@ -1,0 +1,352 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/poly"
+	"repro/internal/sema"
+)
+
+// form builds an affine form a·i + b with constant coefficients.
+func form(a, b int64) sema.AffineForm {
+	return sema.AffineForm{IV: "i", A: poly.Const(a), B: poly.Const(b)}
+}
+
+// symForm builds an affine form with polynomial coefficients.
+func symForm(a, b poly.Poly) sema.AffineForm {
+	return sema.AffineForm{IV: "i", A: a, B: b}
+}
+
+func must(pr int64) KillContext { return KillContext{Pr: pr} }
+func may(pr int64) KillContext  { return KillContext{Pr: pr, May: true} }
+func bwd(pr int64) KillContext  { return KillContext{Pr: pr, Backward: true} }
+func mustUB(pr, ub int64) KillContext {
+	return KillContext{Pr: pr, UB: ub, HasUB: true}
+}
+
+func expect(t *testing.T, got, want lattice.Dist, label string) {
+	t.Helper()
+	if !got.Eq(want) {
+		t.Errorf("%s: p = %s, want %s", label, got, want)
+	}
+}
+
+// TestPaperCase1Identical: k ≡ pr — every generated instance killed
+// (paper example: textually identical references with pr = 0).
+func TestPaperCase1Identical(t *testing.T) {
+	d := form(1, 0)
+	expect(t, PreserveConst(d, form(1, 0), true, must(0)), lattice.None(), "X[i] killed by X[i]")
+}
+
+// TestPaperCase2Below: d = X[i], d' = X[i+2]: k ≡ −2 < pr — no instance of
+// d is ever redefined by d' (paper's explicit example).
+func TestPaperCase2Below(t *testing.T) {
+	expect(t, PreserveConst(form(1, 0), form(1, 2), true, must(0)),
+		lattice.All(), "X[i] vs X[i+2]")
+	expect(t, PreserveConst(form(1, 0), form(1, 2), true, must(1)),
+		lattice.All(), "X[i] vs X[i+2] pr=1")
+}
+
+// TestPaperCase3Varying: d = X[2i], d' = X[i]: k(i) = i/2 has positive
+// values; p = ⌈min{k > pr}⌉ − 1 = ⌈1/2⌉ − 1 = 0 (paper's explicit example).
+func TestPaperCase3Varying(t *testing.T) {
+	expect(t, PreserveConst(form(2, 0), form(1, 0), true, must(0)),
+		lattice.D(0), "X[2i] vs X[i]")
+}
+
+// TestFig1Node3Preserve: d = C[i+2], d' = C[i], pr = 0: k ≡ 2 → p = 1
+// (the constant that drives Table 1's node-3 column).
+func TestFig1Node3Preserve(t *testing.T) {
+	expect(t, PreserveConst(form(1, 2), form(1, 0), true, must(0)),
+		lattice.D(1), "C[i+2] vs C[i]")
+}
+
+// TestFig1Node2Preserve: d = B[i], d' = B[2i]: k(i) = −i always below pr —
+// everything preserved.
+func TestFig1Node2Preserve(t *testing.T) {
+	expect(t, PreserveConst(form(1, 0), form(2, 0), true, must(1)),
+		lattice.All(), "B[i] vs B[2i]")
+}
+
+// TestConstantKillAbovePr: d = X[i], d' = X[i-3]: k ≡ 3 → p = 2.
+func TestConstantKillAbovePr(t *testing.T) {
+	expect(t, PreserveConst(form(1, 0), form(1, -3), true, must(0)),
+		lattice.D(2), "X[i] vs X[i-3]")
+}
+
+// TestNonIntegerConstantK: d = X[2i], d' = X[2i+1]: k ≡ −1/2 — never an
+// integer, so no instance is ever killed (disjoint parity).
+func TestNonIntegerConstantK(t *testing.T) {
+	expect(t, PreserveConst(form(2, 0), form(2, 1), true, must(0)),
+		lattice.All(), "X[2i] vs X[2i+1]")
+}
+
+// TestNegativeStride: d = X[-i+100], d' = X[-i+98]: k = (b1-b2)/a1 =
+// 2/(-1) = −2 < pr — preserved.
+func TestNegativeStride(t *testing.T) {
+	expect(t, PreserveConst(form(-1, 100), form(-1, 98), true, must(0)),
+		lattice.All(), "X[100-i] vs X[98-i]")
+	// And the killing direction: d' = X[-i+102]: k = −2/−1 = 2 → p = 1.
+	expect(t, PreserveConst(form(-1, 100), form(-1, 102), true, must(0)),
+		lattice.D(1), "X[100-i] vs X[102-i]")
+}
+
+// TestNonAffineKiller kills everything in must-problems and nothing in
+// may-problems.
+func TestNonAffineKiller(t *testing.T) {
+	d := form(1, 0)
+	expect(t, PreserveConst(d, sema.AffineForm{}, false, must(0)),
+		lattice.None(), "non-affine killer (must)")
+	expect(t, PreserveConst(d, sema.AffineForm{}, false, may(0)),
+		lattice.All(), "non-affine killer (may)")
+}
+
+// TestLoopInvariantTracked: d = X[5].
+func TestLoopInvariantTracked(t *testing.T) {
+	d := form(0, 5)
+	// Killed by X[5] each iteration.
+	expect(t, PreserveConst(d, form(0, 5), true, must(0)),
+		lattice.None(), "X[5] vs X[5]")
+	// Disjoint constant location.
+	expect(t, PreserveConst(d, form(0, 7), true, must(0)),
+		lattice.All(), "X[5] vs X[7]")
+	// Striding killer may hit location 5: conservative for must.
+	expect(t, PreserveConst(d, form(1, 0), true, must(0)),
+		lattice.None(), "X[5] vs X[i] (must)")
+	expect(t, PreserveConst(d, form(1, 0), true, may(0)),
+		lattice.All(), "X[5] vs X[i] (may)")
+	// Striding killer provably missing by divisibility: X[2i] never hits 5.
+	expect(t, PreserveConst(d, form(2, 0), true, must(0)),
+		lattice.All(), "X[5] vs X[2i]")
+}
+
+// TestMayDefiniteKill: paper §3.3 — d' = X[f(i)+c] kills definitively at
+// distance |c|/a; only instances up to that distance − 1 are preserved.
+func TestMayDefiniteKillConstants(t *testing.T) {
+	// d = X[i], d' = X[i-1]: k ≡ 1 → instances up to 0 preserved.
+	expect(t, PreserveConst(form(1, 0), form(1, -1), true, may(0)),
+		lattice.D(0), "X[i] vs X[i-1] (may)")
+	// d' = X[i-4]: k ≡ 4 → up to 3.
+	expect(t, PreserveConst(form(1, 0), form(1, -4), true, may(0)),
+		lattice.D(3), "X[i] vs X[i-4] (may)")
+	// Varying k: no definite kill.
+	expect(t, PreserveConst(form(2, 0), form(1, 0), true, may(0)),
+		lattice.All(), "X[2i] vs X[i] (may)")
+}
+
+// TestBackwardFlip: in a backward problem the roles of the distances are
+// interchanged — d = X[i], d' = X[i+1] kills at backward distance 1.
+func TestBackwardFlip(t *testing.T) {
+	// Forward: k = (0−1)/1 = −1 < pr → preserved.
+	expect(t, PreserveConst(form(1, 0), form(1, 1), true, must(0)),
+		lattice.All(), "X[i] vs X[i+1] forward")
+	// Backward: k = +1 → p = 0.
+	expect(t, PreserveConst(form(1, 0), form(1, 1), true, bwd(0)),
+		lattice.D(0), "X[i] vs X[i+1] backward")
+	// And the mirrored pair preserves backward.
+	expect(t, PreserveConst(form(1, 0), form(1, -1), true, bwd(0)),
+		lattice.All(), "X[i] vs X[i-1] backward")
+}
+
+// TestSymbolicDivisionOriented: the paper's §3.6 example — linearized forms
+// N·i + (N+j) and N·i + j resolve their kill distance via the exact
+// symbolic division N/N = 1.
+func TestSymbolicDivisionOriented(t *testing.T) {
+	n := poly.Sym("N")
+	j := poly.Sym("j")
+	newer := symForm(n, n.Add(j)) // X[N(i+1)+j] written later
+	older := symForm(n, j)        // X[N·i+j]
+	// Tracking `newer`, killed by `older`: k = ((N+j)−j)/N = 1 → p = 0.
+	expect(t, PreserveConst(newer, older, true, must(0)),
+		lattice.D(0), "N*i+N+j vs N*i+j")
+	// Tracking `older`, killed by `newer`: k = −1 → All.
+	expect(t, PreserveConst(older, newer, true, must(0)),
+		lattice.All(), "N*i+j vs N*i+N+j")
+}
+
+// TestSymbolicUndecidable: unknown symbolic constant distance falls back by
+// polarity.
+func TestSymbolicUndecidable(t *testing.T) {
+	d := symForm(poly.Const(1), poly.Zero)
+	kill := symForm(poly.Const(1), poly.Sym("c"))
+	expect(t, PreserveConst(d, kill, true, must(0)), lattice.None(), "must")
+	expect(t, PreserveConst(d, kill, true, may(0)), lattice.All(), "may")
+}
+
+// TestUBEmptyIterationSpace: UB < 1 means no iterations — nothing kills.
+func TestUBEmptyIterationSpace(t *testing.T) {
+	expect(t, PreserveConst(form(2, 0), form(1, 0), true, mustUB(0, 0)),
+		lattice.All(), "empty range")
+}
+
+// TestUBLimitsKillSearch: d = X[2i], d' = X[i]: smallest k > 0 needs i = 1
+// (k = 1/2 → p = 0); with UB known the result also clamps into range.
+func TestUBLimitsKillSearch(t *testing.T) {
+	expect(t, PreserveConst(form(2, 0), form(1, 0), true, mustUB(0, 1000)),
+		lattice.D(0), "2i vs i with UB")
+	// d = X[i], d' = X[2i-40]: k(i) = 40−i, decreasing; within i ∈ [1,10]
+	// the minimum above 0 is k(10) = 30, so p = 29 — which exceeds UB−1 = 9
+	// and therefore clamps to ⊤ (all 9 possible previous instances live).
+	expect(t, PreserveConst(form(1, 0), form(2, -40), true, mustUB(0, 10)),
+		lattice.All(), "decreasing k with small UB clamps")
+	// With UB = 100 the range reaches k(40) = 0 = pr: at iteration 40 the
+	// killer X[2·40−40] = X[40] overwrites X[i]'s current element, so the
+	// exact formula kills the whole tracked range (the paper's three-case
+	// approximation would report p = 0 here, which is unsound).
+	expect(t, PreserveConst(form(1, 0), form(2, -40), true, mustUB(0, 100)),
+		lattice.None(), "decreasing k crossing pr exactly")
+}
+
+// TestVaryingDecreasingUnbounded: k decreasing without UB hits pr = 0
+// exactly at i = 40, so nothing in the tracked range survives; a shifted
+// killer with no exact crossing keeps the approximation path.
+func TestVaryingDecreasingUnbounded(t *testing.T) {
+	expect(t, PreserveConst(form(1, 0), form(2, -40), true, must(0)),
+		lattice.None(), "decreasing unbounded crossing pr")
+	// d = X[2i], d' = X[4i-39]: k(i) = (−2i+39)/2 = 19.5−i, never an
+	// integer at pr... k(i) values are half-integers: k(i) = pr = 0 would
+	// need i = 19.5 — no exact hit; min positive value at i = 19 → 0.5 →
+	// p = ⌈0.5⌉−1 = 0.
+	expect(t, PreserveConst(form(2, 0), form(4, -39), true, must(0)),
+		lattice.D(0), "decreasing unbounded no crossing")
+}
+
+// TestVaryingEqualsPrOnly: k ≤ pr everywhere but hits pr at an integer
+// point: the start of the range dies in some iteration.
+func TestVaryingEqualsPrOnly(t *testing.T) {
+	// d = X[i], d' = X[2i]: k(i) = −i ≤ 0 < ... with pr=0: k(i)=0 nowhere in
+	// i ≥ 1 → All? k(i) = (1−2)i/1 = −i, never 0 for i ≥ 1 → All.
+	expect(t, PreserveConst(form(1, 0), form(2, 0), true, must(0)),
+		lattice.All(), "k strictly below pr")
+}
+
+// TestKillDistanceHelper covers the §3.3 helper used by may-preserve and
+// the load/store optimizers.
+func TestKillDistanceHelper(t *testing.T) {
+	if c, ok := KillDistance(form(1, 0), form(1, -2), false); !ok || c != 2 {
+		t.Errorf("KillDistance = (%d,%v), want (2,true)", c, ok)
+	}
+	if _, ok := KillDistance(form(2, 0), form(1, 0), false); ok {
+		t.Error("varying distance must not be definite")
+	}
+	if c, ok := KillDistance(form(1, 0), form(1, 3), true); !ok || c != 3 {
+		t.Errorf("backward KillDistance = (%d,%v), want (3,true)", c, ok)
+	}
+}
+
+// TestCeilFloorDiv checks the integer division helpers across signs.
+func TestCeilFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, ceil, floor int64 }{
+		{7, 2, 4, 3}, {-7, 2, -3, -4}, {7, -2, -3, -4}, {-7, -2, 4, 3},
+		{6, 3, 2, 2}, {-6, 3, -2, -2}, {0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+	}
+}
+
+// TestQuickMustPreserveIsSafe is the key soundness property: for random
+// constant-coefficient references and any distance δ within the preserved
+// range, no iteration's kill actually overwrites the instance at distance
+// δ — i.e. p never overestimates for must-problems.
+func TestQuickMustPreserveIsSafe(t *testing.T) {
+	const ub = 40
+	f := func(a1v, b1v, a2v, b2v int8, prBit bool) bool {
+		a1 := int64(a1v%5) + 1 // 1..5
+		b1 := int64(b1v % 10)
+		a2 := int64(a2v % 6) // -5..5, may be 0
+		b2 := int64(b2v % 10)
+		pr := int64(0)
+		if prBit {
+			pr = 1
+		}
+		d := form(a1, b1)
+		kill := form(a2, b2)
+		p := PreserveConst(d, kill, true, mustUB(pr, ub))
+		// Enumerate ground truth: distance δ is killed iff ∃i ∈ [1,ub]:
+		// f2(i) == f1(i−δ).
+		killed := func(delta int64) bool {
+			for i := int64(1); i <= ub; i++ {
+				if a2*i+b2 == a1*(i-delta)+b1 {
+					return true
+				}
+			}
+			return false
+		}
+		for delta := pr; delta <= ub-1; delta++ {
+			if p.Covers(delta) && killed(delta) {
+				t.Logf("unsafe: d=%d*i%+d kill=%d*i%+d pr=%d p=%s δ=%d",
+					a1, b1, a2, b2, pr, p, delta)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMayPreserveIsComplete: for may-problems p never underestimates.
+// Ground truth comes from an instance simulation that mirrors the
+// framework's cumulative semantics: one instance of d is generated per
+// iteration, ages by one per iteration, and dies when the killer overwrites
+// its location. Every age still alive after the loop must be covered by the
+// steady-state value min-capped by p across iterations (x ↦ min(x,p)++
+// starting at 0 reaches at least min(p, age) — so completeness demands p
+// covers every surviving age up to the clamp).
+func TestQuickMayPreserveIsComplete(t *testing.T) {
+	const ub = 40
+	f := func(a1v, b1v, a2v, b2v int8) bool {
+		a1 := int64(a1v%5) + 1
+		b1 := int64(b1v % 10)
+		a2 := int64(a2v % 6)
+		b2 := int64(b2v % 10)
+		if a1 == a2 && b1 == b2 {
+			// A textually identical killer is always a member of the
+			// tracked class, where the generate function applies instead of
+			// the preserve function — out of PreserveConst's contract.
+			return true
+		}
+		d := form(a1, b1)
+		kill := form(a2, b2)
+		p := PreserveConst(d, kill, true, KillContext{Pr: 0, May: true, UB: ub, HasUB: true})
+
+		// Simulate: born[j] alive until some iteration t > j overwrites its
+		// location a1·j + b1 via a2·t + b2.
+		alive := map[int64]bool{}
+		for i := int64(1); i <= ub; i++ {
+			alive[i] = true // instance born at iteration i
+			for j := range alive {
+				if alive[j] && a2*i+b2 == a1*j+b1 && i > j {
+					alive[j] = false
+				}
+			}
+		}
+		for j := int64(1); j <= ub; j++ {
+			if !alive[j] {
+				continue
+			}
+			age := ub - j
+			if age > ub-2 {
+				continue // clamp region: ages ≥ UB−1 are ⊤ territory
+			}
+			if !p.Covers(age) {
+				t.Logf("incomplete: d=%d*i%+d kill=%d*i%+d p=%s surviving age=%d",
+					a1, b1, a2, b2, p, age)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/lattice"
+	"repro/internal/poly"
+	"repro/internal/sema"
+)
+
+// These tests cover the §3.2 refinement: a summarized inner loop with
+// constant bounds kills only the addresses it can actually touch.
+
+func TestRegionDisjointPreservesAll(t *testing.T) {
+	// Inner loop touches X[1..50]; the outer class lives at X[j+100].
+	g := buildLoop(t, `
+do j = 1, 20
+  X[j+100] := X[j+99]
+  do i = 1, 50
+    X[i] := 0
+  enddo
+  Y[j] := X[j+100]
+enddo
+`)
+	res := Solve(g, mustReach(), nil)
+	var xClass *Class
+	for _, c := range res.Classes {
+		if c.Array == "X" {
+			xClass = c
+		}
+	}
+	if xClass == nil {
+		t.Fatal("class missing")
+	}
+	// The class must survive the summary node: distance 0 at the Y node.
+	var yNode *ir.Node
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindStmt && len(nd.Refs) > 0 && nd.Refs[len(nd.Refs)-1].Array == "Y" {
+			yNode = nd
+		}
+	}
+	if yNode == nil {
+		t.Fatalf("Y node missing\n%s", g.Dump())
+	}
+	if got := res.InAt(yNode, xClass); !got.Covers(0) {
+		t.Errorf("IN[Y-node, X[j+100]] = %s, must cover 0 (disjoint inner region)\n%s",
+			got, g.Dump())
+	}
+}
+
+func TestRegionOverlappingKills(t *testing.T) {
+	// Inner loop touches X[1..500] which overlaps the outer accesses: the
+	// conservative kill applies.
+	g := buildLoop(t, `
+do j = 1, 20
+  X[j+100] := 1
+  do i = 1, 500
+    X[i] := 0
+  enddo
+  Y[j] := X[j+100]
+enddo
+`)
+	res := Solve(g, mustReach(), nil)
+	var xClass *Class
+	for _, c := range res.Classes {
+		if c.Array == "X" {
+			xClass = c
+		}
+	}
+	var yNode *ir.Node
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindStmt && len(nd.Refs) > 0 && nd.Refs[len(nd.Refs)-1].Array == "Y" {
+			yNode = nd
+		}
+	}
+	if got := res.InAt(yNode, xClass); !got.IsNone() {
+		t.Errorf("IN[Y-node, X[j+100]] = %s, want ⊥ (inner loop clobbers the element)", got)
+	}
+}
+
+func TestRegionPartialOverlapDistanceCutoff(t *testing.T) {
+	// Inner region X[1..10]; outer defs at X[j]: at iteration j the
+	// distance-δ instance sits at address j−δ, which falls inside [1,10]
+	// whenever j−δ ≤ 10 — with j up to 20 every distance eventually
+	// collides except none... the refinement computes the largest provably
+	// clean prefix. With the region starting at 1 and addresses ≥ 1, all
+	// distances can collide (j = δ+1 puts the instance at address 1):
+	// expect the conservative cap.
+	g := buildLoop(t, `
+do j = 1, 20
+  X[j+10] := 1
+  do i = 1, 10
+    X[i] := 0
+  enddo
+  Y[j] := X[j+10]
+enddo
+`)
+	// Class X[j+10]: distance-δ instance at address j+10−δ ∈ [11−δ, 30−δ].
+	// Region [1,10]: overlap needs j+10−δ ≤ 10 ⇔ δ ≥ j ≥ 1 … smallest
+	// killed δ is 1 (at j=1... δ ≥ j+... compute: killed iff ∃j∈[1,20]:
+	// 1 ≤ j+10−δ ≤ 10 ⇔ δ ≥ j ∧ δ ≤ j+9 — for δ=1, j=1 works: killed.
+	// δ=0: needs j ≤ −... j+10−δ ≤ 10 ⇔ j ≤ δ = 0: impossible → distance 0
+	// survives.
+	res := Solve(g, mustReach(), nil)
+	var xClass *Class
+	for _, c := range res.Classes {
+		if c.Array == "X" {
+			xClass = c
+		}
+	}
+	var yNode *ir.Node
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindStmt && len(nd.Refs) > 0 && nd.Refs[len(nd.Refs)-1].Array == "Y" {
+			yNode = nd
+		}
+	}
+	got := res.InAt(yNode, xClass)
+	if !got.Covers(0) {
+		t.Errorf("distance 0 must survive the inner region: %s", got)
+	}
+	if got.Covers(1) {
+		t.Errorf("distance 1 must be killed by the inner region: %s", got)
+	}
+}
+
+func TestRegionSymbolicInnerBoundConservative(t *testing.T) {
+	// Symbolic inner bound: no region, conservative kill.
+	g := buildLoop(t, `
+do j = 1, 20
+  X[j+100] := 1
+  do i = 1, N
+    X[i] := 0
+  enddo
+  Y[j] := X[j+100]
+enddo
+`)
+	res := Solve(g, mustReach(), nil)
+	var xClass *Class
+	for _, c := range res.Classes {
+		if c.Array == "X" {
+			xClass = c
+		}
+	}
+	var yNode *ir.Node
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindStmt && len(nd.Refs) > 0 && nd.Refs[len(nd.Refs)-1].Array == "Y" {
+			yNode = nd
+		}
+	}
+	if got := res.InAt(yNode, xClass); !got.IsNone() {
+		t.Errorf("symbolic inner bound must kill conservatively: %s", got)
+	}
+}
+
+// TestQuickRegionPreserveSafe: brute-force soundness of the interval math
+// across random regions, strides and bounds.
+func TestQuickRegionPreserveSafe(t *testing.T) {
+	f := func(av, bv int8, loV, width uint8, prBit bool, ubV uint8) bool {
+		a := int64(av%5) + 1 // 1..5
+		if av < 0 {
+			a = -a
+		}
+		b := int64(bv % 20)
+		lo := int64(loV % 40)
+		hi := lo + int64(width%20)
+		pr := int64(0)
+		if prBit {
+			pr = 1
+		}
+		ub := int64(ubV%30) + 1
+		d := sema.AffineForm{IV: "i", A: poly.Const(a), B: poly.Const(b)}
+		p := PreserveAgainstRegion(d, lo, hi, KillContext{Pr: pr, UB: ub, HasUB: true})
+		killed := func(delta int64) bool {
+			for i := int64(1); i <= ub; i++ {
+				addr := a*(i-delta) + b
+				if addr >= lo && addr <= hi {
+					return true
+				}
+			}
+			return false
+		}
+		for delta := pr; delta <= ub-1; delta++ {
+			if p.Covers(delta) && killed(delta) {
+				t.Logf("unsafe: a=%d b=%d region=[%d,%d] pr=%d ub=%d p=%s δ=%d",
+					a, b, lo, hi, pr, ub, p, delta)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionMayPreservesAll: regions never tighten may-information.
+func TestRegionMayPreservesAll(t *testing.T) {
+	d := sema.AffineForm{IV: "i", A: poly.Const(1), B: poly.Const(0)}
+	got := PreserveAgainstRegion(d, 0, 1000, KillContext{Pr: 0, May: true})
+	if !got.Eq(lattice.All()) {
+		t.Fatalf("may-problem region cap = %s, want ⊤", got)
+	}
+}

@@ -1,0 +1,525 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/lattice"
+	"repro/internal/sema"
+)
+
+// Spec parameterizes the framework with the pair (G, K) of paper §3.1: a
+// predicate selecting the references that generate instances and one
+// selecting the references that kill instances, together with the problem's
+// direction and polarity.
+type Spec struct {
+	// Name identifies the problem in reports (e.g. "must-reaching-defs").
+	Name string
+	// Backward solves on the reverse graph with the backward kill-distance
+	// function (paper §3.4).
+	Backward bool
+	// May selects the reverse lattice (meet = max) and overestimating
+	// preserve constants (paper §3.3).
+	May bool
+	// Gen reports whether a reference generates instances.
+	Gen func(r *ir.Ref) bool
+	// Kill reports whether a reference kills instances.
+	Kill func(r *ir.Ref) bool
+}
+
+// Class is one tracked entity of the analysis: the equivalence class of
+// generating references with the same array and the same affine subscript.
+// In the common case each class has a single member (e.g. the four
+// definitions of Figure 1); δ-busy stores track textually distinct
+// subscript expressions, which this classing realizes.
+type Class struct {
+	Index int // position in the solution tuples
+	Array string
+	Form  sema.AffineForm
+	// Members are the references of this class in source order.
+	Members []*ir.Ref
+}
+
+// String renders the class by its first member's textual reference,
+// e.g. "C[i + 2]" or "X[i + 1, j]".
+func (c *Class) String() string {
+	if len(c.Members) > 0 {
+		return ast.ExprString(c.Members[0].Expr)
+	}
+	return fmt.Sprintf("%s[%s]", c.Array, c.Form)
+}
+
+// Result is the fixed point solution of one problem instance on one graph.
+type Result struct {
+	Graph   *ir.Graph
+	Spec    *Spec
+	Classes []*Class
+	// ClassOf maps each generating reference to its class.
+	ClassOf map[*ir.Ref]*Class
+
+	// In and Out are the fixed point tuples per node ID (1-based). For
+	// backward problems, following the paper's convention, In[n] describes
+	// node n's *exit* (information entering n in the reversed graph) and
+	// Out[n] its entry.
+	In  []lattice.Tuple
+	Out []lattice.Tuple
+
+	// InitIn / InitOut snapshot the initialization pass (must-problems).
+	InitIn  []lattice.Tuple
+	InitOut []lattice.Tuple
+	// Trace holds per-pass snapshots of (In, Out) when solving with
+	// CollectTrace (pass 1 first).
+	Trace []TraceEntry
+
+	// Passes is the number of iteration passes executed until the tuples
+	// stabilized (the stabilizing confirmation pass included).
+	Passes int
+	// ChangedPasses is the number of passes that changed at least one tuple.
+	ChangedPasses int
+	// NodeVisits counts every node visit across the initialization and all
+	// iteration passes.
+	NodeVisits int
+}
+
+// TraceEntry snapshots one iteration pass.
+type TraceEntry struct {
+	In  []lattice.Tuple
+	Out []lattice.Tuple
+}
+
+// Options tunes the solver.
+type Options struct {
+	// CollectTrace records per-pass snapshots (used to reproduce Table 1).
+	CollectTrace bool
+	// MaxPasses bounds iteration (0 = default 64). The theory guarantees
+	// convergence in 2 changing passes; the bound protects against
+	// violations of the structured-loop preconditions.
+	MaxPasses int
+	// SkipInitPass suppresses the initialization pass for must-problems
+	// (ablation: shows the init pass is required for 2-pass convergence).
+	SkipInitPass bool
+	// MayTopStart initializes a may-problem at ⊤ ("no instance") instead
+	// of the paper's ⊥ ("all instances") start — the §3.3 ablation: the
+	// exit function is not weakly idempotent in the reverse lattice, so
+	// the iteration climbs the distance chain one pass per iteration and,
+	// with an unknown loop bound, "could continue infinitely" (it hits
+	// MaxPasses instead).
+	MayTopStart bool
+}
+
+// Solve computes the greatest fixed point of spec over g.
+func Solve(g *ir.Graph, spec *Spec, opts *Options) *Result {
+	if opts == nil {
+		opts = &Options{}
+	}
+	res := &Result{Graph: g, Spec: spec, ClassOf: map[*ir.Ref]*Class{}}
+	res.buildClasses()
+	m := len(res.Classes)
+	n := len(g.Nodes)
+
+	res.In = makeTuples(n, m)
+	res.Out = makeTuples(n, m)
+
+	// Per-node, per-class flow functions, precomputed once.
+	fns := res.buildFlowFunctions()
+
+	order := g.RPO()
+	if spec.Backward {
+		order = reverseOrder(g)
+	}
+	entry := g.Entry
+	if spec.Backward {
+		entry = g.Exit
+	}
+
+	preds := func(nd *ir.Node) []*ir.Node {
+		if spec.Backward {
+			return nd.Succs
+		}
+		return nd.Preds
+	}
+
+	// --- Initialization (paper §3.2 for must, §3.3 for may) -------------
+	if spec.May {
+		// May-problems start every value at "all instances" (the reverse
+		// lattice's ⊥); no initialization pass is needed. The MayTopStart
+		// ablation starts at "no instance" instead.
+		start := lattice.All()
+		if opts.MayTopStart {
+			start = lattice.None()
+		}
+		for id := 1; id <= n; id++ {
+			res.In[id].Fill(start)
+			res.Out[id].Fill(start)
+		}
+	} else if opts.SkipInitPass {
+		// Ablation: naive ⊤ start.
+		for id := 1; id <= n; id++ {
+			res.In[id].Fill(lattice.All())
+			res.Out[id].Fill(lattice.All())
+		}
+	} else {
+		visited := make([]bool, n+1)
+		for _, nd := range order {
+			res.NodeVisits++
+			in := res.In[nd.ID]
+			if nd == entry {
+				in.Fill(lattice.None())
+			} else {
+				in.Fill(lattice.All())
+				any := false
+				for _, p := range preds(nd) {
+					if !visited[p.ID] {
+						continue // back-edge predecessor: excluded from init
+					}
+					in.MeetInto(res.Out[p.ID], false)
+					any = true
+				}
+				if !any {
+					in.Fill(lattice.None())
+				}
+			}
+			out := res.Out[nd.ID]
+			copy(out, in)
+			for _, c := range res.Classes {
+				if fns[nd.ID][c.Index].generates() {
+					out[c.Index] = lattice.All()
+				}
+			}
+			visited[nd.ID] = true
+		}
+		res.InitIn = snapshot(res.In)
+		res.InitOut = snapshot(res.Out)
+	}
+
+	// --- Fixed point iteration ------------------------------------------
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
+	for pass := 1; pass <= maxPasses; pass++ {
+		changed := false
+		for _, nd := range order {
+			res.NodeVisits++
+			in := res.In[nd.ID]
+			ps := preds(nd)
+			if len(ps) > 0 {
+				if spec.May {
+					in.Fill(lattice.None())
+				} else {
+					in.Fill(lattice.All())
+				}
+				for _, p := range ps {
+					in.MeetInto(res.Out[p.ID], spec.May)
+				}
+			}
+			newOut := applyFlow(nd, g, fns[nd.ID], in, res)
+			if !newOut.Eq(res.Out[nd.ID]) {
+				changed = true
+				copy(res.Out[nd.ID], newOut)
+			}
+		}
+		res.Passes = pass
+		if changed {
+			res.ChangedPasses++
+		}
+		if opts.CollectTrace {
+			res.Trace = append(res.Trace, TraceEntry{In: snapshot(res.In), Out: snapshot(res.Out)})
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+// flowOp is one step of a node's flow function for one class: either a
+// generate (max(x, 0)) or a preserve cap (min(x, p)).
+type flowOp struct {
+	gen  bool
+	pres lattice.Dist
+}
+
+// flowFn is the compiled flow function of one node for one class: the
+// composition of per-reference effects in execution order (reversed for
+// backward problems). Sequencing matters within a node: in
+// "A[i] := … A[i-1] …" the use observes memory before the definition
+// overwrites it, which a single gen-or-preserve function cannot express —
+// collapsing the two was a soundness bug our differential fuzzer caught.
+type flowFn struct {
+	ops []flowOp
+}
+
+// generates reports whether any step of the function generates (used by
+// the initialization pass's overestimate).
+func (f flowFn) generates() bool {
+	for _, op := range f.ops {
+		if op.gen {
+			return true
+		}
+	}
+	return false
+}
+
+func (res *Result) buildClasses() {
+	g := res.Graph
+	type key struct {
+		array string
+		a, b  string
+	}
+	byKey := map[key]*Class{}
+	for _, r := range g.Refs {
+		if !res.Spec.Gen(r) || !r.Affine || r.FromInner {
+			continue
+		}
+		k := key{r.Array, r.Form.A.String(), r.Form.B.String()}
+		c, ok := byKey[k]
+		if !ok {
+			c = &Class{Index: len(res.Classes), Array: r.Array, Form: r.Form}
+			byKey[k] = c
+			res.Classes = append(res.Classes, c)
+		}
+		c.Members = append(c.Members, r)
+		res.ClassOf[r] = c
+	}
+	// Classes are already in first-occurrence source order because g.Refs
+	// is ID-ordered; keep Index consistent with that order.
+	sort.SliceStable(res.Classes, func(i, j int) bool {
+		return res.Classes[i].Members[0].ID < res.Classes[j].Members[0].ID
+	})
+	for i, c := range res.Classes {
+		c.Index = i
+	}
+}
+
+// prOf computes pr(class, n): 0 when any member of the class occurs in a
+// node that precedes n in the body (for backward problems: that n precedes,
+// since the reverse graph swaps the ordering).
+func (res *Result) prOf(c *Class, nd *ir.Node) int64 {
+	for _, mem := range c.Members {
+		if res.Spec.Backward {
+			if res.Graph.Precedes(nd, mem.Node) {
+				return 0
+			}
+		} else {
+			if res.Graph.Precedes(mem.Node, nd) {
+				return 0
+			}
+		}
+	}
+	return 1
+}
+
+func (res *Result) buildFlowFunctions() [][]flowFn {
+	g := res.Graph
+	fns := make([][]flowFn, len(g.Nodes)+1)
+	for _, nd := range g.Nodes {
+		row := make([]flowFn, len(res.Classes))
+		for _, c := range res.Classes {
+			row[c.Index] = res.compileNodeClass(nd, c)
+		}
+		fns[nd.ID] = row
+	}
+	return fns
+}
+
+// compileNodeClass builds the op sequence of node nd for class c.
+func (res *Result) compileNodeClass(nd *ir.Node, c *Class) flowFn {
+	g := res.Graph
+	memberSet := map[*ir.Ref]bool{}
+	for _, mem := range c.Members {
+		if mem.Node == nd {
+			memberSet[mem] = true
+		}
+	}
+
+	// Reference effects in execution order.
+	refs := nd.Refs
+	if nd.Kind == ir.KindSummary {
+		// A summary node stands for a whole inner loop whose internal
+		// order is unknown at this level; order the effects by polarity so
+		// the collapsed function stays a safe approximation: must-problems
+		// apply generates before kills (underestimate), may-problems kills
+		// before generates (overestimate).
+		var gens, kills []*ir.Ref
+		for _, r := range refs {
+			if memberSet[r] {
+				gens = append(gens, r)
+			} else {
+				kills = append(kills, r)
+			}
+		}
+		if res.Spec.May {
+			refs = append(append([]*ir.Ref{}, kills...), gens...)
+		} else {
+			refs = append(append([]*ir.Ref{}, gens...), kills...)
+		}
+	}
+
+	nodePr := res.prOf(c, nd)
+	var ops []flowOp
+	genSeen := false
+	addCap := func(p lattice.Dist) {
+		// Merge consecutive caps.
+		if n := len(ops); n > 0 && !ops[n-1].gen {
+			ops[n-1].pres = lattice.Min(ops[n-1].pres, p)
+			return
+		}
+		ops = append(ops, flowOp{pres: p})
+	}
+
+	seq := refs
+	if res.Spec.Backward {
+		seq = make([]*ir.Ref, len(refs))
+		for i, r := range refs {
+			seq[len(refs)-1-i] = r
+		}
+	}
+	for _, r := range seq {
+		if memberSet[r] {
+			ops = append(ops, flowOp{gen: true})
+			genSeen = true
+			continue
+		}
+		if !res.Spec.Kill(r) || r.Array != c.Array {
+			continue
+		}
+		pr := nodePr
+		if genSeen {
+			// A member of the class already executed within this node
+			// before the kill: the distance-0 instance is in range.
+			pr = 0
+		}
+		ctx := KillContext{
+			Pr:       pr,
+			May:      res.Spec.May,
+			Backward: res.Spec.Backward,
+			UB:       g.UBConst,
+			HasUB:    g.HasUB,
+		}
+		var p lattice.Dist
+		if r.FromInner && r.HasRegion {
+			p = PreserveAgainstRegion(c.Form, r.RegionLo, r.RegionHi, ctx)
+		} else {
+			p = PreserveConst(c.Form, r.Form, r.Affine && !r.FromInner, ctx)
+		}
+		if p.IsAll() {
+			continue // identity cap
+		}
+		addCap(p)
+	}
+	return flowFn{ops: ops}
+}
+
+// applyFlow computes f_n(in) into a scratch tuple.
+func applyFlow(nd *ir.Node, g *ir.Graph, fns []flowFn, in lattice.Tuple, res *Result) lattice.Tuple {
+	out := make(lattice.Tuple, len(in))
+	if nd.Kind == ir.KindExit {
+		for i, x := range in {
+			v := x.Inc()
+			if g.HasUB {
+				v = v.Clamp(g.UBConst)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	for i, x := range in {
+		v := x
+		for _, op := range fns[i].ops {
+			if op.gen {
+				v = lattice.Max(v, lattice.D(0))
+			} else {
+				v = lattice.Min(v, op.pres)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func makeTuples(n, m int) []lattice.Tuple {
+	out := make([]lattice.Tuple, n+1)
+	for i := 1; i <= n; i++ {
+		out[i] = make(lattice.Tuple, m)
+	}
+	return out
+}
+
+func snapshot(ts []lattice.Tuple) []lattice.Tuple {
+	out := make([]lattice.Tuple, len(ts))
+	for i, t := range ts {
+		if t != nil {
+			out[i] = t.Clone()
+		}
+	}
+	return out
+}
+
+func reverseOrder(g *ir.Graph) []*ir.Node {
+	// Reverse postorder of the reversed body DAG starting at the exit node:
+	// the reverse of the forward RPO works because the body is a DAG and
+	// edge reversal exactly inverts its topological orders.
+	fwd := g.RPO()
+	out := make([]*ir.Node, len(fwd))
+	for i, n := range fwd {
+		out[len(fwd)-1-i] = n
+	}
+	return out
+}
+
+// --- Reporting --------------------------------------------------------------
+
+// TupleTable renders IN/OUT rows for every node, in the style of the paper's
+// Table 1. Pass -1 renders the fixed point; pass 0 the initialization pass;
+// pass k ≥ 1 the k-th iteration snapshot (requires CollectTrace).
+func (res *Result) TupleTable(pass int) string {
+	var in, out []lattice.Tuple
+	switch {
+	case pass < 0:
+		in, out = res.In, res.Out
+	case pass == 0:
+		in, out = res.InitIn, res.InitOut
+	default:
+		if pass > len(res.Trace) {
+			return fmt.Sprintf("<no trace for pass %d>", pass)
+		}
+		in, out = res.Trace[pass-1].In, res.Trace[pass-1].Out
+	}
+	if in == nil {
+		return "<no snapshot>"
+	}
+	var b strings.Builder
+	header := make([]string, len(res.Classes))
+	for i, c := range res.Classes {
+		header[i] = c.String()
+	}
+	fmt.Fprintf(&b, "%-8s tuples (%s)\n", "", strings.Join(header, ", "))
+	for _, nd := range res.Graph.Nodes {
+		fmt.Fprintf(&b, "IN [%d]  %s\n", nd.ID, in[nd.ID])
+		fmt.Fprintf(&b, "OUT[%d]  %s\n", nd.ID, out[nd.ID])
+	}
+	return b.String()
+}
+
+// InAt returns the fixed point IN value of class c at node nd.
+func (res *Result) InAt(nd *ir.Node, c *Class) lattice.Dist { return res.In[nd.ID][c.Index] }
+
+// OutAt returns the fixed point OUT value of class c at node nd.
+func (res *Result) OutAt(nd *ir.Node, c *Class) lattice.Dist { return res.Out[nd.ID][c.Index] }
+
+// ClassFor finds the class tracking the given array and affine form, if any.
+func (res *Result) ClassFor(array string, form sema.AffineForm) *Class {
+	for _, c := range res.Classes {
+		if c.Array == array && c.Form.A.Equal(form.A) && c.Form.B.Equal(form.B) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Pr exposes pr(class, n) for result consumers (reuse queries need it).
+func (res *Result) Pr(c *Class, nd *ir.Node) int64 { return res.prOf(c, nd) }

@@ -1,0 +1,220 @@
+// Package driver runs the paper's whole-program analysis protocol (§3.2):
+// loops are analyzed hierarchically starting with the innermost, each loop
+// on its own flow graph with nested loops summarized; for tight nests the
+// §3.6 move of re-analyzing the innermost body with respect to each
+// enclosing induction variable is applied, and the §6 distance-vector
+// extension runs on two-level tight nests.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/nest"
+	"repro/internal/problems"
+	"repro/internal/sema"
+)
+
+// LoopAnalysis is the per-loop bundle of solutions.
+type LoopAnalysis struct {
+	Loop  *ast.DoLoop
+	Depth int // 1 = outermost
+	Graph *ir.Graph
+	// Results maps spec name → fixed point for the analyses requested.
+	Results map[string]*dataflow.Result
+	// Reuses are the guaranteed reuses with respect to this loop's own
+	// induction variable (from must-reaching definitions when requested).
+	Reuses []problems.Reuse
+	// WRT holds, for a loop that is the innermost of a tight nest, the
+	// §3.6 re-analyses of its body with respect to each *enclosing*
+	// induction variable: reuse facts keyed by that variable's name.
+	WRT map[string][]problems.Reuse
+}
+
+// ProgramAnalysis is the result of analyzing every loop of a program.
+type ProgramAnalysis struct {
+	Prog *ast.Program
+	Info *sema.Info
+	// Loops in analysis order: innermost first (§3.2).
+	Loops []*LoopAnalysis
+	// Vectors holds the §6 distance-vector recurrences per tight two-level
+	// nest, keyed by the outer loop.
+	Vectors map[*ast.DoLoop][]nest.Recurrence
+}
+
+// Options selects the analyses to run per loop.
+type Options struct {
+	// Specs lists the problem instances to solve on every loop graph.
+	// Nil runs must-reaching definitions only.
+	Specs []*dataflow.Spec
+	// NestVectors enables the §6 extension on tight two-level nests.
+	NestVectors bool
+	// MaxVectorDist bounds the vector search (default 8).
+	MaxVectorDist int64
+}
+
+// Analyze runs the protocol over a checked, normalized program.
+func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	specs := opts.Specs
+	if specs == nil {
+		specs = []*dataflow.Spec{problems.MustReachingDefs()}
+	}
+	maxVec := opts.MaxVectorDist
+	if maxVec <= 0 {
+		maxVec = 8
+	}
+
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	pa := &ProgramAnalysis{Prog: prog, Info: info, Vectors: map[*ast.DoLoop][]nest.Recurrence{}}
+
+	// Collect loops with depth and enclosing chain, innermost-first order.
+	type entry struct {
+		loop      *ast.DoLoop
+		depth     int
+		enclosing []*ast.DoLoop // outermost first
+	}
+	var entries []entry
+	var walk func(stmts []ast.Stmt, depth int, chain []*ast.DoLoop)
+	walk = func(stmts []ast.Stmt, depth int, chain []*ast.DoLoop) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.DoLoop:
+				entries = append(entries, entry{loop: st, depth: depth + 1,
+					enclosing: append([]*ast.DoLoop{}, chain...)})
+				walk(st.Body, depth+1, append(chain, st))
+			case *ast.If:
+				walk(st.Then, depth, chain)
+				walk(st.Else, depth, chain)
+			}
+		}
+	}
+	walk(prog.Body, 0, nil)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].depth > entries[j].depth })
+
+	for _, e := range entries {
+		g, err := ir.Build(e.loop, nil)
+		if err != nil {
+			return nil, fmt.Errorf("loop %s: %w", e.loop.Var, err)
+		}
+		la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, Graph: g,
+			Results: map[string]*dataflow.Result{}, WRT: map[string][]problems.Reuse{}}
+		for _, spec := range specs {
+			res := dataflow.Solve(g, spec, nil)
+			la.Results[spec.Name] = res
+			if spec.Name == "must-reaching-defs" {
+				la.Reuses = problems.FindReuses(res)
+			}
+		}
+
+		// §3.6: for the innermost loop of a tight chain, re-analyze its
+		// body with respect to each enclosing induction variable.
+		if len(e.loop.Body) > 0 && !containsLoop(e.loop.Body) {
+			for _, enc := range e.enclosing {
+				if !tightChain(enc, e.loop) {
+					continue
+				}
+				synthetic := &ast.DoLoop{
+					DoPos: e.loop.DoPos, Var: enc.Var, Label: enc.Label,
+					Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
+					Body: e.loop.Body,
+				}
+				gw, err := ir.Build(synthetic, nil)
+				if err != nil {
+					continue
+				}
+				res := dataflow.Solve(gw, problems.MustReachingDefs(), nil)
+				la.WRT[enc.Var] = problems.FindReuses(res)
+			}
+		}
+		pa.Loops = append(pa.Loops, la)
+	}
+
+	if opts.NestVectors {
+		for _, e := range entries {
+			if inner, ok := tightInnerOf(e.loop); ok && !containsLoop(inner.Body) {
+				recs, err := nest.FindRecurrences(e.loop, maxVec)
+				if err == nil && len(recs) > 0 {
+					pa.Vectors[e.loop] = recs
+				}
+			}
+		}
+	}
+	return pa, nil
+}
+
+// containsLoop reports whether a statement list contains a nested loop.
+func containsLoop(stmts []ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmts, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DoLoop); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// tightChain reports whether outer's body consists of a straight chain of
+// single nested loops reaching inner.
+func tightChain(outer, inner *ast.DoLoop) bool {
+	cur := outer
+	for cur != inner {
+		if len(cur.Body) != 1 {
+			return false
+		}
+		next, ok := cur.Body[0].(*ast.DoLoop)
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	return true
+}
+
+func tightInnerOf(outer *ast.DoLoop) (*ast.DoLoop, bool) {
+	if len(outer.Body) != 1 {
+		return nil, false
+	}
+	inner, ok := outer.Body[0].(*ast.DoLoop)
+	return inner, ok
+}
+
+// Report renders the whole-program findings.
+func (pa *ProgramAnalysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program analysis: %d loops (innermost first)\n", len(pa.Loops))
+	for _, la := range pa.Loops {
+		fmt.Fprintf(&b, "loop %s (depth %d, %d nodes):\n", la.Loop.Var, la.Depth, len(la.Graph.Nodes))
+		for _, r := range la.Reuses {
+			fmt.Fprintf(&b, "  reuse: %s\n", r)
+		}
+		ivs := make([]string, 0, len(la.WRT))
+		for iv := range la.WRT {
+			ivs = append(ivs, iv)
+		}
+		sort.Strings(ivs)
+		for _, iv := range ivs {
+			for _, r := range la.WRT[iv] {
+				fmt.Fprintf(&b, "  reuse wrt %s: %s\n", iv, r)
+			}
+		}
+	}
+	for outer, recs := range pa.Vectors {
+		fmt.Fprintf(&b, "tight nest at %s: distance vectors:\n", outer.Var)
+		for _, r := range recs {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/parser"
+	"repro/internal/problems"
+)
+
+func TestInnermostFirstOrder(t *testing.T) {
+	prog := parser.MustParse(`
+do k = 1, K
+  do j = 1, M
+    do i = 1, N
+      A[i] := A[i] + 1
+    enddo
+  enddo
+enddo
+do z = 1, Z
+  B[z+1] := B[z]
+enddo
+`)
+	pa, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.Loops) != 4 {
+		t.Fatalf("loops = %d, want 4", len(pa.Loops))
+	}
+	// Innermost (depth 3) first; outermost loops last.
+	if pa.Loops[0].Depth != 3 || pa.Loops[0].Loop.Var != "i" {
+		t.Errorf("first analyzed = %s depth %d, want i depth 3", pa.Loops[0].Loop.Var, pa.Loops[0].Depth)
+	}
+	last := pa.Loops[len(pa.Loops)-1]
+	if last.Depth != 1 {
+		t.Errorf("last analyzed depth = %d, want 1", last.Depth)
+	}
+}
+
+func TestFig4SeparateAnalyses(t *testing.T) {
+	prog := parser.MustParse(`
+do j = 1, UB
+  do i = 1, UB1
+    X[i+1, j] := X[i, j]
+    Y[i, j+1] := Y[i, j-1]
+    Z[i+1, j] := Z[i, j-1]
+  enddo
+enddo
+`)
+	pa, err := Analyze(prog, &Options{NestVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var innerLA *LoopAnalysis
+	for _, la := range pa.Loops {
+		if la.Loop.Var == "i" {
+			innerLA = la
+		}
+	}
+	if innerLA == nil {
+		t.Fatal("inner loop missing")
+	}
+	// Own-IV analysis finds the X recurrence.
+	foundX := false
+	for _, r := range innerLA.Reuses {
+		if r.From.Array == "X" && r.Distance == 1 {
+			foundX = true
+		}
+	}
+	if !foundX {
+		t.Errorf("X recurrence wrt i missing: %v", innerLA.Reuses)
+	}
+	// §3.6 re-analysis wrt j finds the Y recurrence at distance 2.
+	wrtJ := innerLA.WRT["j"]
+	foundY := false
+	for _, r := range wrtJ {
+		if r.From.Array == "Y" && r.Distance == 2 {
+			foundY = true
+		}
+	}
+	if !foundY {
+		t.Errorf("Y recurrence wrt j missing: %v", wrtJ)
+	}
+	// The nest vectors include Z (1,1).
+	foundZ := false
+	for _, recs := range pa.Vectors {
+		for _, r := range recs {
+			if r.Array == "Z" && r.Vec.Outer == 1 && r.Vec.Inner == 1 {
+				foundZ = true
+			}
+		}
+	}
+	if !foundZ {
+		t.Errorf("Z vector missing: %v", pa.Vectors)
+	}
+}
+
+func TestMultipleSpecs(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 100
+  A[i+1] := A[i] + x
+enddo
+`)
+	pa, err := Analyze(prog, &Options{Specs: []*dataflow.Spec{
+		problems.MustReachingDefs(),
+		problems.AvailableValues(),
+		problems.BusyStores(),
+		problems.ReachingRefs(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := pa.Loops[0]
+	for _, name := range []string{"must-reaching-defs", "delta-available-values",
+		"delta-busy-stores", "delta-reaching-refs"} {
+		if la.Results[name] == nil {
+			t.Errorf("missing result %s", name)
+		}
+	}
+}
+
+func TestSummaryInteraction(t *testing.T) {
+	// The outer loop's analysis must see the inner loop as a summary that
+	// kills X facts.
+	prog := parser.MustParse(`
+do j = 1, M
+  X[j+1] := X[j]
+  do i = 1, N
+    X[i] := 0
+  enddo
+enddo
+`)
+	pa, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outer *LoopAnalysis
+	for _, la := range pa.Loops {
+		if la.Loop.Var == "j" {
+			outer = la
+		}
+	}
+	if outer == nil {
+		t.Fatal("outer loop missing")
+	}
+	// X[j] cannot reuse X[j+1]'s value: the inner loop clobbers X.
+	for _, r := range outer.Reuses {
+		if r.From.Array == "X" {
+			t.Errorf("false reuse across summarized inner loop: %v", r)
+		}
+	}
+}
+
+func TestNonTightNestSkipsWRT(t *testing.T) {
+	prog := parser.MustParse(`
+do j = 1, M
+  A[j] := 0
+  do i = 1, N
+    B[i] := B[i] + 1
+  enddo
+enddo
+`)
+	pa, err := Analyze(prog, &Options{NestVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, la := range pa.Loops {
+		if la.Loop.Var == "i" && len(la.WRT) != 0 {
+			t.Errorf("non-tight nest must not get WRT analyses: %v", la.WRT)
+		}
+	}
+	if len(pa.Vectors) != 0 {
+		t.Errorf("non-tight nest must not get vectors: %v", pa.Vectors)
+	}
+}
+
+func TestRejectsInvalidProgram(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10\n i := 0\nenddo")
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected semantic error")
+	}
+}
+
+func TestReportMentionsEverything(t *testing.T) {
+	prog := parser.MustParse(`
+do j = 1, UB
+  do i = 1, UB1
+    Z[i+1, j] := Z[i, j-1]
+  enddo
+enddo
+`)
+	pa, err := Analyze(prog, &Options{NestVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pa.Report()
+	for _, want := range []string{"loop i", "loop j", "distance vectors", "(1, 1)"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Shape: the traced run reproduces Table 1's structure and the
+// 3-pass bound.
+func TestTable1Shape(t *testing.T) {
+	r := Table1()
+	if len(r.Res.Classes) != 4 {
+		t.Fatalf("classes = %d, want 4", len(r.Res.Classes))
+	}
+	if r.Res.ChangedPasses > 2 {
+		t.Errorf("changed passes = %d, want ≤ 2", r.Res.ChangedPasses)
+	}
+	for _, want := range []string{"IN [1]", "OUT[5]"} {
+		if !strings.Contains(r.Init, want) || !strings.Contains(r.Pass2, want) {
+			t.Errorf("table rendering missing %q", want)
+		}
+	}
+	// Pass 2's fixed point rows from the paper.
+	if !strings.Contains(r.Pass2, "(2,1,_,T)") {
+		t.Errorf("pass-2 fixed point rows missing (2,1,_,T):\n%s", r.Pass2)
+	}
+}
+
+// TestFig3Conclusions pins the §3.5 reuse set.
+func TestFig3Conclusions(t *testing.T) {
+	r := Fig3()
+	if len(r.Graph.Nodes) != 5 {
+		t.Fatalf("graph nodes = %d, want 5", len(r.Graph.Nodes))
+	}
+	if len(r.Reuses) != 5 {
+		t.Fatalf("reuses = %d, want 5: %v", len(r.Reuses), r.Reuses)
+	}
+	rep := r.Report()
+	for _, want := range []string{"distance 2", "distance 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestFig4Findings: X (0,1), Y (2,0), Z (1,1) with Z exclusive to the
+// extension.
+func TestFig4Findings(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawZ bool
+	for _, rec := range r.Recurrences {
+		if rec.Array == "Z" && rec.Kind == "flow" {
+			sawZ = true
+			if rec.FoundBySingleLoop {
+				t.Error("Z must be exclusive to the vector extension")
+			}
+			if rec.Vec.Outer != 1 || rec.Vec.Inner != 1 {
+				t.Errorf("Z vector = %v, want (1,1)", rec.Vec)
+			}
+		}
+	}
+	if !sawZ {
+		t.Fatalf("Z recurrence missing: %v", r.Recurrences)
+	}
+}
+
+// TestFig5Shape: zero in-loop loads, equal semantics, cycle win.
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal {
+		t.Fatal("pipelined semantics diverge")
+	}
+	if r.Conventional.Loads["A"] != 1000 {
+		t.Errorf("conventional loads = %d, want 1000", r.Conventional.Loads["A"])
+	}
+	// Local optimization cannot remove the cross-iteration reload: exactly
+	// one load of A per iteration survives.
+	if r.LocalOpt.Loads["A"] != 1000 {
+		t.Errorf("locally optimized loads = %d, want 1000", r.LocalOpt.Loads["A"])
+	}
+	if r.LocalOpt.Cycles > r.Conventional.Cycles {
+		t.Errorf("local optimization made things worse: %d vs %d",
+			r.LocalOpt.Cycles, r.Conventional.Cycles)
+	}
+	if r.Pipelined.Loads["A"] != 2 {
+		t.Errorf("pipelined loads = %d, want 2", r.Pipelined.Loads["A"])
+	}
+	if r.Pipelined.Cycles >= r.LocalOpt.Cycles {
+		t.Errorf("pipelining must beat even locally optimized code: %d vs %d",
+			r.Pipelined.Cycles, r.LocalOpt.Cycles)
+	}
+	if r.Pipelined.Cycles >= r.Conventional.Cycles {
+		t.Errorf("no cycle win: %d vs %d", r.Pipelined.Cycles, r.Conventional.Cycles)
+	}
+}
+
+// TestFig5UnrolledShape: §4.1.4 — unrolling by the pipeline depth removes
+// most shift moves while keeping zero steady-state loads.
+func TestFig5UnrolledShape(t *testing.T) {
+	r, err := Fig5Unrolled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal {
+		t.Fatal("unrolled pipeline semantics diverge")
+	}
+	if r.Unrolled.Loads["A"] > 2 {
+		t.Errorf("unrolled loads = %d, want ≤ 2", r.Unrolled.Loads["A"])
+	}
+	if r.MovesPerIterUnrolled >= r.MovesPerIterPipelined/2 {
+		t.Errorf("unrolling should cut moves substantially: %.2f vs %.2f",
+			r.MovesPerIterUnrolled, r.MovesPerIterPipelined)
+	}
+}
+
+// TestFig6Shape: ~2000 stores → 1001, semantics preserved.
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SemanticsOK {
+		t.Fatal("semantics diverge")
+	}
+	if r.StoresBefore != 2000 {
+		t.Errorf("stores before = %d, want 2000", r.StoresBefore)
+	}
+	if r.StoresAfter != 1001 {
+		t.Errorf("stores after = %d, want 1001", r.StoresAfter)
+	}
+}
+
+// TestFig7Shape: the conditional load disappears from the loop.
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SemanticsOK {
+		t.Fatal("semantics diverge")
+	}
+	if r.LoadsAfter >= r.LoadsBefore {
+		t.Errorf("loads not reduced: %d -> %d", r.LoadsBefore, r.LoadsAfter)
+	}
+	// Steady state: ~1000 loads before, ≤ a couple after (preheader).
+	if r.LoadsBefore < 900 {
+		t.Errorf("loads before = %d, want ≈1000", r.LoadsBefore)
+	}
+	if r.LoadsAfter > 2 {
+		t.Errorf("loads after = %d, want ≤ 2", r.LoadsAfter)
+	}
+}
+
+// TestConvergenceClaim: E9 across sizes.
+func TestConvergenceClaim(t *testing.T) {
+	rows := Convergence([]int{5, 20, 80})
+	for _, r := range rows {
+		if r.MustChanged > 2 {
+			t.Errorf("stmts=%d: must changing passes = %d, want ≤ 2", r.Stmts, r.MustChanged)
+		}
+		if r.MayChanged > 2 {
+			t.Errorf("stmts=%d: may changing passes = %d, want ≤ 2", r.Stmts, r.MayChanged)
+		}
+		// Visit bounds: init + changing + confirming passes.
+		if r.MustVisits > 4*r.Nodes {
+			t.Errorf("stmts=%d: must visits = %d > 4·N", r.Stmts, r.MustVisits)
+		}
+		if r.MayVisits > 3*r.Nodes {
+			t.Errorf("stmts=%d: may visits = %d > 3·N", r.Stmts, r.MayVisits)
+		}
+	}
+}
+
+// TestBaselineComparisonShape: framework flat, baseline growing, truncation
+// loses the fact.
+func TestBaselineComparisonShape(t *testing.T) {
+	rows := VsBaseline([]int64{2, 8, 32})
+	for i, r := range rows {
+		if r.FrameworkPasses > 2 {
+			t.Errorf("d=%d: framework passes = %d", r.Distance, r.FrameworkPasses)
+		}
+		if !r.BaselineMissed {
+			t.Errorf("d=%d: truncated baseline should miss the recurrence", r.Distance)
+		}
+		if i > 0 && r.BaselinePasses <= rows[i-1].BaselinePasses {
+			t.Errorf("baseline passes must grow: %v", rows)
+		}
+	}
+}
+
+// TestUnrollingShapes: the four characteristic loops behave as predicted.
+func TestUnrollingShapes(t *testing.T) {
+	rows := Unrolling()
+	byName := map[string]UnrollRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["parallel (dist 2)"]; r.Factor < 2 || r.L2 != r.L {
+		t.Errorf("parallel loop: %+v", r)
+	}
+	if r := byName["serial (dist 1)"]; r.Factor != 1 || r.L4 != 4*r.L {
+		t.Errorf("serial loop: %+v", r)
+	}
+	if r := byName["wide independent"]; r.SpeedShape > 0.3 {
+		t.Errorf("wide loop should be near fully parallel: %+v", r)
+	}
+	if r := byName["chain of 4, carried"]; r.L4 != 4*r.L {
+		t.Errorf("carried chain must serialize: %+v", r)
+	}
+}
+
+// TestFullReportRuns: the aggregate report mentions every experiment.
+func TestFullReportRuns(t *testing.T) {
+	rep, err := FullReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E5", "E6", "E7", "E8", "E9", "E10", "E12"} {
+		if !strings.Contains(rep, "== "+want) {
+			t.Errorf("report missing section %s", want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package lexer implements the scanner for the loop mini-language.
+//
+// The scanner is a straightforward hand-written state machine over a byte
+// slice. It folds consecutive newlines and semicolons into a single NEWLINE
+// token, strips comments introduced by '!' or "//" through end of line, and
+// accepts both ":=" and "=" as the assignment operator (the parser decides
+// from context whether '=' means assignment or is part of a DO header).
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input buffer and produces tokens one at a time.
+type Lexer struct {
+	src         []byte
+	off         int // byte offset of the next unread byte
+	line        int
+	col         int
+	errs        []*Error
+	atLineStart bool
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []byte(src), line: 1, col: 1, atLineStart: true}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+func isIdentPart(c byte) bool { return isLetter(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes blanks and comments but not newlines.
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		for isSpace(l.peek()) {
+			l.advance()
+		}
+		if (l.peek() == '!' && l.peekAt(1) != '=') || (l.peek() == '/' && l.peekAt(1) == '/') {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	c := l.peek()
+
+	switch {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}
+
+	case c == '\n' || c == ';':
+		// Fold a run of separators (and interleaved blanks/comments) into one.
+		for {
+			if l.peek() == '\n' || l.peek() == ';' {
+				l.advance()
+				l.skipSpaceAndComments()
+				continue
+			}
+			break
+		}
+		return token.Token{Kind: token.NEWLINE, Text: "\\n", Pos: pos}
+
+	case isDigit(c):
+		start := l.off
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+		if isLetter(l.peek()) {
+			bad := l.pos()
+			for isIdentPart(l.peek()) {
+				l.advance()
+			}
+			l.errorf(bad, "identifier may not start with a digit")
+			return token.Token{Kind: token.ILLEGAL, Text: string(l.src[start:l.off]), Pos: pos}
+		}
+		return token.Token{Kind: token.INT, Text: string(l.src[start:l.off]), Pos: pos}
+
+	case isLetter(c):
+		start := l.off
+		for isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.off])
+		kind := token.Lookup(lower(text))
+		if kind != token.IDENT {
+			return token.Token{Kind: kind, Text: text, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+	}
+
+	// Operators and punctuation.
+	l.advance()
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: yes, Text: yes.String(), Pos: pos}
+		}
+		return token.Token{Kind: no, Text: no.String(), Pos: pos}
+	}
+
+	switch c {
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.ASSIGN, Text: ":=", Pos: pos}
+		}
+		l.errorf(pos, "unexpected ':' (did you mean ':='?)")
+		return token.Token{Kind: token.ILLEGAL, Text: ":", Pos: pos}
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.EQ, Text: "==", Pos: pos}
+		}
+		// Bare '=' doubles as assignment (Fortran style) — the parser
+		// normalizes it. Report it as ASSIGN.
+		return token.Token{Kind: token.ASSIGN, Text: "=", Pos: pos}
+	case '!':
+		// '!' not followed by '=' starts a comment; that case is consumed by
+		// skipSpaceAndComments, so reaching here means "!=".
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.NEQ, Text: "!=", Pos: pos}
+		}
+		return token.Token{Kind: token.ILLEGAL, Text: "!", Pos: pos}
+	case '<':
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		return two('=', token.GEQ, token.GT)
+	case '+':
+		return token.Token{Kind: token.PLUS, Text: "+", Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Text: "-", Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Text: "*", Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Text: "/", Pos: pos}
+	case '%':
+		return token.Token{Kind: token.MOD, Text: "%", Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Text: "(", Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Text: ")", Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Text: "[", Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Text: "]", Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Text: ",", Pos: pos}
+	}
+
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Text: string(c), Pos: pos}
+}
+
+// All scans the entire input and returns every token including the final EOF.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

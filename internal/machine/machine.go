@@ -1,0 +1,296 @@
+// Package machine executes three-address code from internal/tac on an
+// abstract load/store architecture and reports a detailed cost breakdown.
+//
+// The paper motivates its optimizations with the memory traffic of array
+// references on sequential and fine-grained parallel machines of its era
+// (pipelined/superscalar/VLIW, e.g. the Cydra 5 of §4.1.4). Absent that
+// hardware, this machine is the measurement substrate: loads and stores
+// carry a configurable latency, everything else a unit cost, so "who wins
+// and by how much" is directly comparable to the paper's claims about
+// avoided loads/stores.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/tac"
+)
+
+// Costs assigns cycle costs per instruction category.
+type Costs struct {
+	Load   int64
+	Store  int64
+	ALU    int64
+	Mul    int64 // multiply/divide/modulo (multi-cycle on era hardware)
+	Move   int64
+	Branch int64
+}
+
+// DefaultCosts reflects an early-90s RISC with a small cache: memory ops
+// and integer multiplies cost several cycles, simple register ops one.
+func DefaultCosts() Costs {
+	return Costs{Load: 4, Store: 4, ALU: 1, Mul: 4, Move: 1, Branch: 1}
+}
+
+// Memory is the array storage: per array, a sparse map from linearized
+// address to value.
+type Memory struct {
+	Arrays map[string]map[int64]int64
+}
+
+// NewMemory returns empty memory.
+func NewMemory() *Memory { return &Memory{Arrays: map[string]map[int64]int64{}} }
+
+// Set writes one element.
+func (m *Memory) Set(array string, addr, v int64) {
+	a := m.Arrays[array]
+	if a == nil {
+		a = map[int64]int64{}
+		m.Arrays[array] = a
+	}
+	a[addr] = v
+}
+
+// Get reads one element (default 0).
+func (m *Memory) Get(array string, addr int64) int64 { return m.Arrays[array][addr] }
+
+// Clone deep-copies memory.
+func (m *Memory) Clone() *Memory {
+	out := NewMemory()
+	for a, mm := range m.Arrays {
+		ca := make(map[int64]int64, len(mm))
+		for k, v := range mm {
+			ca[k] = v
+		}
+		out.Arrays[a] = ca
+	}
+	return out
+}
+
+// Equal compares two memories treating absent elements as zero.
+func (m *Memory) Equal(o *Memory) bool {
+	names := map[string]bool{}
+	for a := range m.Arrays {
+		names[a] = true
+	}
+	for a := range o.Arrays {
+		names[a] = true
+	}
+	for a := range names {
+		keys := map[int64]bool{}
+		for k := range m.Arrays[a] {
+			keys[k] = true
+		}
+		for k := range o.Arrays[a] {
+			keys[k] = true
+		}
+		for k := range keys {
+			if m.Get(a, k) != o.Get(a, k) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Result reports execution statistics.
+type Result struct {
+	// Loads and Stores count memory operations per array.
+	Loads  map[string]int64
+	Stores map[string]int64
+	// OpCounts counts executed instructions per opcode.
+	OpCounts map[tac.Op]int64
+	// Cycles is the total cost under the configured Costs.
+	Cycles int64
+	// Steps is the number of executed instructions.
+	Steps int64
+	// Regs holds the final register file, indexed like Prog.RegNames.
+	Regs []int64
+}
+
+// TotalLoads sums loads over arrays.
+func (r *Result) TotalLoads() int64 {
+	var n int64
+	for _, v := range r.Loads {
+		n += v
+	}
+	return n
+}
+
+// TotalStores sums stores over arrays.
+func (r *Result) TotalStores() int64 {
+	var n int64
+	for _, v := range r.Stores {
+		n += v
+	}
+	return n
+}
+
+// Options configures a run.
+type Options struct {
+	Costs Costs
+	// MaxSteps caps execution (default 200 million).
+	MaxSteps int64
+	// InitRegs sets named registers before execution (loop bounds, scalar
+	// parameters).
+	InitRegs map[string]int64
+}
+
+// Run executes the program against memory (mutated in place).
+func Run(p *tac.Prog, mem *Memory, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{Costs: DefaultCosts()}
+	}
+	costs := opts.Costs
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200_000_000
+	}
+	if mem == nil {
+		mem = NewMemory()
+	}
+
+	res := &Result{
+		Loads:    map[string]int64{},
+		Stores:   map[string]int64{},
+		OpCounts: map[tac.Op]int64{},
+		Regs:     make([]int64, p.NumRegs()),
+	}
+	for name, v := range opts.InitRegs {
+		found := false
+		for i, rn := range p.RegNames {
+			if rn == name {
+				res.Regs[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			// A register the program never mentions is not an error — the
+			// caller initializes a superset of parameters.
+			continue
+		}
+	}
+
+	regs := res.Regs
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return res, fmt.Errorf("machine: pc out of range: %d", pc)
+		}
+		in := p.Instrs[pc]
+		res.Steps++
+		if res.Steps > maxSteps {
+			return res, fmt.Errorf("machine: step limit exceeded at pc %d", pc)
+		}
+		res.OpCounts[in.Op]++
+
+		switch in.Op {
+		case tac.Nop:
+			res.Cycles += costs.ALU
+		case tac.Li:
+			regs[in.Dst] = in.Imm
+			res.Cycles += costs.ALU
+		case tac.Mov:
+			regs[in.Dst] = regs[in.Src1]
+			res.Cycles += costs.Move
+		case tac.Add:
+			regs[in.Dst] = regs[in.Src1] + regs[in.Src2]
+			res.Cycles += costs.ALU
+		case tac.Sub:
+			regs[in.Dst] = regs[in.Src1] - regs[in.Src2]
+			res.Cycles += costs.ALU
+		case tac.Mul:
+			regs[in.Dst] = regs[in.Src1] * regs[in.Src2]
+			res.Cycles += mulCost(costs)
+		case tac.Div:
+			if regs[in.Src2] == 0 {
+				return res, fmt.Errorf("machine: division by zero at pc %d", pc)
+			}
+			regs[in.Dst] = regs[in.Src1] / regs[in.Src2]
+			res.Cycles += mulCost(costs)
+		case tac.Mod:
+			if regs[in.Src2] == 0 {
+				return res, fmt.Errorf("machine: modulo by zero at pc %d", pc)
+			}
+			regs[in.Dst] = regs[in.Src1] % regs[in.Src2]
+			res.Cycles += mulCost(costs)
+		case tac.Neg:
+			regs[in.Dst] = -regs[in.Src1]
+			res.Cycles += costs.ALU
+		case tac.Not:
+			if regs[in.Src1] == 0 {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+			res.Cycles += costs.ALU
+		case tac.CmpEQ:
+			regs[in.Dst] = b2i(regs[in.Src1] == regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.CmpNE:
+			regs[in.Dst] = b2i(regs[in.Src1] != regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.CmpLT:
+			regs[in.Dst] = b2i(regs[in.Src1] < regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.CmpLE:
+			regs[in.Dst] = b2i(regs[in.Src1] <= regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.CmpGT:
+			regs[in.Dst] = b2i(regs[in.Src1] > regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.CmpGE:
+			regs[in.Dst] = b2i(regs[in.Src1] >= regs[in.Src2])
+			res.Cycles += costs.ALU
+		case tac.Load:
+			regs[in.Dst] = mem.Get(in.Array, regs[in.Src1])
+			res.Loads[in.Array]++
+			res.Cycles += costs.Load
+		case tac.Store:
+			mem.Set(in.Array, regs[in.Src1], regs[in.Src2])
+			res.Stores[in.Array]++
+			res.Cycles += costs.Store
+		case tac.Beqz:
+			res.Cycles += costs.Branch
+			if regs[in.Src1] == 0 {
+				pc = in.Target
+				continue
+			}
+		case tac.Bnez:
+			res.Cycles += costs.Branch
+			if regs[in.Src1] != 0 {
+				pc = in.Target
+				continue
+			}
+		case tac.Jmp:
+			res.Cycles += costs.Branch
+			pc = in.Target
+			continue
+		case tac.Halt:
+			return res, nil
+		default:
+			return res, fmt.Errorf("machine: bad opcode %v at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+}
+
+// mulCost falls back to the ALU cost when Mul is unset, keeping older
+// custom cost structs meaningful.
+func mulCost(c Costs) int64 {
+	if c.Mul > 0 {
+		return c.Mul
+	}
+	return c.ALU
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

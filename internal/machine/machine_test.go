@@ -1,0 +1,285 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/tac"
+)
+
+func compile(t *testing.T, src string, opts *tac.GenOptions) *tac.Prog {
+	t.Helper()
+	prog := parser.MustParse(src)
+	p, err := tac.Gen(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStraightLine(t *testing.T) {
+	p := compile(t, "a := 2 + 3 * 4", nil)
+	res, err := Run(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range p.RegNames {
+		if name == "a" && res.Regs[i] != 14 {
+			t.Fatalf("a = %d, want 14", res.Regs[i])
+		}
+	}
+}
+
+func regValue(t *testing.T, p *tac.Prog, res *Result, name string) int64 {
+	t.Helper()
+	for i, rn := range p.RegNames {
+		if rn == name {
+			return res.Regs[i]
+		}
+	}
+	t.Fatalf("register %q not found", name)
+	return 0
+}
+
+func TestLoopAndMemory(t *testing.T) {
+	p := compile(t, `
+do i = 1, 10
+  A[i] := i * 2
+enddo
+s := A[7]
+`, nil)
+	mem := NewMemory()
+	res, err := Run(p, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Get("A", 7); got != 14 {
+		t.Fatalf("A[7] = %d, want 14", got)
+	}
+	if got := regValue(t, p, res, "s"); got != 14 {
+		t.Fatalf("s = %d, want 14", got)
+	}
+	if res.Stores["A"] != 10 || res.Loads["A"] != 1 {
+		t.Fatalf("stores/loads = %d/%d, want 10/1", res.Stores["A"], res.Loads["A"])
+	}
+}
+
+func TestInitRegs(t *testing.T) {
+	p := compile(t, `
+do i = 1, N
+  A[i] := X
+enddo
+`, nil)
+	mem := NewMemory()
+	res, err := Run(p, mem, &Options{InitRegs: map[string]int64{"N": 5, "X": 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stores["A"] != 5 || mem.Get("A", 3) != 42 {
+		t.Fatalf("stores=%d A[3]=%d", res.Stores["A"], mem.Get("A", 3))
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	p := compile(t, `
+do i = 1, 10
+  if i % 2 == 0 then
+    A[i] := 1
+  else
+    A[i] := 2
+  endif
+enddo
+`, nil)
+	mem := NewMemory()
+	if _, err := Run(p, mem, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Get("A", 4) != 1 || mem.Get("A", 5) != 2 {
+		t.Fatalf("A[4]=%d A[5]=%d", mem.Get("A", 4), mem.Get("A", 5))
+	}
+}
+
+func TestCyclesAccounting(t *testing.T) {
+	p := compile(t, `
+do i = 1, 100
+  A[i] := A[i] + 1
+enddo
+`, nil)
+	res, err := Run(p, NewMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := DefaultCosts()
+	memCycles := (res.TotalLoads() + res.TotalStores()) * costs.Load
+	if res.Cycles <= memCycles {
+		t.Fatalf("cycles = %d, must exceed pure memory cost %d", res.Cycles, memCycles)
+	}
+	if res.Loads["A"] != 100 || res.Stores["A"] != 100 {
+		t.Fatalf("loads/stores = %d/%d", res.Loads["A"], res.Stores["A"])
+	}
+}
+
+func TestCostModelAffectsCycles(t *testing.T) {
+	p := compile(t, `
+do i = 1, 50
+  A[i] := A[i] + 1
+enddo
+`, nil)
+	cheap, err := Run(p, NewMemory(), &Options{Costs: Costs{Load: 1, Store: 1, ALU: 1, Move: 1, Branch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := Run(p, NewMemory(), &Options{Costs: Costs{Load: 20, Store: 20, ALU: 1, Move: 1, Branch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.Cycles <= cheap.Cycles {
+		t.Fatal("expensive memory model must cost more")
+	}
+}
+
+func TestMultiDimAddressing(t *testing.T) {
+	p := compile(t, `
+do j = 1, 3
+  do i = 1, 3
+    X[i, j] := i * 10 + j
+  enddo
+enddo
+y := X[2, 3]
+`, &tac.GenOptions{Dims: map[string][]int64{"X": {8, 8}}})
+	mem := NewMemory()
+	res, err := Run(p, mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := regValue(t, p, res, "y"); got != 23 {
+		t.Fatalf("y = %d, want 23", got)
+	}
+	// Row-major: X[2,3] at address 2*8+3 = 19.
+	if got := mem.Get("X", 19); got != 23 {
+		t.Fatalf("X@19 = %d, want 23", got)
+	}
+}
+
+func TestPipelineHooks(t *testing.T) {
+	// Hand-built pipeline for  A[i+2] := A[i] + X  (paper Fig. 5 (iii)):
+	// three stages pipe0..pipe2; the use A[i] reads pipe2; the def enters
+	// pipe0; shifts at end of body; preheader loads A[2] and A[1].
+	prog := parser.MustParse(`
+do i = 1, 1000
+  A[i+2] := A[i] + X
+enddo
+`)
+	loop := prog.Body[0].(*ast.DoLoop)
+	assign := loop.Body[0].(*ast.Assign)
+	def := assign.LHS.(*ast.ArrayRef)
+	use := assign.RHS.(*ast.Binary).L.(*ast.ArrayRef)
+
+	opts := &tac.GenOptions{
+		LoadFrom: map[*ast.ArrayRef]string{use: "pipe2"},
+		CopyTo:   map[*ast.ArrayRef]string{def: "pipe0"},
+		Shifts: map[int][]tac.RegMove{loop.Label: {
+			{Dst: "pipe2", Src: "pipe1"},
+			{Dst: "pipe1", Src: "pipe0"},
+		}},
+		Preheader: map[int][]tac.Preload{loop.Label: {
+			{Reg: "pipe1", Array: "A", Index: &ast.IntLit{Value: 2}},
+			{Reg: "pipe2", Array: "A", Index: &ast.IntLit{Value: 1}},
+		}},
+	}
+	p, err := tac.Gen(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem := NewMemory()
+	mem.Set("A", 1, 100)
+	mem.Set("A", 2, 200)
+	res, err := Run(p, mem, &Options{InitRegs: map[string]int64{"X": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No loads of A inside the loop: only the 2 preheader loads.
+	if res.Loads["A"] != 2 {
+		t.Fatalf("A loads = %d, want 2 (preheader only)\n%s", res.Loads["A"], p)
+	}
+	if res.Stores["A"] != 1000 {
+		t.Fatalf("A stores = %d, want 1000", res.Stores["A"])
+	}
+
+	// Semantics must match the unoptimized run.
+	plain, err := tac.Gen(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memPlain := NewMemory()
+	memPlain.Set("A", 1, 100)
+	memPlain.Set("A", 2, 200)
+	if _, err := Run(plain, memPlain, &Options{InitRegs: map[string]int64{"X": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(memPlain) {
+		t.Fatal("pipelined execution diverges from plain execution")
+	}
+}
+
+func TestSkipStore(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 10
+  A[i] := 1
+  B[i] := 2
+enddo
+`)
+	loop := prog.Body[0].(*ast.DoLoop)
+	bDef := loop.Body[1].(*ast.Assign).LHS.(*ast.ArrayRef)
+	p, err := tac.Gen(prog, &tac.GenOptions{SkipStore: map[*ast.ArrayRef]bool{bDef: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, NewMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stores["A"] != 10 || res.Stores["B"] != 0 {
+		t.Fatalf("stores A=%d B=%d, want 10/0", res.Stores["A"], res.Stores["B"])
+	}
+}
+
+func TestHaltRequired(t *testing.T) {
+	p := &tac.Prog{Instrs: []tac.Instr{{Op: tac.Nop, Dst: -1, Src1: -1, Src2: -1}}}
+	if _, err := Run(p, nil, nil); err == nil {
+		t.Fatal("running off the end must error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := compile(t, "do i = 1, 100000\n A[1] := i\nenddo", nil)
+	if _, err := Run(p, nil, &Options{MaxSteps: 500}); err == nil {
+		t.Fatal("expected step limit error")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	p := compile(t, "do i = 1, 3\n A[i] := A[i] + 1\nenddo", nil)
+	s := p.String()
+	for _, want := range []string{"load", "store", "jmp", "halt", "A("} {
+		if !contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

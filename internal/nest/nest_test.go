@@ -1,0 +1,189 @@
+package nest
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// fig4 is the nest of the paper's Figure 4.
+const fig4 = `
+do j = 1, UB
+  do i = 1, UB1
+    X[i+1, j] := X[i, j]
+    Y[i, j+1] := Y[i, j-1]
+    Z[i+1, j] := Z[i, j-1]
+  enddo
+enddo
+`
+
+func parseNest(t *testing.T, src string) *ast.DoLoop {
+	t.Helper()
+	prog := parser.MustParse(src)
+	return prog.Body[0].(*ast.DoLoop)
+}
+
+// findFlow returns the flow recurrence for the named array.
+func findFlow(rs []Recurrence, array string) *Recurrence {
+	for i := range rs {
+		if rs[i].Array == array && rs[i].Kind == "flow" {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// TestFig4Vectors reproduces §3.6 completely:
+//   - X carries (0, 1): found by the inner single-loop analysis;
+//   - Y carries (2, 0): found by the outer single-loop analysis;
+//   - Z carries (1, 1): found by NO single-loop analysis, only by the
+//     distance-vector extension.
+func TestFig4Vectors(t *testing.T) {
+	outer := parseNest(t, fig4)
+	rs, err := FindRecurrences(outer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := findFlow(rs, "X")
+	if x == nil || x.Vec != (Vector{Outer: 0, Inner: 1}) {
+		t.Errorf("X recurrence = %v, want (0, 1)", x)
+	}
+	if x != nil && !x.FoundBySingleLoop {
+		t.Errorf("X recurrence must be discoverable by single-loop analysis")
+	}
+
+	y := findFlow(rs, "Y")
+	if y == nil || y.Vec != (Vector{Outer: 2, Inner: 0}) {
+		t.Errorf("Y recurrence = %v, want (2, 0)", y)
+	}
+	if y != nil && !y.FoundBySingleLoop {
+		t.Errorf("Y recurrence must be discoverable by single-loop analysis (wrt j)")
+	}
+
+	z := findFlow(rs, "Z")
+	if z == nil || z.Vec != (Vector{Outer: 1, Inner: 1}) {
+		t.Errorf("Z recurrence = %v, want (1, 1)", z)
+	}
+	if z != nil && z.FoundBySingleLoop {
+		t.Errorf("Z recurrence must NOT be discoverable by single-loop analysis (paper §3.6)")
+	}
+}
+
+func TestVectorOrdering(t *testing.T) {
+	if !(Vector{0, 1}).LexPositive() || !(Vector{1, -3}).LexPositive() {
+		t.Error("lexicographic positivity wrong")
+	}
+	if (Vector{0, 0}).LexPositive() || (Vector{-1, 2}).LexPositive() {
+		t.Error("non-positive vectors accepted")
+	}
+	if !(Vector{0, 0}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestAntiAndOutputKinds(t *testing.T) {
+	outer := parseNest(t, `
+do j = 1, M
+  do i = 1, N
+    W[i, j] := W[i+1, j] + 1
+  enddo
+enddo
+`)
+	rs, err := FindRecurrences(outer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use W[i+1,j] at (j,i) reads what def W[i,j] writes at (j, i+1):
+	// def@(j,i') overlaps use@(j,i) when i' = i+1, i.e. the use precedes
+	// the def by (0,1): an anti dependence with vector (0,1).
+	foundAnti := false
+	for _, r := range rs {
+		if r.Kind == "anti" && r.Vec == (Vector{0, 1}) {
+			foundAnti = true
+		}
+	}
+	if !foundAnti {
+		t.Errorf("anti recurrence (0,1) missing: %v", rs)
+	}
+}
+
+func TestRejectsNonTightNest(t *testing.T) {
+	outer := parseNest(t, `
+do j = 1, M
+  A[j] := 0
+  do i = 1, N
+    B[i] := 1
+  enddo
+enddo
+`)
+	if _, err := FindRecurrences(outer, 8); err == nil {
+		t.Fatal("expected error for non-tight nest")
+	}
+}
+
+func TestNoFalseVectors(t *testing.T) {
+	outer := parseNest(t, `
+do j = 1, M
+  do i = 1, N
+    P[2*i, j] := P[2*i+1, j] + 1
+  enddo
+enddo
+`)
+	rs, err := FindRecurrences(outer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Array == "P" && !r.Vec.IsZero() {
+			t.Errorf("parity-disjoint references must carry nothing: %v", r)
+		}
+	}
+}
+
+func TestSelfOutputVectors(t *testing.T) {
+	outer := parseNest(t, `
+do j = 1, M
+  do i = 1, N
+    Q[i, j] := 1
+  enddo
+enddo
+`)
+	rs, err := FindRecurrences(outer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A def only ever overlaps itself at the zero vector: no loop-carried
+	// output recurrence.
+	for _, r := range rs {
+		if r.Array == "Q" {
+			t.Errorf("unexpected recurrence: %v", r)
+		}
+	}
+}
+
+func TestSearchBound(t *testing.T) {
+	outer := parseNest(t, `
+do j = 1, M
+  do i = 1, N
+    R[i, j+20] := R[i, j]
+  enddo
+enddo
+`)
+	rs, err := FindRecurrences(outer, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findFlow(rs, "R"); f != nil {
+		t.Errorf("distance 20 exceeds bound 8, got %v", f)
+	}
+	rs, err = FindRecurrences(outer, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findFlow(rs, "R")
+	if f == nil || f.Vec != (Vector{Outer: 20, Inner: 0}) {
+		t.Errorf("R recurrence = %v, want (20, 0)", f)
+	}
+}

@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/synth"
+)
+
+// Differential fuzzing: every optimization must preserve the final array
+// state on randomly generated structured loops for random inputs. The
+// generator is seeded, so failures are reproducible from the logged seed.
+
+func synthState(seed int64, nArrays int, ub int64) *interp.State {
+	st := randomState(seed, arrayNames(nArrays), []string{"x0", "x1", "x2", "c0", "c1", "c2", "c3", "N"}, ub+8)
+	st.Scalars["N"] = ub // symbolic bound value when the loop uses N
+	return st
+}
+
+func arrayNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("A%d", i)
+	}
+	return out
+}
+
+func diffCheck(t *testing.T, seed int64, orig, optd *ast.Program, nArrays int, ub int64) {
+	t.Helper()
+	for inputSeed := int64(1); inputSeed <= 3; inputSeed++ {
+		init := synthState(seed*100+inputSeed, nArrays, ub)
+		s1, _, err := interp.Run(orig, init, nil)
+		if err != nil {
+			t.Fatalf("seed %d: original: %v", seed, err)
+		}
+		s2, _, err := interp.Run(optd, init, nil)
+		if err != nil {
+			t.Fatalf("seed %d: optimized: %v\n%s", seed, err, ast.ProgramString(optd))
+		}
+		if d := interp.DiffArrays(s1, s2); d != "" {
+			t.Fatalf("seed %d input %d: diverged: %s\noriginal:\n%s\noptimized:\n%s",
+				seed, inputSeed, d, ast.ProgramString(orig), ast.ProgramString(optd))
+		}
+	}
+}
+
+func TestDifferentialLoadElimination(t *testing.T) {
+	const ub = 25
+	applied := 0
+	for seed := int64(1); seed <= 120; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed, Stmts: 6, Arrays: 3, MaxDist: 3, CondProb: 0.35, UB: ub,
+		})
+		res, err := EliminateLoads(prog, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Replaced) == 0 {
+			continue
+		}
+		applied++
+		diffCheck(t, seed, prog, res.Prog, 3, ub)
+	}
+	if applied < 20 {
+		t.Fatalf("only %d seeds exercised load elimination — generator too tame", applied)
+	}
+}
+
+func TestDifferentialStoreElimination(t *testing.T) {
+	const ub = 25
+	applied := 0
+	for seed := int64(1); seed <= 120; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed + 1000, Stmts: 6, Arrays: 2, MaxDist: 3, CondProb: 0.35, UB: ub,
+		})
+		res, err := EliminateStores(prog, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Removed) == 0 {
+			continue
+		}
+		applied++
+		diffCheck(t, seed, prog, res.Prog, 2, ub)
+	}
+	if applied < 10 {
+		t.Fatalf("only %d seeds exercised store elimination — generator too tame", applied)
+	}
+}
+
+func TestDifferentialUnroll(t *testing.T) {
+	const ub = 23 // deliberately not divisible by common factors
+	for seed := int64(1); seed <= 60; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed + 2000, Stmts: 5, Arrays: 2, MaxDist: 3, CondProb: 0.3, UB: ub,
+		})
+		for _, factor := range []int{2, 3, 5} {
+			un, err := Unroll(prog, 0, factor)
+			if err != nil {
+				t.Fatalf("seed %d factor %d: %v", seed, factor, err)
+			}
+			diffCheck(t, seed, prog, un, 2, ub)
+		}
+	}
+}
+
+func TestDifferentialControlledUnroll(t *testing.T) {
+	const ub = 19
+	for seed := int64(1); seed <= 40; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed + 3000, Stmts: 4, Arrays: 2, MaxDist: 2, CondProb: 0.25, UB: ub,
+		})
+		res, err := ControlledUnroll(prog, 0, &UnrollOptions{Threshold: 1.5, MaxFactor: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Factor == 1 {
+			continue
+		}
+		diffCheck(t, seed, prog, res.Prog, 2, ub)
+	}
+}
+
+// TestDifferentialStacked applies load elimination after store elimination
+// — the §4 optimizations must compose.
+func TestDifferentialStacked(t *testing.T) {
+	const ub = 25
+	for seed := int64(1); seed <= 60; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed + 4000, Stmts: 6, Arrays: 2, MaxDist: 3, CondProb: 0.3, UB: ub,
+		})
+		st, err := EliminateStores(prog, 0)
+		if err != nil {
+			t.Fatalf("seed %d: stores: %v", seed, err)
+		}
+		// The store-eliminated program may have peeled statements after the
+		// loop; the loop stays at index 0.
+		ld, err := EliminateLoads(st.Prog, 0)
+		if err != nil {
+			t.Fatalf("seed %d: loads: %v\n%s", seed, err, ast.ProgramString(st.Prog))
+		}
+		diffCheck(t, seed, prog, ld.Prog, 2, ub)
+	}
+}
+
+// TestDifferentialSymbolicBounds repeats load elimination with a symbolic
+// bound across several runtime values, including the empty loop.
+func TestDifferentialSymbolicBounds(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed + 5000, Stmts: 5, Arrays: 2, MaxDist: 3, CondProb: 0.3, UB: 0, // symbolic N
+		})
+		res, err := EliminateLoads(prog, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Replaced) == 0 {
+			continue
+		}
+		for _, n := range []int64{0, 1, 2, 5, 17} {
+			init := synthState(seed, 2, 20)
+			init.Scalars["N"] = n
+			s1, _, err := interp.Run(prog, init, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, _, err := interp.Run(res.Prog, init, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := interp.DiffArrays(s1, s2); d != "" {
+				t.Fatalf("seed %d N=%d: %s\n%s", seed, n, d, ast.ProgramString(res.Prog))
+			}
+		}
+	}
+}
+
+// TestLoadEliminationReducesTraffic confirms the optimization is not
+// vacuous across the fuzz corpus: aggregate loads must strictly drop.
+func TestLoadEliminationReducesTraffic(t *testing.T) {
+	const ub = 25
+	var before, after int64
+	for seed := int64(1); seed <= 60; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed, Stmts: 6, Arrays: 3, MaxDist: 3, CondProb: 0.35, UB: ub,
+		})
+		res, err := EliminateLoads(prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := synthState(seed, 3, ub)
+		_, st1, err := interp.Run(prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st2, err := interp.Run(res.Prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before += st1.TotalLoads()
+		after += st2.TotalLoads()
+	}
+	if after >= before {
+		t.Fatalf("aggregate loads did not drop: %d -> %d", before, after)
+	}
+	t.Logf("aggregate loads: %d -> %d (%.1f%% removed)", before, after,
+		100*float64(before-after)/float64(before))
+}

@@ -1,0 +1,421 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+)
+
+// randomState builds a deterministic pseudo-random initial state covering
+// the arrays and scalars a test program touches.
+func randomState(seed int64, arrays []string, scalars []string, n int64) *interp.State {
+	rng := rand.New(rand.NewSource(seed))
+	st := interp.NewState()
+	for _, a := range arrays {
+		for i := int64(-4); i <= n+4; i++ {
+			st.SetArray(a, i, rng.Int63n(1000)-500)
+		}
+	}
+	for _, s := range scalars {
+		st.Scalars[s] = rng.Int63n(100) - 50
+	}
+	return st
+}
+
+// checkEquivalent runs both programs on several random states and compares
+// final array contents.
+func checkEquivalent(t *testing.T, orig, opt *ast.Program, arrays, scalars []string, n int64) {
+	t.Helper()
+	for seed := int64(1); seed <= 5; seed++ {
+		init := randomState(seed, arrays, scalars, n)
+		s1, _, err := interp.Run(orig, init, nil)
+		if err != nil {
+			t.Fatalf("original failed: %v", err)
+		}
+		s2, _, err := interp.Run(opt, init, nil)
+		if err != nil {
+			t.Fatalf("optimized failed: %v\n%s", err, ast.ProgramString(opt))
+		}
+		if d := interp.DiffArrays(s1, s2); d != "" {
+			t.Fatalf("seed %d: states diverge: %s\noptimized:\n%s", seed, d, ast.ProgramString(opt))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Store elimination (Fig. 6)
+
+func TestFig6StoreElimination(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 1000
+  A[i] := c + i
+  if c > 0 then
+    A[i+1] := c * 2
+  endif
+enddo
+`)
+	res, err := EliminateStores(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 {
+		t.Fatalf("removed = %d, want 1 (the conditional A[i+1])\n%s",
+			len(res.Removed), ast.ProgramString(res.Prog))
+	}
+	if res.PeeledIterations != 1 {
+		t.Errorf("peeled = %d, want 1", res.PeeledIterations)
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A"}, []string{"c"}, 1005)
+
+	// The transformed program must store fewer times: 2000-ish → 1001-ish.
+	init := randomState(7, []string{"A"}, []string{"c"}, 1005)
+	init.Scalars["c"] = 5 // condition true: worst case for the original
+	_, st1, err := interp.Run(prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := interp.Run(res.Prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ArrayStores["A"] >= st1.ArrayStores["A"] {
+		t.Errorf("stores not reduced: %d vs %d", st2.ArrayStores["A"], st1.ArrayStores["A"])
+	}
+	if want := int64(1001); st2.ArrayStores["A"] != want {
+		t.Errorf("optimized stores = %d, want %d", st2.ArrayStores["A"], want)
+	}
+}
+
+func TestStoreEliminationSymbolicBoundGuarded(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, N
+  A[i] := c
+  if c > 0 then
+    A[i+1] := c * 2
+  endif
+enddo
+`)
+	res, err := EliminateStores(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 {
+		t.Fatalf("removed = %d, want 1", len(res.Removed))
+	}
+	// Equivalence across several bounds including the degenerate N=0.
+	for _, n := range []int64{0, 1, 2, 3, 50} {
+		init := randomState(n+1, []string{"A"}, []string{"c"}, n+5)
+		init.Scalars["N"] = n
+		s1, _, err := interp.Run(prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := interp.Run(res.Prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := interp.DiffArrays(s1, s2); d != "" {
+			t.Fatalf("N=%d diverges: %s\n%s", n, d, ast.ProgramString(res.Prog))
+		}
+	}
+}
+
+func TestStoreEliminationNoCandidates(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 100
+  A[i] := i
+enddo
+`)
+	res, err := EliminateStores(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 || res.Prog != prog {
+		t.Fatal("nothing should change without redundancies")
+	}
+}
+
+func TestStoreEliminationBlockedByUse(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 100
+  y := A[i]
+  A[i] := y + 1
+  A[i+1] := y
+enddo
+`)
+	res, err := EliminateStores(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Removed {
+		if ast.ExprString(r.Store.Expr) == "A[i + 1]" {
+			t.Fatal("A[i+1] is read before overwrite; not removable")
+		}
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A"}, nil, 105)
+}
+
+// ---------------------------------------------------------------------------
+// Load elimination (Fig. 7)
+
+func TestFig7LoadElimination(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 1000
+  if c > i / 2 then
+    y := A[i]
+    B[i] := y
+  endif
+  A[i+1] := c + i
+enddo
+`)
+	res, err := EliminateLoads(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) == 0 {
+		t.Fatalf("no loads replaced\n%s", ast.ProgramString(res.Prog))
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A", "B"}, []string{"c"}, 1005)
+
+	// Loads of A must drop: the conditional load disappears entirely.
+	init := randomState(3, []string{"A", "B"}, nil, 1005)
+	init.Scalars["c"] = 1000 // condition mostly true
+	_, st1, err := interp.Run(prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := interp.Run(res.Prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ArrayLoads["A"] >= st1.ArrayLoads["A"] {
+		t.Errorf("A loads not reduced: %d vs %d\n%s",
+			st2.ArrayLoads["A"], st1.ArrayLoads["A"], ast.ProgramString(res.Prog))
+	}
+}
+
+func TestLoadEliminationFig5Pattern(t *testing.T) {
+	// A[i+2] := A[i] + X: the load of A[i] is replaced by a two-stage
+	// temporary pipeline; in-loop loads of A drop to zero.
+	prog := parser.MustParse(`
+do i = 1, 1000
+  A[i+2] := A[i] + X
+enddo
+`)
+	res, err := EliminateLoads(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) != 1 {
+		t.Fatalf("replaced = %d, want 1\n%s", len(res.Replaced), ast.ProgramString(res.Prog))
+	}
+	if res.Temps != 3 {
+		t.Errorf("temps = %d, want 3 (stages 0..2)", res.Temps)
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A"}, []string{"X"}, 1005)
+
+	init := randomState(11, []string{"A"}, []string{"X"}, 1005)
+	_, st2, err := interp.Run(res.Prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 2 preheader loads remain.
+	if st2.ArrayLoads["A"] != 2 {
+		t.Errorf("A loads = %d, want 2\n%s", st2.ArrayLoads["A"], ast.ProgramString(res.Prog))
+	}
+}
+
+func TestLoadEliminationSameIteration(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 500
+  A[i] := i * 3
+  B[i] := A[i] + 1
+enddo
+`)
+	res, err := EliminateLoads(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) != 1 {
+		t.Fatalf("replaced = %d, want 1", len(res.Replaced))
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A", "B"}, nil, 505)
+	init := randomState(5, []string{"A", "B"}, nil, 505)
+	_, st, err := interp.Run(res.Prog, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ArrayLoads["A"] != 0 {
+		t.Errorf("A loads = %d, want 0 (same-iteration forwarding)", st.ArrayLoads["A"])
+	}
+}
+
+func TestLoadEliminationConditionalReuseStays(t *testing.T) {
+	// The definition is conditional: no must-availability, nothing changes.
+	prog := parser.MustParse(`
+do i = 1, 100
+  if c > 0 then
+    A[i] := c
+  endif
+  B[i] := A[i]
+enddo
+`)
+	res, err := EliminateLoads(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) != 0 {
+		t.Fatalf("conditional def must not enable replacement: %v\n%s",
+			res.Replaced, ast.ProgramString(res.Prog))
+	}
+}
+
+func TestLoadEliminationFig1(t *testing.T) {
+	// The full Figure 1 loop: C[i] uses reuse C[i+2]@2, B[i-1] reuses
+	// B[i]@1, C[i+1] reuses C[i+2]@1 — all loads of C and B become temps.
+	prog := parser.MustParse(`
+do i = 1, 200
+  C[i+2] := C[i] * 2
+  B[2*i] := C[i] + X
+  if C[i] == 0 then C[i] := B[i-1]
+  B[i] := C[i+1]
+enddo
+`)
+	res, err := EliminateLoads(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) < 4 {
+		t.Fatalf("replaced = %d, want ≥ 4\n%s", len(res.Replaced), ast.ProgramString(res.Prog))
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"B", "C"}, []string{"X"}, 410)
+}
+
+// ---------------------------------------------------------------------------
+// Controlled unrolling (§4.3)
+
+func TestUnrollMechanical(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 10
+  A[i] := i * i
+enddo
+`)
+	un, err := Unroll(prog, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, prog, un, []string{"A"}, nil, 12)
+}
+
+func TestUnrollOddRemainder(t *testing.T) {
+	for _, ub := range []int64{1, 2, 3, 7, 8, 9, 100} {
+		prog := parser.MustParse(`
+do i = 1, N
+  A[i] := A[i] + i
+enddo
+`)
+		un, err := Unroll(prog, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := randomState(ub, []string{"A"}, nil, ub+5)
+		init.Scalars["N"] = ub
+		s1, _, err := interp.Run(prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := interp.Run(un, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := interp.DiffArrays(s1, s2); d != "" {
+			t.Fatalf("UB=%d diverges: %s\n%s", ub, d, ast.ProgramString(un))
+		}
+	}
+}
+
+func TestUnrollCarriedDependence(t *testing.T) {
+	// Recurrence A[i+1] := A[i]: unrolling must preserve the serial chain.
+	prog := parser.MustParse(`
+do i = 1, 50
+  A[i+1] := A[i] + 1
+enddo
+`)
+	un, err := Unroll(prog, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, prog, un, []string{"A"}, nil, 55)
+}
+
+func TestControlledUnrollParallelLoop(t *testing.T) {
+	// Fig. 5-like loop: distance-2 dependence only — unrolling by 2 adds
+	// no critical path length, so the controller unrolls.
+	prog := parser.MustParse(`
+do i = 1, 100
+  A[i+2] := A[i] + x
+enddo
+`)
+	res, err := ControlledUnroll(prog, 0, &UnrollOptions{Threshold: 1.2, MaxFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor < 2 {
+		t.Fatalf("factor = %d, want ≥ 2 (no distance-1 deps)\npredictions: %v",
+			res.Factor, res.Predicted)
+	}
+	checkEquivalent(t, prog, res.Prog, []string{"A"}, []string{"x"}, 110)
+}
+
+func TestControlledUnrollSerialLoop(t *testing.T) {
+	// Tight recurrence: every copy extends the critical path by the full
+	// body; a strict threshold refuses to unroll.
+	prog := parser.MustParse(`
+do i = 1, 100
+  A[i+1] := A[i] + 1
+enddo
+`)
+	res, err := ControlledUnroll(prog, 0, &UnrollOptions{Threshold: 1.0, MaxFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor != 1 {
+		t.Fatalf("factor = %d, want 1 (serial recurrence)\npredictions: %v",
+			res.Factor, res.Predicted)
+	}
+	if res.Prog != prog {
+		t.Error("program must be unchanged when factor = 1")
+	}
+}
+
+func TestControlledUnrollPredictionShape(t *testing.T) {
+	// l ≤ l_unroll(2) ≤ 2·l must hold (paper's bound).
+	prog := parser.MustParse(`
+do i = 1, 100
+  B[i] := A[i] + 1
+  C[i] := B[i] * 2
+  A[i+1] := C[i] - 1
+enddo
+`)
+	res, err := ControlledUnroll(prog, 0, &UnrollOptions{Threshold: 1.9, MaxFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.CriticalPath
+	if l != 3 {
+		t.Errorf("critical path = %d, want 3 (B→C→A chain)", l)
+	}
+	if len(res.Predicted) >= 3 {
+		l2 := res.Predicted[2]
+		if l2 < l || l2 > 2*l {
+			t.Errorf("l_unroll(2) = %d outside [l, 2l] = [%d, %d]", l2, l, 2*l)
+		}
+		// The chain is fully serial (distance-1 A feeds next B): l2 = 2l.
+		if l2 != 2*l {
+			t.Errorf("l_unroll(2) = %d, want %d for a serial chain", l2, 2*l)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// FuzzParse is a native fuzz target: the parser must never panic, and
+// whatever parses must print/reparse stably. Run with
+// `go test -fuzz=FuzzParse ./internal/parser` for continuous fuzzing; the
+// seed corpus runs as a normal test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"do i = 1, UB\n  C[i+2] := C[i] * 2\nenddo",
+		"if a == 0 then b := 1",
+		"do i = 1, 10, 2\n A(i) = A(i-1)\nenddo",
+		"do j = 1, M\n do i = 1, N\n  X[i, j] := X[i-1, j+1]\n enddo\nenddo",
+		"a := -(1 + 2) * x / 3 % 4",
+		"do i = 1, N\n if x > 0 and y < 2 or not z == 1 then A[i] := 0\nenddo",
+		"x := ((((1))))",
+		"! comment only",
+		"do i = 1, \n enddo",
+		"A[B[i]] := A[i*i]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := ast.ProgramString(prog)
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %q: %v", printed, err)
+		}
+		if got := ast.ProgramString(prog2); got != printed {
+			t.Fatalf("print unstable: %q vs %q", printed, got)
+		}
+	})
+}

@@ -1,0 +1,361 @@
+// Package parser implements a recursive-descent parser for the loop
+// mini-language (see internal/ast for the grammar's shape).
+//
+// Grammar (EBNF, NEWLINE separates statements):
+//
+//	program  = block EOF .
+//	block    = { stmt NEWLINE } .
+//	stmt     = doloop | ifstmt | assign .
+//	doloop   = "do" IDENT "=" expr "," expr [ "," expr ] NEWLINE block "enddo" .
+//	ifstmt   = "if" expr "then" [NEWLINE] block [ "else" [NEWLINE] block ] "endif" .
+//	assign   = lvalue (":=" | "=") expr .
+//	lvalue   = IDENT [ "[" exprlist "]" | "(" exprlist ")" ] .
+//	expr     = orexpr .
+//	orexpr   = andexpr { "or" andexpr } .
+//	andexpr  = relexpr { "and" relexpr } .
+//	relexpr  = addexpr [ relop addexpr ] .
+//	addexpr  = mulexpr { ("+"|"-") mulexpr } .
+//	mulexpr  = unary { ("*"|"/"|"%") unary } .
+//	unary    = [ "-" | "not" ] primary .
+//	primary  = INT | IDENT [ "[" exprlist "]" | "(" exprlist ")" ]
+//	         | "(" expr ")" .
+//
+// A parenthesized suffix after an identifier is an array reference (Fortran
+// style) — the language has no function calls, so there is no ambiguity. The
+// surface form X(i) and X[i] are equivalent; the printer always emits [].
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects parse errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString(l[0].Error())
+	fmt.Fprintf(&b, " (and %d more errors)", len(l)-1)
+	return b.String()
+}
+
+type parser struct {
+	toks   []token.Token
+	pos    int
+	errs   ErrorList
+	nextDo int // next DoLoop label
+}
+
+// Parse parses source text into a Program. On syntax errors it returns the
+// partial AST together with an ErrorList.
+func Parse(src string) (*ast.Program, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	p := &parser{toks: toks, nextDo: 1}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	prog := &ast.Program{}
+	p.skipSeparators()
+	prog.Body = p.parseBlock(token.EOF)
+	if p.cur().Kind != token.EOF {
+		p.errorf("unexpected %s at top level", p.cur())
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. Intended for tests and examples
+// with literal sources.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic("parser.MustParse: " + err.Error())
+	}
+	return prog
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) skipSeparators() {
+	for p.at(token.NEWLINE) {
+		p.next()
+	}
+}
+
+// syncStmt skips tokens until a plausible statement boundary, bounding error
+// cascades.
+func (p *parser) syncStmt() {
+	for {
+		switch p.cur().Kind {
+		case token.NEWLINE:
+			p.next()
+			return
+		case token.EOF, token.ENDDO, token.ENDIF, token.ELSE:
+			return
+		}
+		p.next()
+	}
+}
+
+// parseBlock parses statements until one of the closers (ENDDO/ENDIF/ELSE) or
+// EOF is seen. The closer itself is not consumed.
+func (p *parser) parseBlock(closers ...token.Kind) []ast.Stmt {
+	var out []ast.Stmt
+	for {
+		p.skipSeparators()
+		k := p.cur().Kind
+		if k == token.EOF || k == token.ENDDO || k == token.ENDIF || k == token.ELSE {
+			return out
+		}
+		before := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			out = append(out, s)
+		}
+		if p.pos == before {
+			// No progress: drop the offending token to guarantee termination.
+			p.errorf("unexpected %s", p.cur())
+			p.next()
+			p.syncStmt()
+		}
+	}
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.DO:
+		return p.parseDo()
+	case token.IF:
+		return p.parseIf()
+	case token.IDENT:
+		return p.parseAssign()
+	default:
+		p.errorf("expected statement, found %s", p.cur())
+		p.syncStmt()
+		return nil
+	}
+}
+
+func (p *parser) parseDo() ast.Stmt {
+	doTok := p.expect(token.DO)
+	name := p.expect(token.IDENT)
+	// Both "do i = 1, n" and "do i := 1, n" are accepted.
+	if !p.accept(token.ASSIGN) {
+		p.errorf("expected '=' in do header, found %s", p.cur())
+	}
+	lo := p.parseExpr()
+	p.expect(token.COMMA)
+	hi := p.parseExpr()
+	var step ast.Expr
+	if p.accept(token.COMMA) {
+		step = p.parseExpr()
+	}
+	loop := &ast.DoLoop{DoPos: doTok.Pos, Var: name.Text, Lo: lo, Hi: hi, Step: step, Label: p.nextDo}
+	p.nextDo++
+	if !p.at(token.EOF) {
+		p.expect(token.NEWLINE)
+	}
+	loop.Body = p.parseBlock()
+	p.expect(token.ENDDO)
+	return loop
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	ifTok := p.expect(token.IF)
+	cond := p.parseExpr()
+	p.expect(token.THEN)
+
+	// Single-line form: "if c then stmt" with no newline before the body and
+	// no endif; the body is exactly one simple statement.
+	if !p.at(token.NEWLINE) && !p.at(token.EOF) {
+		body := p.parseStmt()
+		st := &ast.If{IfPos: ifTok.Pos, Cond: cond}
+		if body != nil {
+			st.Then = []ast.Stmt{body}
+		}
+		return st
+	}
+
+	p.skipSeparators()
+	st := &ast.If{IfPos: ifTok.Pos, Cond: cond}
+	st.Then = p.parseBlock()
+	if p.accept(token.ELSE) {
+		p.skipSeparators()
+		st.Else = p.parseBlock()
+		if st.Else == nil {
+			st.Else = []ast.Stmt{}
+		}
+	}
+	p.expect(token.ENDIF)
+	return st
+}
+
+func (p *parser) parseAssign() ast.Stmt {
+	lhs := p.parsePrimary()
+	switch lhs.(type) {
+	case *ast.Ident, *ast.ArrayRef:
+		// ok
+	default:
+		p.errorf("invalid assignment target")
+	}
+	p.expect(token.ASSIGN)
+	rhs := p.parseExpr()
+	return &ast.Assign{LHS: lhs, RHS: rhs}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *parser) parseOr() ast.Expr {
+	e := p.parseAnd()
+	for p.at(token.OR) {
+		p.next()
+		e = &ast.Binary{Op: token.OR, L: e, R: p.parseAnd()}
+	}
+	return e
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	e := p.parseRel()
+	for p.at(token.AND) {
+		p.next()
+		e = &ast.Binary{Op: token.AND, L: e, R: p.parseRel()}
+	}
+	return e
+}
+
+func (p *parser) parseRel() ast.Expr {
+	e := p.parseAdd()
+	if p.cur().Kind.IsRelational() {
+		op := p.next().Kind
+		return &ast.Binary{Op: op, L: e, R: p.parseAdd()}
+	}
+	// In expression position a bare '=' means equality (Fortran habit).
+	if p.at(token.ASSIGN) && p.cur().Text == "=" {
+		p.next()
+		return &ast.Binary{Op: token.EQ, L: e, R: p.parseAdd()}
+	}
+	return e
+}
+
+func (p *parser) parseAdd() ast.Expr {
+	e := p.parseMul()
+	for p.cur().Kind.IsAdditive() {
+		op := p.next().Kind
+		e = &ast.Binary{Op: op, L: e, R: p.parseMul()}
+	}
+	return e
+}
+
+func (p *parser) parseMul() ast.Expr {
+	e := p.parseUnary()
+	for p.cur().Kind.IsMultiplicative() {
+		op := p.next().Kind
+		e = &ast.Binary{Op: op, L: e, R: p.parseUnary()}
+	}
+	return e
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	if p.at(token.MINUS) || p.at(token.NOT) {
+		t := p.next()
+		return &ast.Unary{OpPos: t.Pos, Op: t.Kind, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch t := p.cur(); t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errorf("invalid integer literal %q", t.Text)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+
+	case token.IDENT:
+		p.next()
+		if p.at(token.LBRACKET) || p.at(token.LPAREN) {
+			open := p.next().Kind
+			closeKind := token.RBRACKET
+			if open == token.LPAREN {
+				closeKind = token.RPAREN
+			}
+			ref := &ast.ArrayRef{NamePos: t.Pos, Name: t.Text}
+			ref.Subs = append(ref.Subs, p.parseExpr())
+			for p.accept(token.COMMA) {
+				ref.Subs = append(ref.Subs, p.parseExpr())
+			}
+			p.expect(closeKind)
+			return ref
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Text}
+
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+
+	default:
+		p.errorf("expected expression, found %s", t)
+		p.next()
+		return &ast.IntLit{LitPos: t.Pos, Value: 0}
+	}
+}

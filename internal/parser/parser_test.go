@@ -1,0 +1,224 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// fig1 is the loop of Figure 1 in the paper.
+const fig1 = `
+do i = 1, UB
+  C[i+2] := C[i] * 2
+  B[2*i] := C[i] + X
+  if C[i] == 0 then C[i] := B[i-1]
+  B[i] := C[i+1]
+enddo
+`
+
+func TestParseFig1Shape(t *testing.T) {
+	prog := MustParse(fig1)
+	if len(prog.Body) != 1 {
+		t.Fatalf("top-level stmts = %d, want 1", len(prog.Body))
+	}
+	loop, ok := prog.Body[0].(*ast.DoLoop)
+	if !ok {
+		t.Fatalf("top stmt is %T, want *ast.DoLoop", prog.Body[0])
+	}
+	if loop.Var != "i" {
+		t.Errorf("loop var = %q, want i", loop.Var)
+	}
+	if len(loop.Body) != 4 {
+		t.Fatalf("loop body stmts = %d, want 4", len(loop.Body))
+	}
+	if _, ok := loop.Body[2].(*ast.If); !ok {
+		t.Errorf("3rd stmt is %T, want *ast.If", loop.Body[2])
+	}
+}
+
+func TestSingleLineIf(t *testing.T) {
+	prog := MustParse("if a == 0 then b := 1\nc := 2")
+	if len(prog.Body) != 2 {
+		t.Fatalf("stmts = %d, want 2", len(prog.Body))
+	}
+	ifs := prog.Body[0].(*ast.If)
+	if len(ifs.Then) != 1 || ifs.Else != nil {
+		t.Fatalf("single-line if parsed wrong: then=%d else=%v", len(ifs.Then), ifs.Else)
+	}
+}
+
+func TestBlockIfElse(t *testing.T) {
+	prog := MustParse(`
+if x < 0 then
+  a := 1
+  b := 2
+else
+  c := 3
+endif
+`)
+	ifs := prog.Body[0].(*ast.If)
+	if len(ifs.Then) != 2 {
+		t.Errorf("then branch = %d stmts, want 2", len(ifs.Then))
+	}
+	if len(ifs.Else) != 1 {
+		t.Errorf("else branch = %d stmts, want 1", len(ifs.Else))
+	}
+}
+
+func TestEmptyElse(t *testing.T) {
+	prog := MustParse("if x > 0 then\n a := 1\nelse\nendif")
+	ifs := prog.Body[0].(*ast.If)
+	if ifs.Else == nil {
+		t.Fatal("explicit empty else must be non-nil")
+	}
+	if len(ifs.Else) != 0 {
+		t.Fatalf("else branch = %d stmts, want 0", len(ifs.Else))
+	}
+}
+
+func TestParenAndBracketSubscriptsEquivalent(t *testing.T) {
+	p1 := MustParse("A[i+1] := A(i)")
+	st := p1.Body[0].(*ast.Assign)
+	lhs := st.LHS.(*ast.ArrayRef)
+	rhs := st.RHS.(*ast.ArrayRef)
+	if lhs.Name != "A" || rhs.Name != "A" {
+		t.Fatalf("array names wrong: %v %v", lhs.Name, rhs.Name)
+	}
+	if len(lhs.Subs) != 1 || len(rhs.Subs) != 1 {
+		t.Fatalf("subscript counts wrong")
+	}
+}
+
+func TestMultiDimRef(t *testing.T) {
+	prog := MustParse("X[i+1, j] := X[i, j]")
+	st := prog.Body[0].(*ast.Assign)
+	if got := len(st.LHS.(*ast.ArrayRef).Subs); got != 2 {
+		t.Fatalf("lhs dims = %d, want 2", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := MustParse("a := 1 + 2 * 3")
+	rhs := prog.Body[0].(*ast.Assign).RHS.(*ast.Binary)
+	if _, ok := rhs.R.(*ast.Binary); !ok {
+		t.Fatalf("2*3 should bind tighter: got %s", ast.ExprString(rhs))
+	}
+	if got := ast.ExprString(prog.Body[0].(*ast.Assign).RHS); got != "1 + 2 * 3" {
+		t.Errorf("printed %q", got)
+	}
+}
+
+func TestParenExpr(t *testing.T) {
+	prog := MustParse("a := (1 + 2) * 3")
+	got := ast.ExprString(prog.Body[0].(*ast.Assign).RHS)
+	if got != "(1 + 2) * 3" {
+		t.Errorf("printed %q, want (1 + 2) * 3", got)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	prog := MustParse("a := -b + 2")
+	got := ast.ExprString(prog.Body[0].(*ast.Assign).RHS)
+	if got != "-b + 2" {
+		t.Errorf("printed %q", got)
+	}
+}
+
+func TestDoWithStep(t *testing.T) {
+	prog := MustParse("do i = 1, 10, 2\n a := i\nenddo")
+	loop := prog.Body[0].(*ast.DoLoop)
+	if loop.Step == nil {
+		t.Fatal("step not parsed")
+	}
+	if got := ast.ExprString(loop.Step); got != "2" {
+		t.Errorf("step = %q", got)
+	}
+}
+
+func TestNestedLoopsLabels(t *testing.T) {
+	prog := MustParse(`
+do j = 1, M
+  do i = 1, N
+    X[i+1, j] := X[i, j]
+  enddo
+enddo
+`)
+	outer := prog.Body[0].(*ast.DoLoop)
+	inner := outer.Body[0].(*ast.DoLoop)
+	if outer.Label == inner.Label {
+		t.Fatal("loop labels must be distinct")
+	}
+	if outer.Label != 1 || inner.Label != 2 {
+		t.Errorf("labels = %d,%d, want 1,2", outer.Label, inner.Label)
+	}
+}
+
+func TestEqualsAsEqualityInExpr(t *testing.T) {
+	prog := MustParse("if C(i) = 0 then C(i) := 1")
+	ifs := prog.Body[0].(*ast.If)
+	cond, ok := ifs.Cond.(*ast.Binary)
+	if !ok {
+		t.Fatalf("cond is %T", ifs.Cond)
+	}
+	if got := ast.ExprString(cond); got != "C[i] == 0" {
+		t.Errorf("cond printed %q", got)
+	}
+}
+
+func TestErrorMissingEnddo(t *testing.T) {
+	_, err := Parse("do i = 1, 10\n a := 1\n")
+	if err == nil {
+		t.Fatal("expected error for missing enddo")
+	}
+	if !strings.Contains(err.Error(), "enddo") {
+		t.Errorf("error %q does not mention enddo", err)
+	}
+}
+
+func TestErrorGarbageStatement(t *testing.T) {
+	_, err := Parse("do i = 1, 10\n * := 1\nenddo")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestErrorRecoveryContinues(t *testing.T) {
+	prog, err := Parse("a := \nb := 2")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The second statement should still be present.
+	if len(prog.Body) < 2 {
+		t.Fatalf("recovery lost statements: %d", len(prog.Body))
+	}
+}
+
+func TestRoundTripPrintParse(t *testing.T) {
+	srcs := []string{
+		fig1,
+		"do i = 1, 1000\n  A[i+2] := A[i] + X\nenddo",
+		"do i = 1, 1000\n  A[i] := 1\n  if cond > 0 then\n    A[i+1] := 2\n  endif\nenddo",
+		"do j = 1, UB\n  do i = 1, UB1\n    X[i+1, j] := X[i, j]\n    Y[i, j+1] := Y[i, j-1]\n  enddo\nenddo",
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		printed := ast.ProgramString(p1)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed for\n%s\nerr: %v", printed, err)
+		}
+		if got := ast.ProgramString(p2); got != printed {
+			t.Errorf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	prog := MustParse("if a > 0 and b < 2 or not c == 1 then x := 1")
+	got := ast.ExprString(prog.Body[0].(*ast.If).Cond)
+	want := "a > 0 and b < 2 or not c == 1"
+	if got != want {
+		t.Errorf("cond = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// TestParserNeverPanicsOnGarbage throws deterministic pseudo-random token
+// soup at the parser: it must return (possibly partial AST, error) without
+// panicking or hanging.
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	pieces := []string{
+		"do", "enddo", "if", "then", "else", "endif", "and", "or", "not",
+		"i", "A", "B", "x", "1", "42", ":=", "=", "==", "!=", "<", "<=",
+		"+", "-", "*", "/", "%", "(", ")", "[", "]", ",", "\n", ";", "!",
+		":", "$", "2abc",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		var b strings.Builder
+		for k := 0; k < n; k++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnBinaryGarbage feeds raw bytes.
+func TestParserNeverPanicsOnBinaryGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(120)
+		buf := make([]byte, n)
+		for k := range buf {
+			buf[k] = byte(rng.Intn(256))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParserRoundTripOnMutations: valid programs stay reparseable after
+// printing, and small textual mutations never panic.
+func TestParserRoundTripOnMutations(t *testing.T) {
+	base := "do i = 1, 100\n  A[i+2] := A[i] + X\n  if A[i] == 0 then B[i] := 1\nenddo\n"
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		mutated := []byte(base)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] = byte(32 + rng.Intn(95))
+		}
+		src := string(mutated)
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		// Whatever parsed must print and reparse stably.
+		printed := ast.ProgramString(prog)
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed program failed:\nsrc: %q\nprinted: %q\nerr: %v", src, printed, err)
+		}
+		if got := ast.ProgramString(prog2); got != printed {
+			t.Fatalf("print not stable:\nfirst: %q\nsecond: %q", printed, got)
+		}
+	}
+}
+
+// TestDeeplyNestedStructures: no stack explosion on deep but bounded
+// nesting.
+func TestDeeplyNestedStructures(t *testing.T) {
+	var b strings.Builder
+	const depth = 200
+	for k := 0; k < depth; k++ {
+		b.WriteString("if x > 0 then\n")
+	}
+	b.WriteString("y := 1\n")
+	for k := 0; k < depth; k++ {
+		b.WriteString("endif\n")
+	}
+	prog, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("body = %d", len(prog.Body))
+	}
+	// Deep expression nesting.
+	expr := strings.Repeat("(", 300) + "1" + strings.Repeat(")", 300)
+	if _, err := Parse("a := " + expr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHugeLiteralOverflow: out-of-range integers are an error, not a panic.
+func TestHugeLiteralOverflow(t *testing.T) {
+	if _, err := Parse("a := 99999999999999999999999999"); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}

@@ -1,0 +1,365 @@
+// Package poly implements integer polynomials over named symbols.
+//
+// The array-reference framework of Duesterwald/Gupta/Soffa analyzes
+// subscripts of the form a·i + b where i is the induction variable of the
+// loop under analysis. When loops are nested or arrays are
+// multi-dimensional, a and b are not plain integers: they are linear
+// combinations of symbolic constants — induction variables of enclosing
+// loops and array dimension sizes (paper §3.2, §3.6). This package provides
+// the small amount of exact symbolic arithmetic the analysis needs: add,
+// subtract, multiply, test for (integer) constancy, equality, and exact
+// division used when evaluating the kill-distance function
+// k(i) = ((a1−a2)·i + (b1−b2)) / a1.
+//
+// A Poly is a sum of monomials with int64 coefficients. A monomial is a
+// product of symbol names (with multiplicity), kept in sorted order so that
+// equal monomials have equal keys.
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Poly is an integer polynomial over symbols. The zero value is the zero
+// polynomial. Polys are immutable: operations return new values.
+type Poly struct {
+	// terms maps a monomial key (sorted symbol names joined by '*', "" for
+	// the constant term) to its coefficient. Zero coefficients are pruned.
+	terms map[string]int64
+}
+
+// Zero is the zero polynomial.
+var Zero = Poly{}
+
+// Const returns the constant polynomial c.
+func Const(c int64) Poly {
+	if c == 0 {
+		return Zero
+	}
+	return Poly{terms: map[string]int64{"": c}}
+}
+
+// Sym returns the polynomial consisting of the single symbol name.
+func Sym(name string) Poly {
+	if name == "" {
+		panic("poly: empty symbol name")
+	}
+	return Poly{terms: map[string]int64{name: 1}}
+}
+
+// monKey builds a canonical key from symbol factors.
+func monKey(factors []string) string {
+	sort.Strings(factors)
+	return strings.Join(factors, "*")
+}
+
+func monFactors(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "*")
+}
+
+func (p Poly) clone() map[string]int64 {
+	m := make(map[string]int64, len(p.terms)+2)
+	for k, v := range p.terms {
+		m[k] = v
+	}
+	return m
+}
+
+func norm(m map[string]int64) Poly {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	if len(m) == 0 {
+		return Zero
+	}
+	return Poly{terms: m}
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	m := p.clone()
+	for k, v := range q.terms {
+		m[k] += v
+	}
+	return norm(m)
+}
+
+// Sub returns p − q.
+func (p Poly) Sub(q Poly) Poly {
+	m := p.clone()
+	for k, v := range q.terms {
+		m[k] -= v
+	}
+	return norm(m)
+}
+
+// Neg returns −p.
+func (p Poly) Neg() Poly {
+	m := make(map[string]int64, len(p.terms))
+	for k, v := range p.terms {
+		m[k] = -v
+	}
+	return norm(m)
+}
+
+// MulConst returns c·p.
+func (p Poly) MulConst(c int64) Poly {
+	if c == 0 {
+		return Zero
+	}
+	m := make(map[string]int64, len(p.terms))
+	for k, v := range p.terms {
+		m[k] = v * c
+	}
+	return norm(m)
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	m := make(map[string]int64)
+	for k1, v1 := range p.terms {
+		for k2, v2 := range q.terms {
+			factors := append(monFactors(k1), monFactors(k2)...)
+			m[monKey(factors)] += v1 * v2
+		}
+	}
+	return norm(m)
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// IsConst reports whether p is an integer constant, returning its value.
+func (p Poly) IsConst() (int64, bool) {
+	switch len(p.terms) {
+	case 0:
+		return 0, true
+	case 1:
+		if v, ok := p.terms[""]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// ConstPart returns the constant term of p.
+func (p Poly) ConstPart() int64 { return p.terms[""] }
+
+// Equal reports whether p and q are identical polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, v := range p.terms {
+		if q.terms[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Symbols returns the sorted set of symbols that occur in p.
+func (p Poly) Symbols() []string {
+	set := map[string]bool{}
+	for k := range p.terms {
+		for _, f := range monFactors(k) {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoeffOf returns the coefficient polynomial of the given symbol when p is
+// viewed as linear in that symbol, together with the remainder:
+// p = coeff·sym + rest. It reports ok=false when p contains sym with degree
+// greater than one (e.g. sym², or sym·sym2·sym where sym repeats).
+func (p Poly) CoeffOf(sym string) (coeff, rest Poly, ok bool) {
+	cm := map[string]int64{}
+	rm := map[string]int64{}
+	for k, v := range p.terms {
+		factors := monFactors(k)
+		n := 0
+		var others []string
+		for _, f := range factors {
+			if f == sym {
+				n++
+			} else {
+				others = append(others, f)
+			}
+		}
+		switch n {
+		case 0:
+			rm[k] += v
+		case 1:
+			cm[monKey(others)] += v
+		default:
+			return Zero, Zero, false
+		}
+	}
+	return norm(cm), norm(rm), true
+}
+
+// Substitute replaces every occurrence of sym in p with the polynomial q.
+// It requires p to be linear in sym (degree ≤ 1) and reports ok=false
+// otherwise.
+func (p Poly) Substitute(sym string, q Poly) (Poly, bool) {
+	coeff, rest, ok := p.CoeffOf(sym)
+	if !ok {
+		return Zero, false
+	}
+	return coeff.Mul(q).Add(rest), true
+}
+
+// DivExact returns p / q when q divides p exactly with an integer-polynomial
+// quotient of the restricted shape this analysis needs: q must be a single
+// monomial (one term). ok=false otherwise.
+func (p Poly) DivExact(q Poly) (Poly, bool) {
+	if len(q.terms) != 1 {
+		return Zero, false
+	}
+	var qk string
+	var qv int64
+	for k, v := range q.terms {
+		qk, qv = k, v
+	}
+	if qv == 0 {
+		return Zero, false
+	}
+	qf := monFactors(qk)
+	m := make(map[string]int64, len(p.terms))
+	for k, v := range p.terms {
+		if v%qv != 0 {
+			return Zero, false
+		}
+		factors := monFactors(k)
+		rem, ok := removeFactors(factors, qf)
+		if !ok {
+			return Zero, false
+		}
+		m[monKey(rem)] += v / qv
+	}
+	return norm(m), true
+}
+
+// removeFactors removes each element of sub from factors (multiset
+// difference); ok=false if some element of sub is missing.
+func removeFactors(factors, sub []string) ([]string, bool) {
+	out := append([]string(nil), factors...)
+	for _, s := range sub {
+		found := -1
+		for i, f := range out {
+			if f == s {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		out = append(out[:found], out[found+1:]...)
+	}
+	return out, true
+}
+
+// Monomial is one term of a polynomial in exported form.
+type Monomial struct {
+	Coeff   int64
+	Symbols []string // sorted factors with multiplicity; empty = constant
+}
+
+// Monomials returns the polynomial's terms in a deterministic order
+// (symbol-sorted, constant term last), matching String.
+func (p Poly) Monomials() []Monomial {
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i] == "" {
+			return false
+		}
+		if keys[j] == "" {
+			return true
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]Monomial, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Monomial{Coeff: p.terms[k], Symbols: monFactors(k)})
+	}
+	return out
+}
+
+// Eval evaluates p under the given symbol assignment. Missing symbols
+// evaluate as 0.
+func (p Poly) Eval(env map[string]int64) int64 {
+	var total int64
+	for k, v := range p.terms {
+		term := v
+		for _, f := range monFactors(k) {
+			term *= env[f]
+		}
+		total += term
+	}
+	return total
+}
+
+// String renders the polynomial deterministically (sorted monomials,
+// constant last), e.g. "2*N*i + j - 3".
+func (p Poly) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		// Constant term sorts last.
+		if keys[i] == "" {
+			return false
+		}
+		if keys[j] == "" {
+			return true
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for n, k := range keys {
+		v := p.terms[k]
+		if n == 0 {
+			if v < 0 {
+				b.WriteString("-")
+				v = -v
+			}
+		} else {
+			if v < 0 {
+				b.WriteString(" - ")
+				v = -v
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		switch {
+		case k == "":
+			fmt.Fprintf(&b, "%d", v)
+		case v == 1:
+			b.WriteString(k)
+		default:
+			fmt.Fprintf(&b, "%d*%s", v, k)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstArith(t *testing.T) {
+	three := Const(3)
+	four := Const(4)
+	if v, ok := three.Add(four).IsConst(); !ok || v != 7 {
+		t.Fatalf("3+4 = %v", three.Add(four))
+	}
+	if v, ok := three.Mul(four).IsConst(); !ok || v != 12 {
+		t.Fatalf("3*4 = %v", three.Mul(four))
+	}
+	if !three.Sub(three).IsZero() {
+		t.Fatal("3-3 not zero")
+	}
+}
+
+func TestSymbolArith(t *testing.T) {
+	n := Sym("N")
+	i := Sym("i")
+	// (N+1)*i = N*i + i
+	p := n.Add(Const(1)).Mul(i)
+	q := n.Mul(i).Add(i)
+	if !p.Equal(q) {
+		t.Fatalf("(N+1)*i = %s, want %s", p, q)
+	}
+}
+
+func TestMonomialCanonicalOrder(t *testing.T) {
+	// a*b and b*a must be the same monomial.
+	p := Sym("a").Mul(Sym("b"))
+	q := Sym("b").Mul(Sym("a"))
+	if !p.Equal(q) {
+		t.Fatalf("a*b != b*a: %s vs %s", p, q)
+	}
+}
+
+func TestCoeffOf(t *testing.T) {
+	// p = 2*N*i + j - 3 ; CoeffOf(i) = 2N, rest = j-3
+	p := Const(2).Mul(Sym("N")).Mul(Sym("i")).Add(Sym("j")).Sub(Const(3))
+	coeff, rest, ok := p.CoeffOf("i")
+	if !ok {
+		t.Fatal("CoeffOf failed")
+	}
+	if want := Const(2).Mul(Sym("N")); !coeff.Equal(want) {
+		t.Errorf("coeff = %s, want %s", coeff, want)
+	}
+	if want := Sym("j").Sub(Const(3)); !rest.Equal(want) {
+		t.Errorf("rest = %s, want %s", rest, want)
+	}
+}
+
+func TestCoeffOfQuadraticFails(t *testing.T) {
+	p := Sym("i").Mul(Sym("i"))
+	if _, _, ok := p.CoeffOf("i"); ok {
+		t.Fatal("CoeffOf must fail on i^2")
+	}
+}
+
+func TestDivExact(t *testing.T) {
+	n := Sym("N")
+	p := n.Mul(Const(6)).Add(n.Mul(Sym("j")).MulConst(2)) // 6N + 2Nj
+	q, ok := p.DivExact(n.MulConst(2))                    // / 2N
+	if !ok {
+		t.Fatal("DivExact failed")
+	}
+	want := Const(3).Add(Sym("j"))
+	if !q.Equal(want) {
+		t.Errorf("quotient = %s, want %s", q, want)
+	}
+}
+
+func TestDivExactFailsOnRemainder(t *testing.T) {
+	if _, ok := Const(7).DivExact(Const(2)); ok {
+		t.Fatal("7/2 must not divide exactly")
+	}
+	if _, ok := Sym("N").Add(Const(1)).DivExact(Sym("N")); ok {
+		t.Fatal("(N+1)/N must not divide exactly")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	// p = 2*i + j ; i := k+1 → 2k + j + 2
+	p := Sym("i").MulConst(2).Add(Sym("j"))
+	got, ok := p.Substitute("i", Sym("k").Add(Const(1)))
+	if !ok {
+		t.Fatal("Substitute failed")
+	}
+	want := Sym("k").MulConst(2).Add(Sym("j")).Add(Const(2))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestEval(t *testing.T) {
+	p := Sym("N").Mul(Sym("i")).Add(Sym("j")).Add(Const(5))
+	env := map[string]int64{"N": 10, "i": 3, "j": 2}
+	if got := p.Eval(env); got != 37 {
+		t.Fatalf("Eval = %d, want 37", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Zero, "0"},
+		{Const(-4), "-4"},
+		{Sym("i").MulConst(2).Add(Const(-3)), "2*i - 3"},
+		{Sym("N").Mul(Sym("i")).Sub(Sym("j")), "N*i - j"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// --- property-based checks -------------------------------------------------
+
+// genPoly builds a deterministic small polynomial from fuzz ints.
+func genPoly(a, b, c int8) Poly {
+	return Const(int64(a)).
+		Add(Sym("x").MulConst(int64(b))).
+		Add(Sym("y").MulConst(int64(c)))
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a1, b1, c1, a2, b2, c2 int8) bool {
+		p, q := genPoly(a1, b1, c1), genPoly(a2, b2, c2)
+		return p.Add(q).Equal(q.Add(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulDistributes(t *testing.T) {
+	f := func(a1, b1, c1, a2, b2, c2, a3, b3, c3 int8) bool {
+		p, q, r := genPoly(a1, b1, c1), genPoly(a2, b2, c2), genPoly(a3, b3, c3)
+		return p.Mul(q.Add(r)).Equal(p.Mul(q).Add(p.Mul(r)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubInverse(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		p := genPoly(a, b, c)
+		return p.Sub(p).IsZero() && p.Add(p.Neg()).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEvalHomomorphism(t *testing.T) {
+	f := func(a1, b1, c1, a2, b2, c2 int8, xv, yv int8) bool {
+		p, q := genPoly(a1, b1, c1), genPoly(a2, b2, c2)
+		env := map[string]int64{"x": int64(xv), "y": int64(yv)}
+		return p.Add(q).Eval(env) == p.Eval(env)+q.Eval(env) &&
+			p.Mul(q).Eval(env) == p.Eval(env)*q.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDivRoundTrip(t *testing.T) {
+	f := func(a, b, c int8, d int8) bool {
+		if d == 0 {
+			return true
+		}
+		p := genPoly(a, b, c).MulConst(int64(d))
+		q, ok := p.DivExact(Const(int64(d)))
+		return ok && q.MulConst(int64(d)).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	p := Sym("x").Add(Const(1))
+	snapshot := p.String()
+	_ = p.Add(Sym("y"))
+	_ = p.Mul(Sym("z"))
+	_ = p.Neg()
+	if p.String() != snapshot {
+		t.Fatalf("operations mutated receiver: %s -> %s", snapshot, p)
+	}
+}

@@ -1,0 +1,170 @@
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+)
+
+// ScalarRange describes where a scalar variable is live inside the loop.
+type ScalarRange struct {
+	Name string
+	// LiveAt is the set of node IDs at whose entry the scalar is live.
+	LiveAt map[int]bool
+	// Accesses counts reads and writes.
+	Accesses int64
+	// CrossIteration reports liveness across the back edge (live at the
+	// loop entry), e.g. accumulators and loop-invariant inputs.
+	CrossIteration bool
+}
+
+// Span returns the number of nodes the range covers.
+func (r *ScalarRange) Span() int64 { return int64(len(r.LiveAt)) }
+
+// Overlaps reports whether two scalar ranges are ever live at the same
+// node — the §4.1.2 interference condition.
+func (r *ScalarRange) Overlaps(o *ScalarRange) bool {
+	for id := range r.LiveAt {
+		if o.LiveAt[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// ScalarLiveness computes per-scalar live ranges over the loop flow graph
+// with classic backward liveness, treating the back edge as a real edge so
+// values carried across iterations are live at the loop entry. The
+// induction variable is excluded (it lives in a dedicated register).
+func ScalarLiveness(g *ir.Graph) []*ScalarRange {
+	type nodeInfo struct {
+		use map[string]bool
+		def map[string]bool
+	}
+	infos := make([]nodeInfo, len(g.Nodes)+1)
+	accesses := map[string]int64{}
+
+	collectUse := func(m map[string]bool, e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name != "_" && id.Name != g.IV {
+				m[id.Name] = true
+				accesses[id.Name]++
+			}
+			return true
+		})
+	}
+
+	for _, nd := range g.Nodes {
+		info := nodeInfo{use: map[string]bool{}, def: map[string]bool{}}
+		if nd.Assign != nil {
+			collectUse(info.use, nd.Assign.RHS)
+			switch lhs := nd.Assign.LHS.(type) {
+			case *ast.Ident:
+				if lhs.Name != g.IV {
+					info.def[lhs.Name] = true
+					accesses[lhs.Name]++
+				}
+			case *ast.ArrayRef:
+				for _, sub := range lhs.Subs {
+					collectUse(info.use, sub)
+				}
+			}
+		}
+		if nd.Cond != nil {
+			collectUse(info.use, nd.Cond)
+		}
+		if nd.Kind == ir.KindSummary {
+			// A summarized inner loop may read and write scalars; collect
+			// conservatively: everything mentioned is both used and defined.
+			ast.Inspect(nd.Loop.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name != g.IV && id.Name != nd.Loop.Var {
+					info.use[id.Name] = true
+					accesses[id.Name]++
+				}
+				if as, ok := n.(*ast.Assign); ok {
+					if lhs, isS := as.LHS.(*ast.Ident); isS {
+						info.def[lhs.Name] = true
+					}
+				}
+				return true
+			})
+			collectUse(info.use, nd.Loop.Lo)
+			collectUse(info.use, nd.Loop.Hi)
+		}
+		infos[nd.ID] = info
+	}
+
+	// Backward fixed point over the cyclic graph (back edge included).
+	liveIn := make([]map[string]bool, len(g.Nodes)+1)
+	liveOut := make([]map[string]bool, len(g.Nodes)+1)
+	for _, nd := range g.Nodes {
+		liveIn[nd.ID] = map[string]bool{}
+		liveOut[nd.ID] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Nodes) - 1; i >= 0; i-- {
+			nd := g.Nodes[i]
+			out := liveOut[nd.ID]
+			for _, s := range nd.Succs {
+				for v := range liveIn[s.ID] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[nd.ID]
+			for v := range infos[nd.ID].use {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !infos[nd.ID].def[v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	byName := map[string]*ScalarRange{}
+	for _, nd := range g.Nodes {
+		for v := range liveIn[nd.ID] {
+			r := byName[v]
+			if r == nil {
+				r = &ScalarRange{Name: v, LiveAt: map[int]bool{}}
+				byName[v] = r
+			}
+			r.LiveAt[nd.ID] = true
+			if nd == g.Entry {
+				r.CrossIteration = true
+			}
+		}
+	}
+	// Scalars that are only defined (dead stores) still occupy a register
+	// at their definition point.
+	for name, count := range accesses {
+		if byName[name] == nil {
+			byName[name] = &ScalarRange{Name: name, LiveAt: map[int]bool{}}
+		}
+		byName[name].Accesses = count
+	}
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*ScalarRange, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package regalloc implements the register-pipelining allocation of paper
+// §4.1: live ranges for subscripted variables from δ-available values, the
+// integrated register interference graph (IRIG), priority-based
+// multi-coloring, and pipeline code generation hooks for internal/tac.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/problems"
+	"repro/internal/sema"
+	"repro/internal/tac"
+)
+
+// LiveRange is a node of the IRIG: either the values of one subscripted
+// reference class carried across iterations, or a scalar variable.
+type LiveRange struct {
+	// Class is the generating class for subscripted ranges (nil for
+	// scalars).
+	Class *dataflow.Class
+	// Scalar names the variable for scalar ranges; Range carries its
+	// liveness region.
+	Scalar string
+	Range  *ScalarRange
+
+	// Depth is the number of registers needed: δ0+1 for subscripted ranges
+	// (§4.1.2), 1 for scalars.
+	Depth int64
+	// Reuses are the reuse points fed by this range (subscripted only).
+	Reuses []problems.Reuse
+	// Access counts the accesses to the range (generation sites + reuse
+	// points), the numerator driver of the priority function.
+	Access int64
+	// Length is |l|, the live range length in nodes.
+	Length int64
+	// Priority is P(l) = (access−1)·Cm / (|l|·depth).
+	Priority float64
+
+	// Allocated is set by multi-coloring when the range received
+	// registers; Stages then holds the assigned register names (stage 0
+	// first).
+	Allocated bool
+	Stages    []string
+
+	// neighbors in the IRIG (by index into Allocation.Ranges).
+	neighbors map[int]bool
+}
+
+// Name renders the range identity.
+func (l *LiveRange) Name() string {
+	if l.Class != nil {
+		return l.Class.String()
+	}
+	return l.Scalar
+}
+
+// Allocation is the result of register allocation for one loop.
+type Allocation struct {
+	Graph  *ir.Graph
+	Ranges []*LiveRange
+	// K is the register budget used.
+	K int
+	// Avail is the δ-available solution the live ranges came from.
+	Avail *dataflow.Result
+}
+
+// Options configures allocation.
+type Options struct {
+	// K is the number of available registers (default 16).
+	K int
+	// MemCost is Cm, the average memory load cost used in priorities
+	// (default 4, matching machine.DefaultCosts).
+	MemCost float64
+	// IncludeScalars adds scalar live ranges to the IRIG so scalars and
+	// subscripted variables compete uniformly (§4.1: "a fair and uniform
+	// competition of both classes of variables"). Default true.
+	ExcludeScalars bool
+}
+
+// Allocate computes live ranges, builds the IRIG, and multi-colors it.
+func Allocate(g *ir.Graph, opts *Options) *Allocation {
+	if opts == nil {
+		opts = &Options{}
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 16
+	}
+	cm := opts.MemCost
+	if cm <= 0 {
+		cm = 4
+	}
+
+	avail := problems.Solve(g, problems.AvailableValues())
+	reuses := problems.FindReuses(avail)
+
+	alloc := &Allocation{Graph: g, K: k, Avail: avail}
+
+	// --- Live range construction (§4.1.1) --------------------------------
+	byClass := map[*dataflow.Class][]problems.Reuse{}
+	for _, r := range reuses {
+		byClass[r.From] = append(byClass[r.From], r)
+	}
+	span := int64(len(g.Nodes))
+	for _, c := range avail.Classes {
+		rs := byClass[c]
+		if len(rs) == 0 {
+			continue // no reuse: keeping it in a register saves nothing
+		}
+		if len(c.Members[0].Expr.Subs) != 1 {
+			continue // pipeline codegen is 1-D; multi-dim ranges are skipped
+		}
+		var delta0 int64
+		for _, r := range rs {
+			if r.Distance > delta0 {
+				delta0 = r.Distance
+			}
+		}
+		lr := &LiveRange{
+			Class:  c,
+			Depth:  delta0 + 1,
+			Reuses: rs,
+			Access: int64(len(c.Members) + len(rs)),
+			Length: span,
+		}
+		lr.Priority = float64(lr.Access-1) * cm / float64(lr.Length*lr.Depth)
+		alloc.Ranges = append(alloc.Ranges, lr)
+	}
+
+	// Scalar live ranges from backward liveness (§4.1.1: "live ranges of
+	// scalar variables are determined using conventional methods").
+	if !opts.ExcludeScalars {
+		for _, s := range ScalarLiveness(g) {
+			length := s.Span()
+			if length < 1 {
+				length = 1
+			}
+			lr := &LiveRange{
+				Scalar: s.Name,
+				Range:  s,
+				Depth:  1,
+				Access: s.Accesses,
+				Length: length,
+			}
+			lr.Priority = float64(lr.Access-1) * cm / float64(lr.Length*lr.Depth)
+			alloc.Ranges = append(alloc.Ranges, lr)
+		}
+	}
+
+	// --- IRIG (§4.1.2) ----------------------------------------------------
+	// Subscripted pipelines are live across the back edge, hence across
+	// the whole loop: they interfere with everything. Scalar ranges
+	// interfere only where their live regions overlap.
+	for i, a := range alloc.Ranges {
+		if a.neighbors == nil {
+			a.neighbors = map[int]bool{}
+		}
+		for j, b := range alloc.Ranges {
+			if i == j {
+				continue
+			}
+			interferes := true
+			if a.Range != nil && b.Range != nil {
+				interferes = a.Range.Overlaps(b.Range)
+			}
+			if interferes {
+				if b.neighbors == nil {
+					b.neighbors = map[int]bool{}
+				}
+				a.neighbors[j] = true
+				b.neighbors[i] = true
+			}
+		}
+	}
+
+	alloc.multiColor()
+	return alloc
+}
+
+// multiColor runs the priority-based multi-coloring of §4.1.3: repeatedly
+// set aside unconstrained nodes (depth(n) + Σ_neighbors depth ≤ k), then
+// allocate constrained nodes in priority order while registers remain;
+// finally the set-aside nodes always fit.
+func (a *Allocation) multiColor() {
+	k := int64(a.K)
+	remaining := map[int]bool{}
+	for i := range a.Ranges {
+		remaining[i] = true
+	}
+
+	// Phase 1: peel unconstrained nodes onto a stack.
+	var stack []int
+	for {
+		peeled := false
+		for i := range remaining {
+			lr := a.Ranges[i]
+			total := lr.Depth
+			for j := range lr.neighbors {
+				if remaining[j] {
+					total += a.Ranges[j].Depth
+				}
+			}
+			if total <= k {
+				stack = append(stack, i)
+				delete(remaining, i)
+				peeled = true
+				break
+			}
+		}
+		if !peeled {
+			break
+		}
+	}
+
+	// Phase 2: constrained nodes by priority (ties: lower depth first, then
+	// stable by name) while budget lasts.
+	cons := make([]int, 0, len(remaining))
+	for i := range remaining {
+		cons = append(cons, i)
+	}
+	sort.Slice(cons, func(x, y int) bool {
+		lx, ly := a.Ranges[cons[x]], a.Ranges[cons[y]]
+		if lx.Priority != ly.Priority {
+			return lx.Priority > ly.Priority
+		}
+		if lx.Depth != ly.Depth {
+			return lx.Depth < ly.Depth
+		}
+		return lx.Name() < ly.Name()
+	})
+	used := int64(0)
+	for _, i := range cons {
+		lr := a.Ranges[i]
+		if used+lr.Depth <= k {
+			a.assign(lr)
+			used += lr.Depth
+		}
+	}
+
+	// Phase 3: pop the unconstrained stack; each fits by construction
+	// relative to its allocated neighbors.
+	for n := len(stack) - 1; n >= 0; n-- {
+		lr := a.Ranges[stack[n]]
+		total := lr.Depth
+		for j := range lr.neighbors {
+			if a.Ranges[j].Allocated {
+				total += a.Ranges[j].Depth
+			}
+		}
+		if total <= k {
+			a.assign(lr)
+		}
+	}
+}
+
+func (a *Allocation) assign(lr *LiveRange) {
+	lr.Allocated = true
+	if lr.Class == nil {
+		lr.Stages = []string{lr.Scalar} // scalars already live in their register
+		return
+	}
+	base := fmt.Sprintf("pipe.%s.%d", lr.Class.Array, lr.Class.Index)
+	lr.Stages = make([]string, lr.Depth)
+	for j := range lr.Stages {
+		lr.Stages[j] = fmt.Sprintf("%s.%d", base, j)
+	}
+}
+
+// AllocatedPipelines returns the subscripted ranges that received
+// registers.
+func (a *Allocation) AllocatedPipelines() []*LiveRange {
+	var out []*LiveRange
+	for _, lr := range a.Ranges {
+		if lr.Allocated && lr.Class != nil {
+			out = append(out, lr)
+		}
+	}
+	return out
+}
+
+// GenOptions produces the code-generation hooks (§4.1.4) implementing the
+// allocated pipelines: reuse points read stages, generation sites enter
+// stage 0, stages shift at the end of every iteration, and the preheader
+// initializes stage j with X[f(1−j)].
+func (a *Allocation) GenOptions() (*tac.GenOptions, error) {
+	opts := &tac.GenOptions{
+		LoadFrom:  map[*ast.ArrayRef]string{},
+		CopyTo:    map[*ast.ArrayRef]string{},
+		Shifts:    map[int][]tac.RegMove{},
+		Preheader: map[int][]tac.Preload{},
+	}
+	loopLabel := a.Graph.Loop.Label
+	for _, lr := range a.AllocatedPipelines() {
+		// Reuse points read their stage.
+		for _, r := range lr.Reuses {
+			opts.LoadFrom[r.At.Expr] = lr.Stages[r.Distance]
+		}
+		// Generation sites enter stage 0.
+		for _, mem := range lr.Class.Members {
+			if opts.LoadFrom[mem.Expr] != "" {
+				// A generating reference that is itself a reuse point of
+				// another class reads a register; the CopyTo still applies.
+			}
+			opts.CopyTo[mem.Expr] = lr.Stages[0]
+		}
+		// Pipeline progression: r_j ← r_{j−1}, deepest first.
+		for j := int(lr.Depth) - 1; j >= 1; j-- {
+			opts.Shifts[loopLabel] = append(opts.Shifts[loopLabel],
+				tac.RegMove{Dst: lr.Stages[j], Src: lr.Stages[j-1]})
+		}
+		// Preheader loads: stage j ← X[f(1−j)], j = 1..depth−1 (§4.1.4).
+		for j := 1; j < int(lr.Depth); j++ {
+			at := &ast.IntLit{Value: int64(1 - j)}
+			idx, ok := sema.AffineAtExpr(lr.Class.Form, at)
+			if !ok {
+				return nil, fmt.Errorf("regalloc: cannot materialize init index for %s", lr.Name())
+			}
+			opts.Preheader[loopLabel] = append(opts.Preheader[loopLabel],
+				tac.Preload{Reg: lr.Stages[j], Array: lr.Class.Array, Index: idx})
+		}
+	}
+	return opts, nil
+}
+
+// Report renders the allocation decisions.
+func (a *Allocation) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "register allocation (k=%d):\n", a.K)
+	for _, lr := range a.Ranges {
+		status := "spilled"
+		if lr.Allocated {
+			status = "allocated " + strings.Join(lr.Stages, ",")
+		}
+		fmt.Fprintf(&b, "  %-14s depth=%d access=%d priority=%.4f  %s\n",
+			lr.Name(), lr.Depth, lr.Access, lr.Priority, status)
+	}
+	return b.String()
+}

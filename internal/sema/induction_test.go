@@ -1,0 +1,258 @@
+package sema
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+)
+
+// checkIVEquivalent interprets the original and the transformed program
+// and compares arrays plus the final value of the removed scalar.
+func checkIVEquivalent(t *testing.T, orig, xform *ast.Program, scalars map[string]int64, ivName string) {
+	t.Helper()
+	init := interp.NewState()
+	for k, v := range scalars {
+		init.Scalars[k] = v
+	}
+	for i := int64(-4); i <= 120; i++ {
+		init.SetArray("A", i, i*3%7)
+		init.SetArray("B", i, i%5)
+	}
+	s1, _, err := interp.Run(orig, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := interp.Run(xform, init, nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ast.ProgramString(xform))
+	}
+	if d := interp.DiffArrays(s1, s2); d != "" {
+		t.Fatalf("arrays diverge: %s\n%s", d, ast.ProgramString(xform))
+	}
+	if ivName != "" && s1.Scalars[ivName] != s2.Scalars[ivName] {
+		t.Fatalf("final %s = %d vs %d\n%s", ivName,
+			s1.Scalars[ivName], s2.Scalars[ivName], ast.ProgramString(xform))
+	}
+}
+
+func TestRemoveDerivedIVBasic(t *testing.T) {
+	prog := parser.MustParse(`
+j := 10
+do i = 1, 20
+  A[j] := i
+  j := j + 2
+enddo
+x := j
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Name != "j" || removed[0].Step != 2 {
+		t.Fatalf("removed = %v", removed)
+	}
+	// The subscript is now affine in i: A[j + 2i − 2].
+	loop := out.Body[1].(*ast.DoLoop)
+	ref := loop.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatalf("subscript not affine after removal: %v", err)
+	}
+	if a, _, _ := f.ConstCoeffs(); a != 2 {
+		t.Errorf("stride = %d, want 2", a)
+	}
+	checkIVEquivalent(t, prog, out, nil, "x")
+}
+
+func TestRemoveDerivedIVUseAfterUpdate(t *testing.T) {
+	prog := parser.MustParse(`
+j := 0
+do i = 1, 15
+  j := j + 3
+  A[j] := i
+enddo
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("removed = %v\n%s", removed, ast.ProgramString(out))
+	}
+	// After the update the closed form is j0 + 3i.
+	loop := out.Body[1].(*ast.DoLoop)
+	ref := loop.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _, _ := f.ConstCoeffs(); a != 3 {
+		t.Errorf("stride = %d, want 3", a)
+	}
+	checkIVEquivalent(t, prog, out, nil, "j")
+}
+
+func TestRemoveDerivedIVDecrement(t *testing.T) {
+	prog := parser.MustParse(`
+j := 100
+do i = 1, 30
+  A[j] := B[j]
+  j := j - 1
+enddo
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Step != -1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	checkIVEquivalent(t, prog, out, nil, "j")
+}
+
+func TestRemoveDerivedIVMultiple(t *testing.T) {
+	prog := parser.MustParse(`
+j := 0
+k := 50
+do i = 1, 12
+  A[j+1] := B[k]
+  j := j + 2
+  k := k - 3
+enddo
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed = %v\n%s", removed, ast.ProgramString(out))
+	}
+	checkIVEquivalent(t, prog, out, nil, "j")
+	checkIVEquivalent(t, prog, out, nil, "k")
+}
+
+func TestConditionalUpdateNotRemoved(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 20
+  if c > 0 then
+    j := j + 1
+  endif
+  A[j] := i
+enddo
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("conditional update must not be removed: %v", removed)
+	}
+	if out != prog {
+		t.Error("program should be unchanged")
+	}
+}
+
+func TestNonConstantStepNotRemoved(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 20
+  j := j + c
+  A[j] := i
+enddo
+`)
+	_, removed, err := RemoveDerivedIVs(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("symbolic step must not be removed: %v", removed)
+	}
+}
+
+func TestDoubleUpdateNotRemoved(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, 20
+  j := j + 1
+  A[j] := i
+  j := j + 1
+enddo
+`)
+	_, removed, err := RemoveDerivedIVs(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("doubly updated scalar must not be removed: %v", removed)
+	}
+}
+
+func TestSymbolicBoundGuardedFinalValue(t *testing.T) {
+	prog := parser.MustParse(`
+j := 7
+do i = 1, N
+  A[j] := i
+  j := j + 1
+enddo
+x := j
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	for _, n := range []int64{0, 1, 5, 40} {
+		init := interp.NewState()
+		init.Scalars["N"] = n
+		s1, _, err := interp.Run(prog, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := interp.Run(out, init, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := interp.DiffArrays(s1, s2); d != "" {
+			t.Fatalf("N=%d: %s", n, d)
+		}
+		if s1.Scalars["x"] != s2.Scalars["x"] {
+			t.Fatalf("N=%d: final x = %d vs %d\n%s", n,
+				s1.Scalars["x"], s2.Scalars["x"], ast.ProgramString(out))
+		}
+	}
+}
+
+// TestEnablesReuseAnalysis: the headline purpose — after removal, the
+// framework can analyze the loop the paper assumes is preprocessed.
+func TestEnablesReuseAnalysis(t *testing.T) {
+	prog := parser.MustParse(`
+j := 0
+do i = 1, 100
+  A[j+2] := A[j] + x
+  j := j + 1
+enddo
+`)
+	out, removed, err := RemoveDerivedIVs(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatal("j not removed")
+	}
+	// Subscripts are now j0+i+1 and j0+i−1 (affine in i with symbolic j0):
+	loop := out.Body[1].(*ast.DoLoop)
+	ref := loop.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatalf("not affine: %v\n%s", err, ast.ProgramString(out))
+	}
+	if a, ok := f.A.IsConst(); !ok || a != 1 {
+		t.Errorf("stride: %s", f)
+	}
+	// The offset keeps j's initial value as a symbolic constant.
+	if syms := SortedSymbols(f.B); len(syms) != 1 || syms[0] != "j" {
+		t.Errorf("offset symbols = %v, want [j]", syms)
+	}
+}

@@ -1,0 +1,168 @@
+package sema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// Info summarizes a checked program.
+type Info struct {
+	// Arrays maps each array name to its number of dimensions.
+	Arrays map[string]int
+	// Scalars is the set of scalar variable names (read or written),
+	// excluding induction variables.
+	Scalars map[string]bool
+	// Loops lists every DO loop in source order (outer before inner).
+	Loops []*ast.DoLoop
+	// IVs is the set of induction variable names.
+	IVs map[string]bool
+}
+
+// ArrayNames returns the array names in sorted order.
+func (in *Info) ArrayNames() []string {
+	out := make([]string, 0, len(in.Arrays))
+	for a := range in.Arrays {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type checker struct {
+	info *Info
+	errs []error
+}
+
+// Check validates a program against the restrictions the framework assumes
+// (paper §1):
+//
+//   - loops are DO loops controlled by a basic induction variable;
+//   - no statement in a loop assigns to any enclosing induction variable;
+//   - induction variables are not used as arrays and vice versa;
+//   - every array is used with a consistent number of dimensions;
+//   - array subscripts are polynomial expressions (affineness with respect
+//     to a particular loop is checked later, per analysis).
+//
+// It returns the collected Info and the first error encountered (all errors
+// are available via the returned slice when the caller needs them).
+func Check(prog *ast.Program) (*Info, error) {
+	info := &Info{
+		Arrays:  map[string]int{},
+		Scalars: map[string]bool{},
+		IVs:     map[string]bool{},
+	}
+	c := &checker{info: info}
+	c.checkBlock(prog.Body, nil)
+	if len(c.errs) > 0 {
+		return info, c.errs[0]
+	}
+	return info, nil
+}
+
+// CheckAll is Check but returns every error.
+func CheckAll(prog *ast.Program) (*Info, []error) {
+	info := &Info{
+		Arrays:  map[string]int{},
+		Scalars: map[string]bool{},
+		IVs:     map[string]bool{},
+	}
+	c := &checker{info: info}
+	c.checkBlock(prog.Body, nil)
+	return info, c.errs
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) checkBlock(body []ast.Stmt, enclosing []string) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.DoLoop:
+			c.info.Loops = append(c.info.Loops, st)
+			c.info.IVs[st.Var] = true
+			for _, iv := range enclosing {
+				if iv == st.Var {
+					c.errorf(st.Pos(), "loop reuses enclosing induction variable %s", st.Var)
+				}
+			}
+			c.checkExpr(st.Lo, enclosing)
+			c.checkExpr(st.Hi, enclosing)
+			if st.Step != nil {
+				c.checkExpr(st.Step, enclosing)
+			}
+			c.checkBlock(st.Body, append(enclosing, st.Var))
+		case *ast.If:
+			c.checkExpr(st.Cond, enclosing)
+			c.checkBlock(st.Then, enclosing)
+			c.checkBlock(st.Else, enclosing)
+		case *ast.Assign:
+			switch lhs := st.LHS.(type) {
+			case *ast.Ident:
+				for _, iv := range enclosing {
+					if iv == lhs.Name {
+						c.errorf(lhs.Pos(), "assignment to induction variable %s inside its loop", iv)
+					}
+				}
+				c.noteScalar(lhs.Name)
+			case *ast.ArrayRef:
+				c.noteArray(lhs)
+				for _, sub := range lhs.Subs {
+					c.checkExpr(sub, enclosing)
+				}
+			default:
+				c.errorf(st.Pos(), "invalid assignment target")
+			}
+			c.checkExpr(st.RHS, enclosing)
+		}
+	}
+}
+
+func (c *checker) checkExpr(e ast.Expr, enclosing []string) {
+	ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ArrayRef:
+			c.noteArray(x)
+		case *ast.Ident:
+			if x.Name != "_" && !c.info.IVs[x.Name] {
+				c.noteScalar(x.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) noteScalar(name string) {
+	if _, isArray := c.info.Arrays[name]; isArray {
+		c.errorf(token.Pos{}, "%s used both as scalar and as array", name)
+		return
+	}
+	if !c.info.IVs[name] {
+		c.info.Scalars[name] = true
+	}
+}
+
+func (c *checker) noteArray(ref *ast.ArrayRef) {
+	if c.info.Scalars[ref.Name] || c.info.IVs[ref.Name] {
+		c.errorf(ref.Pos(), "%s used both as array and as scalar", ref.Name)
+		return
+	}
+	if d, ok := c.info.Arrays[ref.Name]; ok {
+		if d != len(ref.Subs) {
+			c.errorf(ref.Pos(), "%s used with %d subscripts, previously %d", ref.Name, len(ref.Subs), d)
+		}
+		return
+	}
+	c.info.Arrays[ref.Name] = len(ref.Subs)
+}

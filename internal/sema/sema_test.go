@@ -1,0 +1,381 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/poly"
+)
+
+func TestCheckFig1(t *testing.T) {
+	prog := parser.MustParse(`
+do i = 1, UB
+  C[i+2] := C[i] * 2
+  B[2*i] := C[i] + X
+  if C[i] == 0 then C[i] := B[i-1]
+  B[i] := C[i+1]
+enddo
+`)
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.ArrayNames(); len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Errorf("arrays = %v, want [B C]", got)
+	}
+	if !info.Scalars["X"] || !info.Scalars["UB"] {
+		t.Errorf("scalars = %v, want X and UB", info.Scalars)
+	}
+	if !info.IVs["i"] {
+		t.Error("i not recorded as induction variable")
+	}
+	if len(info.Loops) != 1 {
+		t.Errorf("loops = %d, want 1", len(info.Loops))
+	}
+}
+
+func TestCheckRejectsIVAssignment(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10\n i := i + 1\nenddo")
+	if _, err := Check(prog); err == nil {
+		t.Fatal("expected error for assignment to induction variable")
+	}
+}
+
+func TestCheckRejectsNestedIVAssignment(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10\n do j = 1, 10\n  i := 0\n enddo\nenddo")
+	if _, err := Check(prog); err == nil {
+		t.Fatal("expected error for assignment to outer induction variable")
+	}
+}
+
+func TestCheckRejectsDimMismatch(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10\n A[i] := A[i, i]\nenddo")
+	if _, err := Check(prog); err == nil {
+		t.Fatal("expected error for inconsistent dimensions")
+	}
+}
+
+func TestCheckRejectsIVReuse(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10\n do i = 1, 5\n  A[i] := 0\n enddo\nenddo")
+	if _, err := Check(prog); err == nil {
+		t.Fatal("expected error for reused induction variable")
+	}
+}
+
+func TestAffineOfSimple(t *testing.T) {
+	prog := parser.MustParse("A[2*i - 3] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok := f.ConstCoeffs()
+	if !ok || a != 2 || b != -3 {
+		t.Fatalf("coeffs = (%d,%d,%v), want (2,-3,true)", a, b, ok)
+	}
+}
+
+func TestAffineOfSymbolicConstants(t *testing.T) {
+	// j and N are symbolic constants when analyzing with respect to i.
+	prog := parser.MustParse("A[N*i + j - 1] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.A.Equal(poly.Sym("N")) {
+		t.Errorf("A = %s, want N", f.A)
+	}
+	if want := poly.Sym("j").Sub(poly.Const(1)); !f.B.Equal(want) {
+		t.Errorf("B = %s, want %s", f.B, want)
+	}
+}
+
+func TestAffineOfRejectsQuadratic(t *testing.T) {
+	prog := parser.MustParse("A[i*i] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	if _, err := AffineOf(ref.Subs[0], "i"); err == nil {
+		t.Fatal("expected error for i*i subscript")
+	}
+}
+
+func TestAffineOfRejectsArrayInSubscript(t *testing.T) {
+	prog := parser.MustParse("A[B[i]] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	if _, err := AffineOf(ref.Subs[0], "i"); err == nil {
+		t.Fatal("expected error for indirect subscript")
+	}
+}
+
+func TestAffineLoopInvariant(t *testing.T) {
+	prog := parser.MustParse("A[5] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, _ := f.ConstCoeffs()
+	if a != 0 || b != 5 {
+		t.Fatalf("coeffs = (%d,%d), want (0,5)", a, b)
+	}
+}
+
+func TestLinearizePaperExample(t *testing.T) {
+	// Paper §3.6: X[i+1, j] with first-dimension size N linearizes to
+	// N*i + (N + j); X[i, j] to N*i + j.
+	prog := parser.MustParse("X[i+1, j] := X[i, j]")
+	st := prog.Body[0].(*ast.Assign)
+	n := poly.Sym("N")
+	dims := []poly.Poly{poly.Zero, n} // only dims[1:] matter for strides
+
+	lhs, err := LinearAffine(st.LHS.(*ast.ArrayRef), "i", dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lhs.A.Equal(n) {
+		t.Errorf("lhs A = %s, want N", lhs.A)
+	}
+	if want := n.Add(poly.Sym("j")); !lhs.B.Equal(want) {
+		t.Errorf("lhs B = %s, want %s", lhs.B, want)
+	}
+
+	rhs, err := LinearAffine(st.RHS.(*ast.ArrayRef), "i", dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rhs.A.Equal(n) || !rhs.B.Equal(poly.Sym("j")) {
+		t.Errorf("rhs = %s, want N*i + j", rhs)
+	}
+}
+
+func TestLinearizeWithRespectToOuterIV(t *testing.T) {
+	// Y[i, j+1] and Y[i, j-1] analyzed with respect to j:
+	// linear forms N*i + j + 1 and N*i + j - 1, i.e. A=1, B = N*i ± 1.
+	prog := parser.MustParse("Y[i, j+1] := Y[i, j-1]")
+	st := prog.Body[0].(*ast.Assign)
+	n := poly.Sym("N")
+	dims := []poly.Poly{poly.Zero, n}
+	lhs, err := LinearAffine(st.LHS.(*ast.ArrayRef), "j", dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := lhs.A.IsConst(); !ok || c != 1 {
+		t.Errorf("lhs A = %s, want 1", lhs.A)
+	}
+	if want := n.Mul(poly.Sym("i")).Add(poly.Const(1)); !lhs.B.Equal(want) {
+		t.Errorf("lhs B = %s, want %s", lhs.B, want)
+	}
+}
+
+func TestDefaultDimsConsistent(t *testing.T) {
+	d1 := DefaultDims("X", 2)
+	d2 := DefaultDims("X", 2)
+	for k := range d1 {
+		if !d1[k].Equal(d2[k]) {
+			t.Fatal("DefaultDims must be deterministic")
+		}
+	}
+	dOther := DefaultDims("Y", 2)
+	if d1[0].Equal(dOther[0]) {
+		t.Fatal("different arrays must get different dimension symbols")
+	}
+}
+
+func TestNormalizeIdentity(t *testing.T) {
+	prog := parser.MustParse("do i = 1, N\n A[i] := 0\nenddo")
+	norm, err := Normalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ast.ProgramString(norm), ast.ProgramString(prog); got != want {
+		t.Errorf("already-normal loop changed:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestNormalizeLowerBound(t *testing.T) {
+	prog := parser.MustParse("do i = 3, 10\n A[i] := 0\nenddo")
+	norm, err := Normalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := norm.Body[0].(*ast.DoLoop)
+	if got := ast.ExprString(loop.Lo); got != "1" {
+		t.Errorf("lo = %s", got)
+	}
+	if got := ast.ExprString(loop.Hi); got != "8" {
+		t.Errorf("hi = %s, want 8", got)
+	}
+	// Body subscript becomes 3 + (i-1) = i + 2 in effect; check by evaluating
+	// the affine form.
+	ref := loop.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok := f.ConstCoeffs()
+	if !ok || a != 1 || b != 2 {
+		t.Fatalf("normalized subscript = %d*i+%d, want i+2", a, b)
+	}
+}
+
+func TestNormalizeStep(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 9, 2\n A[i] := 0\nenddo")
+	norm, err := Normalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := norm.Body[0].(*ast.DoLoop)
+	if got := ast.ExprString(loop.Hi); got != "5" {
+		t.Errorf("trip count = %s, want 5", got)
+	}
+	ref := loop.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok := f.ConstCoeffs()
+	if !ok || a != 2 || b != -1 {
+		t.Fatalf("normalized subscript = %d*i%+d, want 2*i-1", a, b)
+	}
+}
+
+func TestNormalizeSymbolicBounds(t *testing.T) {
+	prog := parser.MustParse("do i = 2, N\n A[i] := 0\nenddo")
+	norm, err := Normalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := norm.Body[0].(*ast.DoLoop)
+	hi := ast.ExprString(loop.Hi)
+	if !strings.Contains(hi, "N") {
+		t.Errorf("hi = %q should mention N", hi)
+	}
+}
+
+func TestNormalizeRejectsSymbolicStep(t *testing.T) {
+	prog := parser.MustParse("do i = 1, 10, s\n A[i] := 0\nenddo")
+	if _, err := Normalize(prog); err == nil {
+		t.Fatal("expected error for symbolic step")
+	}
+}
+
+func TestNormalizeNested(t *testing.T) {
+	prog := parser.MustParse("do j = 2, 5\n do i = 0, 8, 2\n  A[i, j] := 0\n enddo\nenddo")
+	norm, err := Normalize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := norm.Body[0].(*ast.DoLoop)
+	inner := outer.Body[0].(*ast.DoLoop)
+	if got := ast.ExprString(outer.Hi); got != "4" {
+		t.Errorf("outer trip = %s, want 4", got)
+	}
+	if got := ast.ExprString(inner.Hi); got != "5" {
+		t.Errorf("inner trip = %s, want 5", got)
+	}
+	// Subscripts: A[2*(i-1), j+1] = A[2i-2, j+1]
+	ref := inner.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	fi, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, _ := fi.ConstCoeffs()
+	if a != 2 || b != -2 {
+		t.Errorf("inner subscript = %d*i%+d, want 2*i-2", a, b)
+	}
+	fj, err := AffineOf(ref.Subs[1], "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, _ = fj.ConstCoeffs()
+	if a != 1 || b != 1 {
+		t.Errorf("outer subscript = %d*j%+d, want j+1", a, b)
+	}
+}
+
+func TestSimplifyFolds(t *testing.T) {
+	prog := parser.MustParse("a := (2 + 3) * x + 0")
+	got := ast.ExprString(Simplify(prog.Body[0].(*ast.Assign).RHS))
+	if got != "5 * x" {
+		t.Errorf("simplified = %q, want 5 * x", got)
+	}
+}
+
+func TestConstValueNegative(t *testing.T) {
+	prog := parser.MustParse("a := -(3+4)")
+	v, ok := ConstValue(prog.Body[0].(*ast.Assign).RHS)
+	if !ok || v != -7 {
+		t.Fatalf("ConstValue = (%d,%v), want (-7,true)", v, ok)
+	}
+}
+
+func TestPolyToExprRoundTrip(t *testing.T) {
+	cases := []string{"0", "7", "-3", "i", "2 * i", "2 * i - 3", "N * i + j - 1", "-i + 100"}
+	for _, src := range cases {
+		prog := parser.MustParse("a := " + src)
+		p, err := ExprToPoly(prog.Body[0].(*ast.Assign).RHS)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		e, ok := PolyToExpr(p)
+		if !ok {
+			t.Fatalf("%s: not convertible", src)
+		}
+		p2, err := ExprToPoly(e)
+		if err != nil {
+			t.Fatalf("%s: reconversion: %v", src, err)
+		}
+		if !p.Equal(p2) {
+			t.Errorf("%s: round trip changed polynomial: %s vs %s", src, p, p2)
+		}
+	}
+}
+
+func TestPolyToExprRejectsStrideSymbols(t *testing.T) {
+	dims := DefaultDims("X", 2)
+	if _, ok := PolyToExpr(dims[1]); ok {
+		t.Fatal("stride symbols must not be convertible to runtime expressions")
+	}
+}
+
+func TestCanonicalizeSubscripts(t *testing.T) {
+	prog := parser.MustParse("A[1 + (i - 1) * 3 + 2] := B[i + 0] + C[x * 2 - x]")
+	canon := CanonicalizeSubscripts(prog)
+	got := ast.ProgramString(canon)
+	want := "A[3 * i] := B[i] + C[x]\n"
+	if got != want {
+		t.Errorf("canonicalized = %q, want %q", got, want)
+	}
+	// The original must be untouched.
+	if ast.ProgramString(prog) == got {
+		t.Error("CanonicalizeSubscripts mutated its input")
+	}
+}
+
+func TestCanonicalizeLeavesNonPolynomialAlone(t *testing.T) {
+	prog := parser.MustParse("A[B[i]] := A[i / j]")
+	canon := CanonicalizeSubscripts(prog)
+	if got, want := ast.ProgramString(canon), ast.ProgramString(prog); got != want {
+		t.Errorf("non-polynomial subscripts changed:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestAffineAtExpr(t *testing.T) {
+	prog := parser.MustParse("A[2*i + 3] := 0")
+	ref := prog.Body[0].(*ast.Assign).LHS.(*ast.ArrayRef)
+	f, err := AffineOf(ref.Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(1−2) = f(−1) = 2·(−1)+3 = 1.
+	e, ok := AffineAtExpr(f, &ast.IntLit{Value: -1})
+	if !ok {
+		t.Fatal("not convertible")
+	}
+	v, isC := ConstValue(e)
+	if !isC || v != 1 {
+		t.Fatalf("f(-1) = %s, want 1", ast.ExprString(e))
+	}
+}

@@ -1,0 +1,160 @@
+// Package synth generates synthetic structured loops for parameter sweeps:
+// the workload generator behind the convergence, scaling and baseline
+// benchmarks (experiments E9–E11 in DESIGN.md).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// Params controls generation.
+type Params struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Stmts is the number of assignments in the loop body.
+	Stmts int
+	// Arrays is the number of distinct arrays.
+	Arrays int
+	// MaxDist bounds the subscript offsets (and hence reuse distances).
+	MaxDist int64
+	// CondProb is the probability (0..1) that a statement is wrapped in a
+	// conditional.
+	CondProb float64
+	// UB is the loop bound (0 = symbolic "N").
+	UB int64
+}
+
+// Loop generates a random structured DO loop as a program. The result is
+// always parseable, normalized, and uses only affine subscripts.
+func Loop(p Params) *ast.Program {
+	if p.Stmts <= 0 {
+		p.Stmts = 8
+	}
+	if p.Arrays <= 0 {
+		p.Arrays = 3
+	}
+	if p.MaxDist <= 0 {
+		p.MaxDist = 4
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var b strings.Builder
+	bound := "N"
+	if p.UB > 0 {
+		bound = fmt.Sprintf("%d", p.UB)
+	}
+	fmt.Fprintf(&b, "do i = 1, %s\n", bound)
+	for s := 0; s < p.Stmts; s++ {
+		stmt := genAssign(rng, p)
+		if rng.Float64() < p.CondProb {
+			fmt.Fprintf(&b, "  if c%d > 0 then\n    %s\n  endif\n", rng.Intn(4), stmt)
+		} else {
+			fmt.Fprintf(&b, "  %s\n", stmt)
+		}
+	}
+	b.WriteString("enddo\n")
+	return parser.MustParse(b.String())
+}
+
+func arrayName(k int) string { return fmt.Sprintf("A%d", k) }
+
+func genAssign(rng *rand.Rand, p Params) string {
+	defArr := arrayName(rng.Intn(p.Arrays))
+	defOff := rng.Int63n(p.MaxDist + 1)
+	lhs := fmt.Sprintf("%s[i+%d]", defArr, defOff)
+	// RHS: one or two loads plus a scalar.
+	var rhs []string
+	for n := 0; n < 1+rng.Intn(2); n++ {
+		useArr := arrayName(rng.Intn(p.Arrays))
+		useOff := rng.Int63n(p.MaxDist + 1)
+		if useOff == 0 {
+			rhs = append(rhs, fmt.Sprintf("%s[i]", useArr))
+		} else {
+			rhs = append(rhs, fmt.Sprintf("%s[i-%d]", useArr, useOff))
+		}
+	}
+	rhs = append(rhs, fmt.Sprintf("x%d", rng.Intn(3)))
+	return fmt.Sprintf("%s := %s", lhs, strings.Join(rhs, " + "))
+}
+
+// RecurrenceLoop generates the canonical distance-D recurrence
+//
+//	do i = 1, UB
+//	  A[i+D] := A[i] + x
+//	enddo
+//
+// used to measure how analysis cost scales with the recurrence distance
+// (the framework stays at 3 passes; the Rau baseline needs Θ(D)).
+func RecurrenceLoop(d int64, ub int64) *ast.Program {
+	bound := "N"
+	if ub > 0 {
+		bound = fmt.Sprintf("%d", ub)
+	}
+	src := fmt.Sprintf("do i = 1, %s\n  A[i+%d] := A[i] + x\nenddo\n", bound, d)
+	return parser.MustParse(src)
+}
+
+// KilledRecurrenceLoop generates a distance-D recurrence whose older
+// instances are killed at exactly distance D:
+//
+//	do i = 1, UB
+//	  A[i+D] := A[i] + x
+//	  A[i] := x
+//	enddo
+//
+// The live fact set stabilizes at D entries, so a name-propagation analysis
+// needs Θ(D) traversals to converge while the framework still needs 3
+// passes — the sharpest version of the E10 comparison.
+func KilledRecurrenceLoop(d int64, ub int64) *ast.Program {
+	bound := "N"
+	if ub > 0 {
+		bound = fmt.Sprintf("%d", ub)
+	}
+	src := fmt.Sprintf("do i = 1, %s\n  A[i+%d] := A[i] + x\n  A[i] := x\nenddo\n", bound, d)
+	return parser.MustParse(src)
+}
+
+// ChainLoop generates a body with an s-statement dependence chain, used by
+// the unrolling benches:
+//
+//	B1[i] := B0[i] + x ; B2[i] := B1[i] + x ; … ; B0[i+carry] := Bs[i]
+//
+// carry = 1 makes the chain loop-carried serial; carry = 0 omits the
+// closing statement.
+func ChainLoop(s int, carry int64, ub int64) *ast.Program {
+	bound := "N"
+	if ub > 0 {
+		bound = fmt.Sprintf("%d", ub)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "do i = 1, %s\n", bound)
+	for k := 1; k <= s; k++ {
+		fmt.Fprintf(&b, "  B%d[i] := B%d[i] + x\n", k, k-1)
+	}
+	if carry > 0 {
+		fmt.Fprintf(&b, "  B0[i+%d] := B%d[i]\n", carry, s)
+	}
+	b.WriteString("enddo\n")
+	return parser.MustParse(b.String())
+}
+
+// WideLoop generates n independent statements (no dependences), the
+// fully-parallel extreme for scaling benches.
+func WideLoop(n int, ub int64) *ast.Program {
+	bound := "N"
+	if ub > 0 {
+		bound = fmt.Sprintf("%d", ub)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "do i = 1, %s\n", bound)
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "  C%d[i] := x%d + i\n", k, k%4)
+	}
+	b.WriteString("enddo\n")
+	return parser.MustParse(b.String())
+}

@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/sema"
+)
+
+func TestLoopParamsRespected(t *testing.T) {
+	prog := Loop(Params{Seed: 5, Stmts: 12, Arrays: 3, MaxDist: 4, CondProb: 0, UB: 40})
+	loop := prog.Body[0].(*ast.DoLoop)
+	if got := len(loop.Body); got != 12 {
+		t.Fatalf("stmts = %d, want 12", got)
+	}
+	if hi, ok := sema.ConstValue(loop.Hi); !ok || hi != 40 {
+		t.Fatalf("UB = %v", loop.Hi)
+	}
+	// With CondProb 0, every statement is a plain assignment.
+	for _, s := range loop.Body {
+		if _, ok := s.(*ast.Assign); !ok {
+			t.Fatalf("unexpected %T with CondProb 0", s)
+		}
+	}
+}
+
+func TestLoopConditionalsAppear(t *testing.T) {
+	prog := Loop(Params{Seed: 5, Stmts: 30, Arrays: 2, MaxDist: 3, CondProb: 0.5, UB: 10})
+	loop := prog.Body[0].(*ast.DoLoop)
+	conds := 0
+	for _, s := range loop.Body {
+		if _, ok := s.(*ast.If); ok {
+			conds++
+		}
+	}
+	if conds == 0 {
+		t.Fatal("no conditionals generated at probability 0.5")
+	}
+}
+
+func TestGeneratedLoopsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		prog := Loop(Params{Seed: seed, Stmts: 8, Arrays: 3, MaxDist: 4, CondProb: 0.3, UB: 15})
+		if _, err := sema.Check(prog); err != nil {
+			t.Fatalf("seed %d: invalid program: %v\n%s", seed, err, ast.ProgramString(prog))
+		}
+		if _, _, err := interp.Run(prog, nil, nil); err != nil {
+			t.Fatalf("seed %d: does not execute: %v", seed, err)
+		}
+	}
+}
+
+func TestSymbolicBoundDefault(t *testing.T) {
+	prog := Loop(Params{Seed: 1, Stmts: 2, Arrays: 1, MaxDist: 1})
+	loop := prog.Body[0].(*ast.DoLoop)
+	if _, ok := sema.ConstValue(loop.Hi); ok {
+		t.Fatal("UB=0 must produce a symbolic bound")
+	}
+}
+
+func TestRecurrenceLoopShape(t *testing.T) {
+	prog := RecurrenceLoop(5, 100)
+	loop := prog.Body[0].(*ast.DoLoop)
+	as := loop.Body[0].(*ast.Assign)
+	f, err := sema.AffineOf(as.LHS.(*ast.ArrayRef).Subs[0], "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b, ok := f.ConstCoeffs(); !ok || a != 1 || b != 5 {
+		t.Fatalf("lhs form = %s", f)
+	}
+}
+
+func TestKilledRecurrenceLoopShape(t *testing.T) {
+	prog := KilledRecurrenceLoop(4, 0)
+	loop := prog.Body[0].(*ast.DoLoop)
+	if len(loop.Body) != 2 {
+		t.Fatalf("stmts = %d, want 2", len(loop.Body))
+	}
+}
+
+func TestChainAndWideShapes(t *testing.T) {
+	if got := len(ChainLoop(6, 1, 0).Body[0].(*ast.DoLoop).Body); got != 7 {
+		t.Errorf("chain stmts = %d, want 7", got)
+	}
+	if got := len(ChainLoop(6, 0, 0).Body[0].(*ast.DoLoop).Body); got != 6 {
+		t.Errorf("chain without carry = %d, want 6", got)
+	}
+	if got := len(WideLoop(9, 10).Body[0].(*ast.DoLoop).Body); got != 9 {
+		t.Errorf("wide stmts = %d, want 9", got)
+	}
+}

@@ -1,0 +1,314 @@
+package tac
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// RegMove is a register-to-register move (pipeline progression step).
+type RegMove struct {
+	Dst, Src string
+}
+
+// Preload is a pre-loop pipeline initialization load:
+// reg ← Array[Index] with Index evaluated in the preheader scope
+// (paper §4.1.4: load rj ← X[f(1−j)]).
+type Preload struct {
+	Reg   string
+	Array string
+	Index ast.Expr // single linear subscript (1-D pipelines)
+}
+
+// GenOptions parameterizes code generation. The pipeline hooks are produced
+// by internal/regalloc; plain generation passes nil options.
+type GenOptions struct {
+	// Dims gives per-array dimension sizes for multi-dimensional address
+	// linearization (row-major). Arrays absent from the map use DefaultDim
+	// for every trailing dimension.
+	Dims map[string][]int64
+	// DefaultDim is the fallback dimension size (default 1024).
+	DefaultDim int64
+
+	// LoadFrom redirects a use site to read a named register instead of
+	// memory (the reuse points of §4.1.4).
+	LoadFrom map[*ast.ArrayRef]string
+	// CopyTo copies a generated value (stored or loaded at this site) into
+	// a named register (pipeline stage 0 entry).
+	CopyTo map[*ast.ArrayRef]string
+	// SkipStore suppresses the memory store of a definition site (redundant
+	// store elimination keeps the value flow through CopyTo/pipelines).
+	SkipStore map[*ast.ArrayRef]bool
+	// Shifts lists the pipeline progression moves per loop label, emitted
+	// at the end of every iteration.
+	Shifts map[int][]RegMove
+	// Preheader lists pipeline initialization loads per loop label.
+	Preheader map[int][]Preload
+}
+
+func (o *GenOptions) dims(array string, n int) []int64 {
+	if d, ok := o.Dims[array]; ok && len(d) == n {
+		return d
+	}
+	dd := o.DefaultDim
+	if dd <= 0 {
+		dd = 1024
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = dd
+	}
+	return out
+}
+
+type gen struct {
+	b      *Builder
+	opts   *GenOptions
+	nLabel int
+	err    error
+}
+
+// Gen compiles a program to three-address code. Scalars live in registers;
+// array references become load/store instructions with linearized
+// (row-major) addresses.
+func Gen(prog *ast.Program, opts *GenOptions) (*Prog, error) {
+	if opts == nil {
+		opts = &GenOptions{}
+	}
+	g := &gen{b: NewBuilder(), opts: opts}
+	g.block(prog.Body)
+	g.b.Emit(Instr{Op: Halt, Dst: -1, Src1: -1, Src2: -1})
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.b.Finish()
+}
+
+func (g *gen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("tac: "+format, args...)
+	}
+}
+
+func (g *gen) label(prefix string) string {
+	g.nLabel++
+	return fmt.Sprintf("%s%d", prefix, g.nLabel)
+}
+
+func (g *gen) block(body []ast.Stmt) {
+	for _, s := range body {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.Assign:
+		v := g.expr(st.RHS)
+		switch lhs := st.LHS.(type) {
+		case *ast.Ident:
+			g.b.Emit(Instr{Op: Mov, Dst: g.b.Reg(lhs.Name), Src1: v, Src2: -1})
+		case *ast.ArrayRef:
+			if !g.opts.SkipStore[lhs] {
+				addr := g.address(lhs)
+				g.b.Emit(Instr{Op: Store, Dst: -1, Src1: addr, Src2: v, Array: lhs.Name,
+					Comment: "store " + ast.ExprString(lhs)})
+			}
+			if stage, ok := g.opts.CopyTo[lhs]; ok {
+				g.b.Emit(Instr{Op: Mov, Dst: g.b.Reg(stage), Src1: v, Src2: -1,
+					Comment: "pipeline entry"})
+			}
+		default:
+			g.fail("bad assignment target")
+		}
+
+	case *ast.If:
+		c := g.expr(st.Cond)
+		elseL := g.label("else")
+		endL := g.label("endif")
+		if len(st.Else) > 0 {
+			g.b.Branch(Beqz, c, elseL)
+			g.block(st.Then)
+			g.b.Branch(Jmp, -1, endL)
+			g.b.Label(elseL)
+			g.block(st.Else)
+			g.b.Label(endL)
+		} else {
+			g.b.Branch(Beqz, c, endL)
+			g.block(st.Then)
+			g.b.Label(endL)
+		}
+
+	case *ast.DoLoop:
+		iv := g.b.Reg(st.Var)
+		lo := g.expr(st.Lo)
+		hi := g.expr(st.Hi)
+		// Keep the bound in a stable register (hi may be a reused temp).
+		hiReg := g.b.Temp()
+		g.b.Emit(Instr{Op: Mov, Dst: hiReg, Src1: hi, Src2: -1})
+		step := int64(1)
+		if st.Step != nil {
+			// Normalized loops have step 1; constant steps are honored.
+			if lit, ok := st.Step.(*ast.IntLit); ok {
+				step = lit.Value
+			} else {
+				g.fail("non-constant loop step in codegen")
+			}
+		}
+		g.b.Emit(Instr{Op: Mov, Dst: iv, Src1: lo, Src2: -1, Comment: "iv init"})
+
+		// Pipeline preheader loads.
+		for _, pl := range g.opts.Preheader[st.Label] {
+			addr := g.expr(pl.Index)
+			g.b.Emit(Instr{Op: Load, Dst: g.b.Reg(pl.Reg), Src1: addr, Src2: -1,
+				Array: pl.Array, Comment: "pipeline init"})
+		}
+
+		headL := g.label("head")
+		endL := g.label("endloop")
+		g.b.Label(headL)
+		t := g.b.Temp()
+		if step > 0 {
+			g.b.Emit(Instr{Op: CmpGT, Dst: t, Src1: iv, Src2: hiReg})
+		} else {
+			g.b.Emit(Instr{Op: CmpLT, Dst: t, Src1: iv, Src2: hiReg})
+		}
+		g.b.Branch(Bnez, t, endL)
+
+		g.block(st.Body)
+
+		// Pipeline progression at end of iteration (§4.1.4).
+		for _, mv := range g.opts.Shifts[st.Label] {
+			g.b.Emit(Instr{Op: Mov, Dst: g.b.Reg(mv.Dst), Src1: g.b.Reg(mv.Src), Src2: -1,
+				Comment: "pipeline shift"})
+		}
+
+		stepReg := g.b.Temp()
+		g.b.Emit(Instr{Op: Li, Dst: stepReg, Imm: step, Src1: -1, Src2: -1})
+		g.b.Emit(Instr{Op: Add, Dst: iv, Src1: iv, Src2: stepReg, Comment: "iv++"})
+		g.b.Branch(Jmp, -1, headL)
+		g.b.Label(endL)
+	}
+}
+
+// address computes the linearized element address of an array reference
+// into a register.
+func (g *gen) address(ref *ast.ArrayRef) int {
+	if len(ref.Subs) == 1 {
+		return g.expr(ref.Subs[0])
+	}
+	dims := g.opts.dims(ref.Name, len(ref.Subs))
+	// Row-major: addr = ((s1)·D2 + s2)·D3 + …
+	acc := g.expr(ref.Subs[0])
+	for k := 1; k < len(ref.Subs); k++ {
+		dReg := g.b.Temp()
+		g.b.Emit(Instr{Op: Li, Dst: dReg, Imm: dims[k], Src1: -1, Src2: -1})
+		mul := g.b.Temp()
+		g.b.Emit(Instr{Op: Mul, Dst: mul, Src1: acc, Src2: dReg})
+		sk := g.expr(ref.Subs[k])
+		sum := g.b.Temp()
+		g.b.Emit(Instr{Op: Add, Dst: sum, Src1: mul, Src2: sk})
+		acc = sum
+	}
+	return acc
+}
+
+func (g *gen) expr(e ast.Expr) int {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		r := g.b.Temp()
+		g.b.Emit(Instr{Op: Li, Dst: r, Imm: ex.Value, Src1: -1, Src2: -1})
+		return r
+	case *ast.Ident:
+		return g.b.Reg(ex.Name)
+	case *ast.ArrayRef:
+		if stage, ok := g.opts.LoadFrom[ex]; ok {
+			// Reuse point: the value is in a pipeline stage register. If
+			// the site also generates for another pipeline, feed its
+			// stage 0 from the register (no memory access either way).
+			r := g.b.Reg(stage)
+			if st2, ok2 := g.opts.CopyTo[ex]; ok2 {
+				g.b.Emit(Instr{Op: Mov, Dst: g.b.Reg(st2), Src1: r, Src2: -1,
+					Comment: "pipeline entry (from reuse)"})
+			}
+			return r
+		}
+		addr := g.address(ex)
+		r := g.b.Temp()
+		g.b.Emit(Instr{Op: Load, Dst: r, Src1: addr, Src2: -1, Array: ex.Name,
+			Comment: "load " + ast.ExprString(ex)})
+		if stage, ok := g.opts.CopyTo[ex]; ok {
+			g.b.Emit(Instr{Op: Mov, Dst: g.b.Reg(stage), Src1: r, Src2: -1,
+				Comment: "pipeline entry"})
+		}
+		return r
+	case *ast.Unary:
+		x := g.expr(ex.X)
+		r := g.b.Temp()
+		switch ex.Op {
+		case token.MINUS:
+			g.b.Emit(Instr{Op: Neg, Dst: r, Src1: x, Src2: -1})
+		case token.NOT:
+			g.b.Emit(Instr{Op: Not, Dst: r, Src1: x, Src2: -1})
+		default:
+			g.fail("bad unary op %s", ex.Op)
+		}
+		return r
+	case *ast.Binary:
+		l := g.expr(ex.L)
+		rr := g.expr(ex.R)
+		r := g.b.Temp()
+		var op Op
+		switch ex.Op {
+		case token.PLUS:
+			op = Add
+		case token.MINUS:
+			op = Sub
+		case token.STAR:
+			op = Mul
+		case token.SLASH:
+			op = Div
+		case token.MOD:
+			op = Mod
+		case token.EQ:
+			op = CmpEQ
+		case token.NEQ:
+			op = CmpNE
+		case token.LT:
+			op = CmpLT
+		case token.LEQ:
+			op = CmpLE
+		case token.GT:
+			op = CmpGT
+		case token.GEQ:
+			op = CmpGE
+		case token.AND:
+			// Non-short-circuit logical and: (l != 0) & (r != 0) via mul of
+			// normalized booleans.
+			zl, zr := g.b.Temp(), g.b.Temp()
+			zero := g.b.Temp()
+			g.b.Emit(Instr{Op: Li, Dst: zero, Imm: 0, Src1: -1, Src2: -1})
+			g.b.Emit(Instr{Op: CmpNE, Dst: zl, Src1: l, Src2: zero})
+			g.b.Emit(Instr{Op: CmpNE, Dst: zr, Src1: rr, Src2: zero})
+			g.b.Emit(Instr{Op: Mul, Dst: r, Src1: zl, Src2: zr})
+			return r
+		case token.OR:
+			zl, zr := g.b.Temp(), g.b.Temp()
+			zero := g.b.Temp()
+			sum := g.b.Temp()
+			g.b.Emit(Instr{Op: Li, Dst: zero, Imm: 0, Src1: -1, Src2: -1})
+			g.b.Emit(Instr{Op: CmpNE, Dst: zl, Src1: l, Src2: zero})
+			g.b.Emit(Instr{Op: CmpNE, Dst: zr, Src1: rr, Src2: zero})
+			g.b.Emit(Instr{Op: Add, Dst: sum, Src1: zl, Src2: zr})
+			g.b.Emit(Instr{Op: CmpNE, Dst: r, Src1: sum, Src2: zero})
+			return r
+		default:
+			g.fail("bad binary op %s", ex.Op)
+		}
+		g.b.Emit(Instr{Op: op, Dst: r, Src1: l, Src2: rr})
+		return r
+	}
+	g.fail("unknown expression")
+	return g.b.Temp()
+}

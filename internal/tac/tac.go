@@ -1,0 +1,197 @@
+// Package tac defines a three-address intermediate code with explicit array
+// loads and stores, plus a code generator from the mini-language AST.
+//
+// The register-pipelining and load/store optimizations of the paper are
+// measured on this code: scalars live in registers (1990s RISC convention),
+// so the only memory traffic is array element access, which the abstract
+// machine in internal/machine counts.
+package tac
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	Nop   Op = iota
+	Li       // Dst ← Imm
+	Mov      // Dst ← Src1
+	Add      // Dst ← Src1 + Src2
+	Sub      // Dst ← Src1 − Src2
+	Mul      // Dst ← Src1 · Src2
+	Div      // Dst ← Src1 / Src2 (0 on divide-by-zero trap: machine errors)
+	Mod      // Dst ← Src1 % Src2
+	Neg      // Dst ← −Src1
+	Not      // Dst ← ¬Src1 (logical)
+	CmpEQ    // Dst ← Src1 == Src2
+	CmpNE    // Dst ← Src1 != Src2
+	CmpLT    // Dst ← Src1 <  Src2
+	CmpLE    // Dst ← Src1 <= Src2
+	CmpGT    // Dst ← Src1 >  Src2
+	CmpGE    // Dst ← Src1 >= Src2
+	Load     // Dst ← Array[Src1]
+	Store    // Array[Src1] ← Src2
+	Beqz     // if Src1 == 0 goto Target
+	Bnez     // if Src1 != 0 goto Target
+	Jmp      // goto Target
+	Halt     // stop
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Li: "li", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul",
+	Div: "div", Mod: "mod", Neg: "neg", Not: "not",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+	CmpGT: "cmpgt", CmpGE: "cmpge",
+	Load: "load", Store: "store", Beqz: "beqz", Bnez: "bnez", Jmp: "jmp",
+	Halt: "halt",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one instruction. Register operands are indices into the
+// program's register file; unused operands are −1.
+type Instr struct {
+	Op         Op
+	Dst        int
+	Src1, Src2 int
+	Imm        int64
+	Array      string
+	Target     int // resolved instruction index for branches
+	Comment    string
+}
+
+// Prog is an executable instruction sequence.
+type Prog struct {
+	Instrs []Instr
+	// RegNames names each register (scalars keep their source names,
+	// temporaries are t0, t1, …, pipeline stages pipe.X.0 etc.).
+	RegNames []string
+}
+
+// NumRegs returns the register file size.
+func (p *Prog) NumRegs() int { return len(p.RegNames) }
+
+// String disassembles the program.
+func (p *Prog) String() string {
+	var b strings.Builder
+	reg := func(i int) string {
+		if i < 0 || i >= len(p.RegNames) {
+			return fmt.Sprintf("r?%d", i)
+		}
+		return p.RegNames[i]
+	}
+	for idx, in := range p.Instrs {
+		var s string
+		switch in.Op {
+		case Li:
+			s = fmt.Sprintf("li    %s, %d", reg(in.Dst), in.Imm)
+		case Mov, Neg, Not:
+			s = fmt.Sprintf("%-5s %s, %s", in.Op, reg(in.Dst), reg(in.Src1))
+		case Add, Sub, Mul, Div, Mod, CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE:
+			s = fmt.Sprintf("%-5s %s, %s, %s", in.Op, reg(in.Dst), reg(in.Src1), reg(in.Src2))
+		case Load:
+			s = fmt.Sprintf("load  %s, %s(%s)", reg(in.Dst), in.Array, reg(in.Src1))
+		case Store:
+			s = fmt.Sprintf("store %s(%s), %s", in.Array, reg(in.Src1), reg(in.Src2))
+		case Beqz, Bnez:
+			s = fmt.Sprintf("%-5s %s, @%d", in.Op, reg(in.Src1), in.Target)
+		case Jmp:
+			s = fmt.Sprintf("jmp   @%d", in.Target)
+		case Halt:
+			s = "halt"
+		default:
+			s = in.Op.String()
+		}
+		if in.Comment != "" {
+			s = fmt.Sprintf("%-34s ; %s", s, in.Comment)
+		}
+		fmt.Fprintf(&b, "%4d: %s\n", idx, s)
+	}
+	return b.String()
+}
+
+// Builder assembles a Prog with named registers and patched branch targets.
+type Builder struct {
+	prog   Prog
+	regs   map[string]int
+	nTemp  int
+	labels map[string]int   // label name → instruction index
+	fixups map[string][]int // label name → instruction indices to patch
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		regs:   map[string]int{},
+		labels: map[string]int{},
+		fixups: map[string][]int{},
+	}
+}
+
+// Reg returns the register index for a named register, allocating it on
+// first use.
+func (b *Builder) Reg(name string) int {
+	if r, ok := b.regs[name]; ok {
+		return r
+	}
+	r := len(b.prog.RegNames)
+	b.prog.RegNames = append(b.prog.RegNames, name)
+	b.regs[name] = r
+	return r
+}
+
+// Temp allocates a fresh temporary register.
+func (b *Builder) Temp() int {
+	name := fmt.Sprintf("t%d", b.nTemp)
+	b.nTemp++
+	return b.Reg(name)
+}
+
+// Emit appends an instruction and returns its index.
+func (b *Builder) Emit(in Instr) int {
+	b.prog.Instrs = append(b.prog.Instrs, in)
+	return len(b.prog.Instrs) - 1
+}
+
+// Here returns the index of the next instruction to be emitted.
+func (b *Builder) Here() int { return len(b.prog.Instrs) }
+
+// Label binds a label name to the next instruction index.
+func (b *Builder) Label(name string) {
+	b.labels[name] = b.Here()
+}
+
+// Branch emits a branch to a (possibly not yet bound) label.
+func (b *Builder) Branch(op Op, src int, label string) {
+	idx := b.Emit(Instr{Op: op, Src1: src, Dst: -1, Src2: -1, Target: -1})
+	if t, ok := b.labels[label]; ok {
+		b.prog.Instrs[idx].Target = t
+	} else {
+		b.fixups[label] = append(b.fixups[label], idx)
+	}
+}
+
+// Finish patches all branches and returns the program.
+func (b *Builder) Finish() (*Prog, error) {
+	for name, sites := range b.fixups {
+		t, ok := b.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("tac: unbound label %q", name)
+		}
+		for _, idx := range sites {
+			b.prog.Instrs[idx].Target = t
+		}
+	}
+	p := b.prog
+	return &p, nil
+}

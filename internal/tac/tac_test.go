@@ -1,0 +1,84 @@
+package tac
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderRegistersStable(t *testing.T) {
+	b := NewBuilder()
+	r1 := b.Reg("x")
+	r2 := b.Reg("y")
+	if r1 == r2 {
+		t.Fatal("distinct names share a register")
+	}
+	if b.Reg("x") != r1 {
+		t.Fatal("repeat lookup changed the register")
+	}
+	t1, t2 := b.Temp(), b.Temp()
+	if t1 == t2 {
+		t.Fatal("temps collide")
+	}
+}
+
+func TestBuilderBranchPatching(t *testing.T) {
+	b := NewBuilder()
+	r := b.Reg("c")
+	b.Branch(Beqz, r, "end") // forward reference
+	b.Emit(Instr{Op: Nop, Dst: -1, Src1: -1, Src2: -1})
+	b.Label("loop")
+	b.Emit(Instr{Op: Nop, Dst: -1, Src1: -1, Src2: -1})
+	b.Branch(Jmp, -1, "loop") // backward reference
+	b.Label("end")
+	b.Emit(Instr{Op: Halt, Dst: -1, Src1: -1, Src2: -1})
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Target != 4 {
+		t.Errorf("forward branch target = %d, want 4", p.Instrs[0].Target)
+	}
+	if p.Instrs[3].Target != 2 {
+		t.Errorf("backward branch target = %d, want 2", p.Instrs[3].Target)
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Branch(Jmp, -1, "nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected unbound-label error")
+	}
+}
+
+func TestOpStringCoverage(t *testing.T) {
+	for op := Nop; op <= Halt; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d lacks a name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(99).String(), "op(") {
+		t.Error("unknown opcode needs fallback")
+	}
+}
+
+func TestDisassemblyShapes(t *testing.T) {
+	b := NewBuilder()
+	x := b.Reg("x")
+	tmp := b.Temp()
+	b.Emit(Instr{Op: Li, Dst: tmp, Imm: 7, Src1: -1, Src2: -1})
+	b.Emit(Instr{Op: Add, Dst: x, Src1: x, Src2: tmp, Comment: "bump"})
+	b.Emit(Instr{Op: Load, Dst: tmp, Src1: x, Src2: -1, Array: "A"})
+	b.Emit(Instr{Op: Store, Dst: -1, Src1: x, Src2: tmp, Array: "A"})
+	b.Emit(Instr{Op: Halt, Dst: -1, Src1: -1, Src2: -1})
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.String()
+	for _, want := range []string{"li    t0, 7", "add   x, x, t0", "; bump", "load  t0, A(x)", "store A(x), t0", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}

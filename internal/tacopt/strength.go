@@ -1,0 +1,244 @@
+package tacopt
+
+import (
+	"repro/internal/tac"
+)
+
+// strengthReduce replaces per-iteration multiplications of a basic
+// induction variable by a loop constant (`t := iv·m`, the address
+// arithmetic of normalized strided loops) with an accumulator that is
+// initialized in the preheader and incremented by m·step at the latch —
+// classic strength reduction. Returns the number of multiplications
+// reduced.
+//
+// The recognizer is tuned to the code shapes internal/tac generates:
+//
+//	preheader:  … iv-init …
+//	header:     cmp/branch out
+//	body:       li mReg, m ; mul t, (iv|mReg), (mReg|iv) ; …
+//	latch:      li stepReg, step ; add iv, iv, stepReg ; jmp header
+func strengthReduce(p *tac.Prog) (*tac.Prog, int) {
+	blocks := buildBlocks(p)
+	loops := findNaturalLoops(p, blocks)
+	if len(loops) == 0 {
+		return p, 0
+	}
+
+	// Constant tracking: the value of a register at an instruction when it
+	// was set by an li in the same block with no intervening redefinition.
+	constAt := func(start, idx, reg int) (int64, bool) {
+		var v int64
+		known := false
+		for i := start; i < idx; i++ {
+			in := p.Instrs[i]
+			d := dstReg(in)
+			if d == reg {
+				if in.Op == tac.Li {
+					v, known = in.Imm, true
+				} else {
+					known = false
+				}
+			}
+		}
+		return v, known
+	}
+
+	type insertion struct {
+		at    int // insert before this instruction index
+		instr tac.Instr
+	}
+	var inserts []insertion
+	reduced := 0
+	nextReg := len(p.RegNames)
+	regNames := append([]string(nil), p.RegNames...)
+	newReg := func(name string) int {
+		regNames = append(regNames, name)
+		r := nextReg
+		nextReg++
+		return r
+	}
+	instrs := append([]tac.Instr(nil), p.Instrs...)
+
+	for _, lp := range loops {
+		iv, step, addIdx, ok := findBasicIV(p, blocks, lp, constAt)
+		if !ok {
+			continue
+		}
+		// Preheader: the block that falls into the header from outside the
+		// loop; with structured codegen it is the block ending at
+		// header.Start.
+		header := blocks[lp.header]
+		preEnd := header.Start
+		if preEnd == 0 {
+			continue
+		}
+
+		type accKey struct{ m int64 }
+		accs := map[accKey]int{}
+
+		for _, bi := range lp.blocks {
+			b := blocks[bi]
+			for i := b.Start; i < b.End; i++ {
+				in := instrs[i]
+				if in.Op != tac.Mul {
+					continue
+				}
+				var m int64
+				var okM bool
+				switch {
+				case in.Src1 == iv:
+					m, okM = constAt(b.Start, i, in.Src2)
+				case in.Src2 == iv:
+					m, okM = constAt(b.Start, i, in.Src1)
+				default:
+					continue
+				}
+				if !okM {
+					continue
+				}
+				// Reuse or create the accumulator for this multiplier.
+				acc, have := accs[accKey{m}]
+				if !have {
+					acc = newReg("sr.acc")
+					mc := newReg("sr.m")
+					dc := newReg("sr.d")
+					// Preheader: acc := iv·m (iv holds its initial value).
+					inserts = append(inserts,
+						insertion{at: preEnd, instr: tac.Instr{Op: tac.Li, Dst: mc, Imm: m, Src1: -1, Src2: -1, Comment: "strength-reduce m"}},
+						insertion{at: preEnd, instr: tac.Instr{Op: tac.Mul, Dst: acc, Src1: iv, Src2: mc, Comment: "strength-reduce init"}},
+					)
+					// Latch: after iv update, acc += m·step.
+					inserts = append(inserts,
+						insertion{at: addIdx + 1, instr: tac.Instr{Op: tac.Li, Dst: dc, Imm: m * step, Src1: -1, Src2: -1, Comment: "strength-reduce Δ"}},
+						insertion{at: addIdx + 1, instr: tac.Instr{Op: tac.Add, Dst: acc, Src1: acc, Src2: dc, Comment: "strength-reduce bump"}},
+					)
+					accs[accKey{m}] = acc
+				}
+				instrs[i] = tac.Instr{Op: tac.Mov, Dst: in.Dst, Src1: acc, Src2: -1, Comment: "strength-reduced"}
+				reduced++
+			}
+		}
+	}
+	if reduced == 0 {
+		return p, 0
+	}
+
+	// Materialize insertions: rebuild with an index map. Instructions
+	// inserted "at" position i run before the original instrs[i]; branch
+	// targets keep pointing at the original instruction, so preheader code
+	// placed just before a loop header executes exactly once.
+	insertByPos := map[int][]tac.Instr{}
+	for _, ins := range inserts {
+		insertByPos[ins.at] = append(insertByPos[ins.at], ins.instr)
+	}
+	var out []tac.Instr
+	newIdx := make([]int, len(instrs)+1)
+	for i := 0; i < len(instrs); i++ {
+		out = append(out, insertByPos[i]...)
+		newIdx[i] = len(out)
+		out = append(out, instrs[i])
+	}
+	out = append(out, insertByPos[len(instrs)]...)
+	newIdx[len(instrs)] = len(out)
+	for i := range out {
+		switch out[i].Op {
+		case tac.Jmp, tac.Beqz, tac.Bnez:
+			out[i].Target = newIdx[out[i].Target]
+		}
+	}
+	return &tac.Prog{Instrs: out, RegNames: regNames}, reduced
+}
+
+// natLoop is a natural loop: header block index plus member block indices.
+type natLoop struct {
+	header int
+	blocks []int
+}
+
+// findNaturalLoops locates back edges (a block branching to an
+// earlier-starting block) and collects their natural loops.
+func findNaturalLoops(p *tac.Prog, blocks []block) []natLoop {
+	startOf := map[int]int{}
+	for bi, b := range blocks {
+		startOf[b.Start] = bi
+	}
+	preds := make([][]int, len(blocks))
+	for bi, b := range blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], bi)
+		}
+	}
+	var loops []natLoop
+	for bi, b := range blocks {
+		for _, s := range b.Succs {
+			if blocks[s].Start <= b.Start {
+				// Back edge bi → s: natural loop = s plus everything that
+				// reaches bi without passing s.
+				member := map[int]bool{s: true, bi: true}
+				stack := []int{bi}
+				for len(stack) > 0 {
+					cur := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, pr := range preds[cur] {
+						if !member[pr] {
+							member[pr] = true
+							stack = append(stack, pr)
+						}
+					}
+				}
+				lp := natLoop{header: s}
+				for m := range member {
+					lp.blocks = append(lp.blocks, m)
+				}
+				loops = append(loops, lp)
+			}
+		}
+	}
+	// Inner loops first (fewer blocks).
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if len(loops[j].blocks) < len(loops[i].blocks) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	return loops
+}
+
+// findBasicIV locates the unique `add r, r, stepReg` in the loop whose
+// stepReg holds a block-local constant, with no other definition of r
+// inside the loop. Returns the register, the step value and the add's
+// instruction index.
+func findBasicIV(p *tac.Prog, blocks []block, lp natLoop,
+	constAt func(start, idx, reg int) (int64, bool)) (iv int, step int64, addIdx int, ok bool) {
+	defCount := map[int]int{}
+	type cand struct {
+		reg, idx, blockStart int
+	}
+	var cands []cand
+	for _, bi := range lp.blocks {
+		b := blocks[bi]
+		for i := b.Start; i < b.End; i++ {
+			in := p.Instrs[i]
+			if d := dstReg(in); d >= 0 {
+				defCount[d]++
+				if in.Op == tac.Add && in.Src1 == d {
+					cands = append(cands, cand{reg: d, idx: i, blockStart: b.Start})
+				}
+			}
+		}
+	}
+	for _, c := range cands {
+		// The add itself plus possibly the preheader li — inside the loop
+		// the IV must be defined exactly once.
+		if defCount[c.reg] != 1 {
+			continue
+		}
+		s, known := constAt(c.blockStart, c.idx, p.Instrs[c.idx].Src2)
+		if !known {
+			continue
+		}
+		return c.reg, s, c.idx, true
+	}
+	return 0, 0, 0, false
+}

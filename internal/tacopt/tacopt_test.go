@@ -1,0 +1,315 @@
+package tacopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/synth"
+	"repro/internal/tac"
+)
+
+func compile(t *testing.T, src string) *tac.Prog {
+	t.Helper()
+	prog := parser.MustParse(src)
+	p, err := tac.Gen(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runBoth executes the original and the optimized program on identical
+// memory and asserts equal final contents; returns both results.
+func runBoth(t *testing.T, p *tac.Prog, initRegs map[string]int64, seed int64) (*machine.Result, *machine.Result) {
+	t.Helper()
+	opt, _ := Optimize(p)
+	rng := rand.New(rand.NewSource(seed))
+	memA, memB := machine.NewMemory(), machine.NewMemory()
+	for _, arr := range []string{"A", "B", "C", "D", "A0", "A1", "A2"} {
+		for i := int64(-4); i <= 60; i++ {
+			v := rng.Int63n(100)
+			memA.Set(arr, i, v)
+			memB.Set(arr, i, v)
+		}
+	}
+	resA, err := machine.Run(p, memA, &machine.Options{InitRegs: initRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := machine.Run(opt, memB, &machine.Options{InitRegs: initRegs})
+	if err != nil {
+		t.Fatalf("optimized: %v\n%s", err, opt)
+	}
+	if !memA.Equal(memB) {
+		t.Fatalf("optimizer changed semantics\noriginal:\n%s\noptimized:\n%s", p, opt)
+	}
+	return resA, resB
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := compile(t, "a := (2 + 3) * 4")
+	opt, st := Optimize(p)
+	if st.FoldedConsts == 0 {
+		t.Errorf("nothing folded\n%s", opt)
+	}
+	if len(opt.Instrs) >= len(p.Instrs) {
+		t.Errorf("no shrink: %d -> %d", len(p.Instrs), len(opt.Instrs))
+	}
+	runBoth(t, p, nil, 1)
+}
+
+func TestCopyPropagationAndDCE(t *testing.T) {
+	p := compile(t, "a := b\nc := a + a\nd := c")
+	_, st := Optimize(p)
+	if st.PropagatedMoves == 0 {
+		t.Error("no copies propagated")
+	}
+	runBoth(t, p, map[string]int64{"b": 5}, 2)
+}
+
+func TestRedundantLoadWithinBlock(t *testing.T) {
+	// Two loads of A[i] in one statement: the second becomes a move.
+	p := compile(t, "b := A[i] + A[i]")
+	opt, st := Optimize(p)
+	if st.RemovedLoads == 0 {
+		t.Errorf("duplicate load not removed\n%s", opt)
+	}
+	resA, resB := runBoth(t, p, map[string]int64{"i": 3}, 3)
+	if resB.Loads["A"] >= resA.Loads["A"] {
+		t.Errorf("loads not reduced: %d vs %d", resB.Loads["A"], resA.Loads["A"])
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	// A store followed by a load of the same address forwards the value.
+	p := compile(t, "A[i] := x\ny := A[i]")
+	opt, st := Optimize(p)
+	if st.RemovedLoads == 0 {
+		t.Errorf("store-to-load not forwarded\n%s", opt)
+	}
+	resA, resB := runBoth(t, p, map[string]int64{"i": 2, "x": 9}, 4)
+	if resB.Loads["A"] >= resA.Loads["A"] {
+		t.Errorf("loads not reduced: %d vs %d", resB.Loads["A"], resA.Loads["A"])
+	}
+}
+
+func TestStoreInvalidatesOtherAddresses(t *testing.T) {
+	// The store to A[j] may alias A[i]: the reload must survive. The
+	// results are stored so liveness cannot discard them.
+	p := compile(t, "x := A[i]\nA[j] := 0\ny := A[i]\nB[1] := x\nB[2] := y")
+	resA, resB := runBoth(t, p, map[string]int64{"i": 3, "j": 3}, 5)
+	if resB.Loads["A"] != resA.Loads["A"] {
+		t.Errorf("aliased reload removed: %d vs %d", resB.Loads["A"], resA.Loads["A"])
+	}
+}
+
+func TestDeadLoadsRemoved(t *testing.T) {
+	// Results never observed: liveness removes the loads entirely.
+	p := compile(t, "x := A[i]\ny := A[i]")
+	_, resB := runBoth(t, p, map[string]int64{"i": 3}, 55)
+	if resB.Loads["A"] != 0 {
+		t.Errorf("dead loads survived: %d", resB.Loads["A"])
+	}
+}
+
+func TestLoopOptimizedStillCorrect(t *testing.T) {
+	p := compile(t, `
+do i = 1, 40
+  A[i+1] := A[i] * 2 + A[i]
+  if i % 3 == 0 then
+    B[i] := A[i+1]
+  else
+    B[i] := A[i] - 1
+  endif
+enddo
+`)
+	resA, resB := runBoth(t, p, nil, 6)
+	if resB.Cycles > resA.Cycles {
+		t.Errorf("optimizer made things slower: %d vs %d", resB.Cycles, resA.Cycles)
+	}
+	if resB.Steps >= resA.Steps {
+		t.Errorf("no instruction reduction: %d vs %d", resB.Steps, resA.Steps)
+	}
+}
+
+func TestCannotRemoveCrossIterationReuse(t *testing.T) {
+	// The point of the paper: a local optimizer cannot eliminate the
+	// cross-iteration reload of A[i] in Figure 5 — only the framework's
+	// pipelining can. The optimized conventional code must still perform
+	// one load of A per iteration.
+	p := compile(t, `
+do i = 1, 50
+  A[i+2] := A[i] + X
+enddo
+`)
+	_, resB := runBoth(t, p, map[string]int64{"X": 1}, 7)
+	if resB.Loads["A"] != 50 {
+		t.Errorf("local optimizer should keep the per-iteration load: %d", resB.Loads["A"])
+	}
+}
+
+func TestDifferentialRandomLoops(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		prog := synth.Loop(synth.Params{
+			Seed: seed, Stmts: 6, Arrays: 3, MaxDist: 3, CondProb: 0.3, UB: 30,
+		})
+		p, err := tac.Gen(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initRegs := map[string]int64{"x0": 1, "x1": -2, "x2": 3, "c0": 1, "c1": 0, "c2": -1, "c3": 2}
+		runBoth(t, p, initRegs, seed)
+	}
+}
+
+func TestBranchTargetsRemappedAfterCompaction(t *testing.T) {
+	p := compile(t, `
+do i = 1, 10
+  if i > 5 then
+    A[i] := 1
+  else
+    A[i] := 2
+  endif
+enddo
+`)
+	opt, _ := Optimize(p)
+	for idx, in := range opt.Instrs {
+		switch in.Op {
+		case tac.Jmp, tac.Beqz, tac.Bnez:
+			if in.Target < 0 || in.Target >= len(opt.Instrs) {
+				t.Fatalf("instr %d: dangling branch target %d\n%s", idx, in.Target, opt)
+			}
+		}
+	}
+	runBoth(t, p, nil, 8)
+}
+
+func TestIdempotent(t *testing.T) {
+	p := compile(t, "a := 1 + 2\nb := a\nc := b * 3")
+	once, _ := Optimize(p)
+	twice, st := Optimize(once)
+	if len(twice.Instrs) != len(once.Instrs) {
+		t.Errorf("second optimization changed size: %d vs %d\n%s", len(once.Instrs), len(twice.Instrs), st)
+	}
+}
+
+func TestOriginalUntouched(t *testing.T) {
+	p := compile(t, "a := 1 + 2")
+	before := p.String()
+	Optimize(p)
+	if p.String() != before {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+func TestStmtMultiDim(t *testing.T) {
+	prog := parser.MustParse("do j = 1, 5\n do i = 1, 5\n  X[i, j] := X[i, j] + 1\n enddo\nenddo")
+	p, err := tac.Gen(prog, &tac.GenOptions{Dims: map[string][]int64{"X": {8, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := Optimize(p)
+	memA, memB := machine.NewMemory(), machine.NewMemory()
+	if _, err := machine.Run(p, memA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(opt, memB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !memA.Equal(memB) {
+		t.Fatal("multi-dim semantics changed")
+	}
+}
+
+// --- strength reduction ------------------------------------------------------
+
+func TestStrengthReductionStridedStore(t *testing.T) {
+	p := compile(t, `
+do i = 1, 30
+  A[3*i - 2] := x
+enddo
+`)
+	opt, st := Optimize(p)
+	if st.StrengthReduced == 0 {
+		t.Fatalf("mul by stride not reduced\n%s", opt)
+	}
+	for _, in := range opt.Instrs {
+		if in.Op == tac.Mul {
+			t.Errorf("a multiply survived strength reduction\n%s", opt)
+		}
+	}
+	resA, resB := runBoth(t, p, map[string]int64{"x": 5}, 20)
+	if resB.Cycles >= resA.Cycles {
+		t.Errorf("no cycle win: %d vs %d", resB.Cycles, resA.Cycles)
+	}
+}
+
+func TestStrengthReductionSharedMultiplier(t *testing.T) {
+	// Two subscripts with the same stride share one accumulator.
+	p := compile(t, `
+do i = 1, 30
+  A[3*i] := x
+  B[3*i + 1] := x
+enddo
+`)
+	opt, st := Optimize(p)
+	if st.StrengthReduced < 2 {
+		t.Fatalf("expected both muls reduced, got %d\n%s", st.StrengthReduced, opt)
+	}
+	accs := 0
+	for _, name := range opt.RegNames {
+		if name == "sr.acc" {
+			accs++
+		}
+	}
+	if accs != 1 {
+		t.Errorf("accumulators = %d, want 1 (shared multiplier)", accs)
+	}
+	runBoth(t, p, map[string]int64{"x": 5}, 21)
+}
+
+func TestStrengthReductionNestedLoops(t *testing.T) {
+	prog := parser.MustParse(`
+do j = 1, 8
+  do i = 1, 8
+    X[2*i, j] := X[2*i, j] + 1
+  enddo
+enddo
+`)
+	p, err := tac.Gen(prog, &tac.GenOptions{Dims: map[string][]int64{"X": {32, 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, st := Optimize(p)
+	memA, memB := machine.NewMemory(), machine.NewMemory()
+	if _, err := machine.Run(p, memA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Run(opt, memB, nil); err != nil {
+		t.Fatalf("%v\n%s", err, opt)
+	}
+	if !memA.Equal(memB) {
+		t.Fatalf("nested strength reduction changed semantics\n%s", opt)
+	}
+	if st.StrengthReduced == 0 {
+		t.Error("no reductions in nested loop")
+	}
+}
+
+func TestStrengthReductionLeavesIVDependentMultipliersAlone(t *testing.T) {
+	// i*i is not affine; codegen rejects it as a subscript but a scalar
+	// computation may still contain it — the reducer must not touch
+	// mul(iv, iv).
+	p := compile(t, `
+do i = 1, 10
+  s := s + i * i
+enddo
+A[1] := s
+`)
+	runBoth(t, p, nil, 33)
+}
+
+var _ = ast.ProgramString // keep ast import for failure diagnostics

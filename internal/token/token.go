@@ -1,0 +1,165 @@
+// Package token defines the lexical tokens of the loop mini-language
+// accepted by this reproduction of Duesterwald, Gupta & Soffa (PLDI 1993).
+//
+// The language is a Fortran-like subset: DO loops controlled by a basic
+// induction variable, IF/THEN/ELSE conditionals, and assignments whose
+// left-hand sides may be scalar variables or array references with affine
+// subscripts. Statements are separated by newlines or semicolons.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The order inside the operator block matters only for
+// readability; precedence is handled by the parser.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	NEWLINE // statement separator (newline or ';')
+
+	// Literals and identifiers.
+	IDENT // A, i, foo
+	INT   // 123
+
+	// Operators and delimiters.
+	ASSIGN // := (also plain '=' in statement position)
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	MOD    // %
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+
+	// Keywords.
+	DO
+	ENDDO
+	IF
+	THEN
+	ELSE
+	ENDIF
+	AND
+	OR
+	NOT
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:  "ILLEGAL",
+	EOF:      "EOF",
+	NEWLINE:  "NEWLINE",
+	IDENT:    "IDENT",
+	INT:      "INT",
+	ASSIGN:   ":=",
+	PLUS:     "+",
+	MINUS:    "-",
+	STAR:     "*",
+	SLASH:    "/",
+	MOD:      "%",
+	EQ:       "==",
+	NEQ:      "!=",
+	LT:       "<",
+	LEQ:      "<=",
+	GT:       ">",
+	GEQ:      ">=",
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACKET: "[",
+	RBRACKET: "]",
+	COMMA:    ",",
+	DO:       "do",
+	ENDDO:    "enddo",
+	IF:       "if",
+	THEN:     "then",
+	ELSE:     "else",
+	ENDIF:    "endif",
+	AND:      "and",
+	OR:       "or",
+	NOT:      "not",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps identifier spellings (lower-cased) to keyword kinds.
+var keywords = map[string]Kind{
+	"do":    DO,
+	"enddo": ENDDO,
+	"endo":  ENDDO, // common typo accepted leniently
+	"if":    IF,
+	"then":  THEN,
+	"else":  ELSE,
+	"endif": ENDIF,
+	"and":   AND,
+	"or":    OR,
+	"not":   NOT,
+}
+
+// Lookup returns the keyword kind for an identifier spelling, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsRelational reports whether the kind is a comparison operator.
+func (k Kind) IsRelational() bool {
+	switch k {
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		return true
+	}
+	return false
+}
+
+// IsAdditive reports whether the kind is + or -.
+func (k Kind) IsAdditive() bool { return k == PLUS || k == MINUS }
+
+// IsMultiplicative reports whether the kind is *, / or %.
+func (k Kind) IsMultiplicative() bool { return k == STAR || k == SLASH || k == MOD }

@@ -1,0 +1,63 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"do": DO, "enddo": ENDDO, "if": IF, "then": THEN, "else": ELSE,
+		"endif": ENDIF, "and": AND, "or": OR, "not": NOT,
+		"foo": IDENT, "doo": IDENT, "end": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if ASSIGN.String() != ":=" || EQ.String() != "==" || DO.String() != "do" {
+		t.Error("operator renderings wrong")
+	}
+	if Kind(250).String() == "" {
+		t.Error("unknown kinds need a fallback rendering")
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" || !p.IsValid() {
+		t.Errorf("pos = %s valid=%v", p, p.IsValid())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos must be invalid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: IDENT, Text: "abc"}
+	if id.String() != `IDENT("abc")` {
+		t.Errorf("token string = %q", id.String())
+	}
+	op := Token{Kind: PLUS}
+	if op.String() != "+" {
+		t.Errorf("op string = %q", op.String())
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for _, k := range []Kind{EQ, NEQ, LT, LEQ, GT, GEQ} {
+		if !k.IsRelational() {
+			t.Errorf("%v should be relational", k)
+		}
+	}
+	if PLUS.IsRelational() || ASSIGN.IsRelational() {
+		t.Error("false relational")
+	}
+	if !PLUS.IsAdditive() || !MINUS.IsAdditive() || STAR.IsAdditive() {
+		t.Error("additive predicate wrong")
+	}
+	if !STAR.IsMultiplicative() || !SLASH.IsMultiplicative() || !MOD.IsMultiplicative() || PLUS.IsMultiplicative() {
+		t.Error("multiplicative predicate wrong")
+	}
+}
