@@ -77,6 +77,22 @@ type (
 	MachineResult = machine.Result
 	// NestRecurrence is a distance-vector recurrence in a tight nest.
 	NestRecurrence = nest.Recurrence
+	// ProgramAnalysis is the whole-program result of AnalyzeProgram: every
+	// loop's fixed points in innermost-first order plus solver metrics.
+	ProgramAnalysis = driver.ProgramAnalysis
+	// LoopAnalysis is one loop's bundle inside a ProgramAnalysis.
+	LoopAnalysis = driver.LoopAnalysis
+	// AnalyzeOptions tunes the whole-program driver: the specs to solve,
+	// the §6 extension, the worker-pool width (Parallelism; 0 =
+	// GOMAXPROCS, 1 = serial), and the memo cache escape hatch
+	// (DisableCache). Results are byte-for-byte identical at every
+	// Parallelism setting and with the cache on or off.
+	AnalyzeOptions = driver.Options
+	// AnalysisMetrics instruments one AnalyzeProgram call: per-loop solver
+	// work, cache hits/misses, the empirical pass-bound check, wall times.
+	AnalysisMetrics = driver.Metrics
+	// SolverMetrics is the per-solve counter bundle of the dataflow core.
+	SolverMetrics = dataflow.Metrics
 )
 
 // Parse parses mini-language source.
@@ -188,9 +204,35 @@ func NestRecurrences(outer *Loop, maxDist int64) ([]NestRecurrence, error) {
 // §3.6 re-analyses with respect to enclosing induction variables on tight
 // nests, and — when nestVectors is set — the §6 distance-vector extension.
 // specs may be nil for must-reaching definitions only.
-func AnalyzeProgram(prog *Program, specs []*Spec, nestVectors bool) (*driver.ProgramAnalysis, error) {
+//
+// Loops of one nesting depth are independent, so the driver schedules each
+// depth wave across a GOMAXPROCS-wide worker pool and memoizes identical
+// loop bodies in a process-global content-addressed cache; the result
+// (including Report output) is byte-for-byte identical to a serial,
+// uncached run. Use AnalyzeProgramOpts for the scheduling and caching
+// knobs, and ProgramAnalysis.Metrics for the solver instrumentation.
+func AnalyzeProgram(prog *Program, specs []*Spec, nestVectors bool) (*ProgramAnalysis, error) {
 	return driver.Analyze(prog, &driver.Options{Specs: specs, NestVectors: nestVectors})
 }
+
+// AnalyzeProgramOpts is AnalyzeProgram with the full option set: spec list,
+// §6 vectors and their distance bound, worker-pool width (Parallelism: 0 =
+// GOMAXPROCS, 1 = serial), and DisableCache to bypass the memo cache —
+// required when passing hand-built Specs that reuse a canned problem name
+// with different Gen/Kill semantics, since the cache keys solves by spec
+// name and canonical loop text.
+func AnalyzeProgramOpts(prog *Program, opts *AnalyzeOptions) (*ProgramAnalysis, error) {
+	return driver.Analyze(prog, opts)
+}
+
+// AnalysisCacheStats reports the process-global solve cache: resident
+// entries and lifetime hit/miss tallies across all AnalyzeProgram calls.
+func AnalysisCacheStats() (entries, hits, misses int) { return driver.CacheStats() }
+
+// ResetAnalysisCache drops every memoized loop solve. Long-running hosts
+// that stream unbounded distinct programs can call it to release memory at
+// a known point; the cache also self-bounds by flushing when full.
+func ResetAnalysisCache() { driver.ResetCache() }
 
 // Execution substrates.
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	arrayflow [-analysis reach|avail|busy|deps] [-trace] [-loop n] [file]
+//	arrayflow [-analysis reach|avail|busy|deps] [-trace] [-metrics] [-loop n] [file]
 //
 // With no file the program is read from stdin. With no file and no piped
 // input, the paper's Figure 1 loop is analyzed.
@@ -31,8 +31,11 @@ func main() {
 	analysis := flag.String("analysis", "reach",
 		"analysis to run: reach (must-reaching defs), avail (δ-available), busy (δ-busy stores), deps (δ-reaching refs)")
 	trace := flag.Bool("trace", false, "print initialization and per-pass tuple tables (Table 1 style)")
+	metrics := flag.Bool("metrics", false, "print solver metrics: passes, node visits, flow applications, cache hits, wall time")
 	loopIdx := flag.Int("loop", 0, "index of the top-level loop to analyze")
 	whole := flag.Bool("program", false, "run the whole-program hierarchical analysis (§3.2) instead of a single loop")
+	workers := flag.Int("workers", 0, "worker goroutines for -program (0 = GOMAXPROCS, 1 = serial)")
+	nocache := flag.Bool("nocache", false, "disable the memoizing solve cache for -program")
 	flag.Parse()
 
 	src, err := readSource(flag.Arg(0))
@@ -53,11 +56,16 @@ func main() {
 	}
 
 	if *whole {
-		pa, err := driver.Analyze(prog, &driver.Options{NestVectors: true})
+		pa, err := driver.Analyze(prog, &driver.Options{
+			NestVectors: true, Parallelism: *workers, DisableCache: *nocache})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(pa.Report())
+		if *metrics {
+			fmt.Println("-- solver metrics --")
+			fmt.Print(pa.Metrics.Report())
+		}
 		return
 	}
 
@@ -97,6 +105,12 @@ func main() {
 	}
 	fmt.Printf("-- fixed point (%s, %d changing passes) --\n", spec.Name, res.ChangedPasses)
 	fmt.Println(res.TupleTable(-1))
+	if *metrics {
+		m := res.Metrics()
+		fmt.Printf("-- solver metrics --\n")
+		fmt.Printf("  nodes %d, classes %d, passes %d (%d changing), node visits %d, flow applications %d, wall %s\n",
+			m.Nodes, m.Classes, m.Passes, m.ChangedPasses, m.NodeVisits, m.FlowApps, m.Elapsed)
+	}
 
 	switch *analysis {
 	case "reach", "avail":

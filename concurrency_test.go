@@ -1,0 +1,116 @@
+package arrayflow_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	arrayflow "repro"
+)
+
+// manyLoopSource builds a program of n sibling loops (every third one a
+// tight two-level nest) with bodies that differ per loop.
+func manyLoopSource(n int) string {
+	var b strings.Builder
+	for k := 0; k < n; k++ {
+		nested := k%3 == 2
+		if nested {
+			b.WriteString("do j = 1, N\n")
+		}
+		fmt.Fprintf(&b, "do i = 1, N\n")
+		fmt.Fprintf(&b, "  A%d[i+%d] := A%d[i] + x\n", k%5, 1+k%4, k%5)
+		fmt.Fprintf(&b, "  B[i] := A%d[i-%d] + B[i-1]\n", k%5, k%3)
+		b.WriteString("enddo\n")
+		if nested {
+			b.WriteString("enddo\n")
+		}
+	}
+	return b.String()
+}
+
+// TestConcurrentAnalyzeProgram drives the public API from many goroutines
+// over one shared parsed program — the shape a multi-tenant analysis
+// service has. Run under -race it checks the driver's shared state (the
+// memo cache, the precomputed graphs) is safely published; it also checks
+// every goroutine renders identical bytes.
+func TestConcurrentAnalyzeProgram(t *testing.T) {
+	prog := arrayflow.MustParse(manyLoopSource(16))
+	const goroutines = 8
+	reports := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				pa, err := arrayflow.AnalyzeProgram(prog, nil, true)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				reports[k] = pa.Report()
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", k, err)
+		}
+	}
+	for k := 1; k < goroutines; k++ {
+		if reports[k] != reports[0] {
+			t.Fatalf("goroutine %d diverged:\n%s\nvs\n%s", k, reports[k], reports[0])
+		}
+	}
+}
+
+// TestAnalyzeProgramOptsDeterminism re-runs the whole-program analysis 50×
+// through the public API across scheduling modes and asserts byte-identical
+// rendering — the contract that makes the parallel driver a drop-in.
+func TestAnalyzeProgramOptsDeterminism(t *testing.T) {
+	prog := arrayflow.MustParse(manyLoopSource(18))
+	var want string
+	for run := 0; run < 50; run++ {
+		pa, err := arrayflow.AnalyzeProgramOpts(prog, &arrayflow.AnalyzeOptions{
+			NestVectors:  true,
+			Parallelism:  []int{1, 2, 4, 0}[run%4],
+			DisableCache: run%2 == 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pa.Report(); run == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("run %d diverged", run)
+		}
+	}
+}
+
+// TestAnalysisCacheSurface exercises the cache control surface exported for
+// long-running hosts.
+func TestAnalysisCacheSurface(t *testing.T) {
+	arrayflow.ResetAnalysisCache()
+	prog := arrayflow.MustParse(manyLoopSource(6))
+	if _, err := arrayflow.AnalyzeProgram(prog, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, misses := arrayflow.AnalysisCacheStats()
+	if entries == 0 || misses == 0 {
+		t.Fatalf("cache untouched after analysis: entries=%d misses=%d", entries, misses)
+	}
+	pa, err := arrayflow.AnalyzeProgram(prog, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Metrics.CacheHits == 0 {
+		t.Fatal("re-analysis did not hit the cache")
+	}
+	arrayflow.ResetAnalysisCache()
+	if entries, hits, misses := arrayflow.AnalysisCacheStats(); entries != 0 || hits != 0 || misses != 0 {
+		t.Fatalf("reset left state: %d/%d/%d", entries, hits, misses)
+	}
+}

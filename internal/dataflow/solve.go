@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/ir"
@@ -82,6 +83,65 @@ type Result struct {
 	// NodeVisits counts every node visit across the initialization and all
 	// iteration passes.
 	NodeVisits int
+	// FlowApps counts flow-function applications (one per tracked class per
+	// node visit) during the iteration passes.
+	FlowApps int
+	// Elapsed is the wall time of the Solve call.
+	Elapsed time.Duration
+}
+
+// Metrics is the cheap per-solve instrumentation bundle: the empirical
+// check of the paper's ≤ 3-pass claim plus the raw work counters a driver
+// aggregates across loops.
+type Metrics struct {
+	// Nodes and Classes give the problem size (N and m of the paper's
+	// O(N·m) bound).
+	Nodes   int
+	Classes int
+	// Passes is the total iteration passes (confirmation pass included);
+	// ChangedPasses those that changed a tuple (paper claim: ≤ 2 for
+	// must-problems, ≤ 1 for may-problems).
+	Passes        int
+	ChangedPasses int
+	// NodeVisits counts node visits across initialization and iteration.
+	NodeVisits int
+	// FlowApps counts per-class flow-function applications while iterating.
+	FlowApps int
+	// Elapsed is the solve's wall time.
+	Elapsed time.Duration
+}
+
+// Metrics bundles the result's instrumentation counters.
+func (res *Result) Metrics() Metrics {
+	return Metrics{
+		Nodes:         len(res.Graph.Nodes),
+		Classes:       len(res.Classes),
+		Passes:        res.Passes,
+		ChangedPasses: res.ChangedPasses,
+		NodeVisits:    res.NodeVisits,
+		FlowApps:      res.FlowApps,
+		Elapsed:       res.Elapsed,
+	}
+}
+
+// Add accumulates counters (wall times sum; sizes and passes take the max,
+// so an aggregate still checks the per-solve pass bound).
+func (m *Metrics) Add(o Metrics) {
+	if o.Nodes > m.Nodes {
+		m.Nodes = o.Nodes
+	}
+	if o.Classes > m.Classes {
+		m.Classes = o.Classes
+	}
+	if o.Passes > m.Passes {
+		m.Passes = o.Passes
+	}
+	if o.ChangedPasses > m.ChangedPasses {
+		m.ChangedPasses = o.ChangedPasses
+	}
+	m.NodeVisits += o.NodeVisits
+	m.FlowApps += o.FlowApps
+	m.Elapsed += o.Elapsed
 }
 
 // TraceEntry snapshots one iteration pass.
@@ -115,7 +175,9 @@ func Solve(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	if opts == nil {
 		opts = &Options{}
 	}
+	start := time.Now()
 	res := &Result{Graph: g, Spec: spec, ClassOf: map[*ir.Ref]*Class{}}
+	defer func() { res.Elapsed = time.Since(start) }()
 	res.buildClasses()
 	m := len(res.Classes)
 	n := len(g.Nodes)
@@ -417,6 +479,7 @@ func (res *Result) compileNodeClass(nd *ir.Node, c *Class) flowFn {
 // applyFlow computes f_n(in) into a scratch tuple.
 func applyFlow(nd *ir.Node, g *ir.Graph, fns []flowFn, in lattice.Tuple, res *Result) lattice.Tuple {
 	out := make(lattice.Tuple, len(in))
+	res.FlowApps += len(in)
 	if nd.Kind == ir.KindExit {
 		for i, x := range in {
 			v := x.Inc()

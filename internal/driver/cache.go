@@ -1,0 +1,143 @@
+package driver
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/problems"
+)
+
+// solved is one fully-analyzed loop: the flow graph and the fixed points of
+// every requested problem instance, plus the derived reuse facts. Once a
+// cache entry is published its solved value is never mutated again — the
+// graph has been Precompute()d and the solver never writes into a finished
+// Result — so identical loop bodies can share one solved value across
+// goroutines and across Analyze calls.
+type solved struct {
+	graph   *ir.Graph
+	results map[string]*dataflow.Result
+	reuses  []problems.Reuse
+}
+
+// cacheEntry is the singleflight cell for one cache key: the first
+// goroutine to claim the key computes inside once; later claimants (the
+// cache hits) block on once until the value is published. This makes the
+// hit/miss counts deterministic — k distinct keys among n solves always
+// yield exactly k misses — no matter how the scheduler interleaves workers.
+type cacheEntry struct {
+	once sync.Once
+	sv   *solved
+	err  error
+}
+
+// solveCache memoizes loop solves content-addressed by the canonical
+// rendering of the loop (induction variable, bounds, and body — everything
+// that determines the analysis) plus the spec-name signature.
+type solveCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+// defaultCacheCap bounds the process-global cache. When exceeded the whole
+// map is dropped (the entries are content-addressed, so a refill is only a
+// re-solve, never a correctness issue).
+const defaultCacheCap = 4096
+
+// globalCache is the process-wide memo table shared by every Analyze call
+// that does not set Options.DisableCache.
+var globalCache = newSolveCache(defaultCacheCap)
+
+func newSolveCache(cap int) *solveCache {
+	return &solveCache{cap: cap, entries: map[string]*cacheEntry{}}
+}
+
+// cacheKey renders the content-addressed key for a loop + spec set. The
+// rendered loop text covers the induction variable, the bounds, and the
+// whole (possibly nested) body; specs contribute their names, which are
+// canonical for the problem instances built by package problems. Callers
+// that hand-build a Spec reusing a canned name with different semantics
+// must disable the cache.
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec) string {
+	var b strings.Builder
+	b.WriteString(ast.StmtString(loop, 0))
+	for _, s := range specs {
+		b.WriteByte('\x00')
+		b.WriteString(s.Name)
+	}
+	return b.String()
+}
+
+// claim returns the entry for key, creating it when absent. The second
+// result reports whether the entry already existed (a cache hit). Counting
+// happens under the same lock as the lookup, so the tallies stay exact
+// under concurrency.
+func (c *solveCache) claim(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e, true
+	}
+	if len(c.entries) >= c.cap {
+		c.entries = map[string]*cacheEntry{}
+	}
+	e := &cacheEntry{}
+	c.entries[key] = e
+	c.misses++
+	return e, false
+}
+
+// solveLoop analyzes one loop (graph construction, every spec's fixed
+// point, reuse extraction), going through the memo cache unless disabled.
+func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool) (*solved, bool, error) {
+	if !useCache {
+		sv, err := solveLoopFresh(loop, specs)
+		return sv, false, err
+	}
+	e, hit := globalCache.claim(cacheKey(loop, specs))
+	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs) })
+	return e.sv, hit, e.err
+}
+
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec) (*solved, error) {
+	g, err := ir.Build(loop, nil)
+	if err != nil {
+		return nil, err
+	}
+	sv := &solved{graph: g, results: make(map[string]*dataflow.Result, len(specs))}
+	for _, spec := range specs {
+		res := dataflow.Solve(g, spec, nil)
+		sv.results[spec.Name] = res
+		if spec.Name == "must-reaching-defs" {
+			sv.reuses = problems.FindReuses(res)
+		}
+	}
+	// Force the lazily-built dominator relation before the value can be
+	// shared, so later concurrent readers never mutate the graph.
+	g.Precompute()
+	return sv, nil
+}
+
+// CacheStats reports the global solve cache's current size and lifetime
+// hit/miss tallies (process-wide, across Analyze calls).
+func CacheStats() (entries, hits, misses int) {
+	globalCache.mu.Lock()
+	defer globalCache.mu.Unlock()
+	return len(globalCache.entries), globalCache.hits, globalCache.misses
+}
+
+// ResetCache drops every memoized solve and zeroes the tallies. Tests and
+// long-running hosts that analyze unbounded streams of distinct programs
+// can call it to release memory at a known point.
+func ResetCache() {
+	globalCache.mu.Lock()
+	defer globalCache.mu.Unlock()
+	globalCache.entries = map[string]*cacheEntry{}
+	globalCache.hits, globalCache.misses = 0, 0
+}

@@ -1,0 +1,157 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/problems"
+	"repro/internal/synth"
+)
+
+// manyLoops is the shared workload: ≥16 sibling loops at mixed depths
+// (every third top-level loop is a tight two-level nest).
+func manyLoops() *synth.MultiParams {
+	return &synth.MultiParams{Seed: 7, Loops: 18, StmtsPer: 8, NestEvery: 3}
+}
+
+// TestParallelDeterminism runs the driver 50× across every scheduling mode
+// (serial, bounded, GOMAXPROCS workers; cache on and off) and asserts the
+// rendered result is byte-identical each time. This is the contract the
+// wave schedule and the deterministic merge exist to keep.
+func TestParallelDeterminism(t *testing.T) {
+	prog := synth.MultiLoopProgram(*manyLoops())
+	specs := []*dataflow.Spec{problems.MustReachingDefs(), problems.BusyStores()}
+	var want string
+	for run := 0; run < 50; run++ {
+		opts := &Options{
+			Specs:        specs,
+			NestVectors:  true,
+			Parallelism:  []int{1, 2, 3, 4, 0}[run%5],
+			DisableCache: run%2 == 0,
+		}
+		pa, err := Analyze(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pa.Report()
+		if run == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d (parallelism %d, cache disabled %v) diverged:\n got: %q\nwant: %q",
+				run, opts.Parallelism, opts.DisableCache, got, want)
+		}
+	}
+}
+
+// TestCacheHitsOnRepeatedBodies checks the content-addressed memoization:
+// 16 sibling loops drawn from 4 distinct bodies must yield exactly 4 misses
+// and 12 hits (the singleflight cells make the split deterministic even
+// under the parallel schedule), and a second identical Analyze must hit on
+// every loop.
+func TestCacheHitsOnRepeatedBodies(t *testing.T) {
+	ResetCache()
+	prog := synth.MultiLoopProgram(synth.MultiParams{Seed: 3, Loops: 16, StmtsPer: 6, DistinctBodies: 4})
+	pa, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pa.Metrics
+	if m.CacheMisses != 4 || m.CacheHits != 12 {
+		t.Fatalf("first run: hits=%d misses=%d, want 12/4", m.CacheHits, m.CacheMisses)
+	}
+	pa2, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa2.Metrics.CacheHits != 16 || pa2.Metrics.CacheMisses != 0 {
+		t.Fatalf("second run: hits=%d misses=%d, want 16/0",
+			pa2.Metrics.CacheHits, pa2.Metrics.CacheMisses)
+	}
+	if pa2.Report() != pa.Report() {
+		t.Fatal("memoized rerun diverged from first run")
+	}
+
+	// The escape hatch: identical results, no cache traffic.
+	pa3, err := Analyze(prog, &Options{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa3.Metrics.CacheHits != 0 || pa3.Metrics.CacheMisses != 0 {
+		t.Fatalf("disabled cache still counted: %d/%d",
+			pa3.Metrics.CacheHits, pa3.Metrics.CacheMisses)
+	}
+	if pa3.Report() != pa.Report() {
+		t.Fatal("uncached run diverged from cached run")
+	}
+}
+
+// TestMetricsPopulated checks the instrumentation surface: per-loop rows in
+// analysis order, the paper's pass bound, and a renderable report.
+func TestMetricsPopulated(t *testing.T) {
+	ResetCache()
+	prog := synth.MultiLoopProgram(*manyLoops())
+	pa, err := Analyze(prog, &Options{NestVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pa.Metrics
+	if m == nil {
+		t.Fatal("metrics missing")
+	}
+	if m.Loops != len(pa.Loops) || len(m.PerLoop) != len(pa.Loops) {
+		t.Fatalf("loops=%d perloop=%d, want %d", m.Loops, len(m.PerLoop), len(pa.Loops))
+	}
+	if m.Solves < m.Loops {
+		t.Fatalf("solves=%d < loops=%d", m.Solves, m.Loops)
+	}
+	if m.MaxChangedPasses > 2 {
+		t.Fatalf("max changing passes %d violates the paper bound", m.MaxChangedPasses)
+	}
+	if m.NodeVisits <= 0 || m.FlowApps <= 0 {
+		t.Fatalf("work counters empty: visits=%d flowapps=%d", m.NodeVisits, m.FlowApps)
+	}
+	for i, lm := range m.PerLoop {
+		if lm.Var != pa.Loops[i].Loop.Var || lm.Depth != pa.Loops[i].Depth {
+			t.Fatalf("per-loop row %d (%s/%d) out of order vs %s/%d",
+				i, lm.Var, lm.Depth, pa.Loops[i].Loop.Var, pa.Loops[i].Depth)
+		}
+	}
+	rep := m.Report()
+	for _, want := range []string{"solver metrics", "max changing passes", "flowapps"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("metrics report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestWRTSolvesCached checks that the §3.6 re-analyses participate in the
+// memo cache: a program whose tight nests repeat bodies re-solves each
+// synthetic with-respect-to loop once.
+func TestWRTSolvesCached(t *testing.T) {
+	ResetCache()
+	prog := synth.MultiLoopProgram(synth.MultiParams{
+		Seed: 11, Loops: 6, StmtsPer: 4, NestEvery: 1, DistinctBodies: 2})
+	pa, err := Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pa.Metrics
+	wrt := 0
+	for _, lm := range m.PerLoop {
+		wrt += lm.WRTSolves
+	}
+	if wrt == 0 {
+		t.Fatal("expected §3.6 re-analyses on tight nests")
+	}
+	// 6 nests from 2 distinct bodies: 2 misses for the inner loops, 2 for
+	// the outer summaries, 2 for the WRT synthetics — everything else hits.
+	if m.CacheHits == 0 {
+		t.Fatalf("no cache hits across repeated nests: %+v", m)
+	}
+	if pa.Metrics.MaxChangedPasses > 2 {
+		t.Fatalf("pass bound violated: %d", m.MaxChangedPasses)
+	}
+}

@@ -4,12 +4,26 @@
 // §3.6 move of re-analyzing the innermost body with respect to each
 // enclosing induction variable is applied, and the §6 distance-vector
 // extension runs on two-level tight nests.
+//
+// Scheduling and memoization live in this layer; the solver core in
+// internal/dataflow stays pure. Because every loop is solved on its own
+// flow graph with nested loops represented by summary nodes, the loops of
+// one nesting depth never read each other's solutions — the driver
+// therefore schedules them wave by wave (innermost depth first, matching
+// the paper's protocol) across a bounded worker pool, and merges the
+// results back in the original innermost-first order so output is
+// byte-for-byte identical to the serial schedule. Identical loop bodies
+// (ubiquitous after unrolling or load-elimination re-analysis) are
+// memoized in a process-global content-addressed cache; see cache.go.
 package driver
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
@@ -44,9 +58,16 @@ type ProgramAnalysis struct {
 	// Vectors holds the §6 distance-vector recurrences per tight two-level
 	// nest, keyed by the outer loop.
 	Vectors map[*ast.DoLoop][]nest.Recurrence
+	// Metrics instruments the call: solver work per loop, cache hit/miss
+	// tallies, and wall times (see Metrics).
+	Metrics *Metrics
+
+	// vectorOrder remembers the deterministic (analysis-order) sequence of
+	// Vectors keys so Report does not depend on map iteration order.
+	vectorOrder []*ast.DoLoop
 }
 
-// Options selects the analyses to run per loop.
+// Options selects the analyses to run per loop and tunes the scheduler.
 type Options struct {
 	// Specs lists the problem instances to solve on every loop graph.
 	// Nil runs must-reaching definitions only.
@@ -55,6 +76,22 @@ type Options struct {
 	NestVectors bool
 	// MaxVectorDist bounds the vector search (default 8).
 	MaxVectorDist int64
+	// Parallelism caps the worker goroutines per scheduling wave.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial schedule.
+	// Results are byte-for-byte identical at every setting.
+	Parallelism int
+	// DisableCache bypasses the process-global memo cache, forcing every
+	// loop to be solved fresh. Needed when passing hand-built Specs whose
+	// Name does not uniquely identify their semantics; also useful for
+	// benchmarking the raw solver.
+	DisableCache bool
+}
+
+// entry is one loop to analyze, with its nesting context.
+type entry struct {
+	loop      *ast.DoLoop
+	depth     int
+	enclosing []*ast.DoLoop // outermost first
 }
 
 // Analyze runs the protocol over a checked, normalized program.
@@ -70,6 +107,11 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	if maxVec <= 0 {
 		maxVec = 8
 	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
 
 	info, err := sema.Check(prog)
 	if err != nil {
@@ -77,12 +119,97 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	}
 	pa := &ProgramAnalysis{Prog: prog, Info: info, Vectors: map[*ast.DoLoop][]nest.Recurrence{}}
 
-	// Collect loops with depth and enclosing chain, innermost-first order.
-	type entry struct {
-		loop      *ast.DoLoop
-		depth     int
-		enclosing []*ast.DoLoop // outermost first
+	entries := collectEntries(prog)
+
+	// Wave schedule: loops grouped by nesting depth, deepest wave first.
+	// Within a wave every loop is independent (each is solved on its own
+	// graph; inner loops appear only as summary nodes built from their own
+	// AST), so the wave fans out across the worker pool. Workers write
+	// into per-entry slots, which keeps the merge deterministic: slot order
+	// is the innermost-first entry order regardless of completion order.
+	byDepth := map[int][]int{}
+	maxDepth := 0
+	for i, e := range entries {
+		byDepth[e.depth] = append(byDepth[e.depth], i)
+		if e.depth > maxDepth {
+			maxDepth = e.depth
+		}
 	}
+	results := make([]*LoopAnalysis, len(entries))
+	loopMetrics := make([]LoopMetrics, len(entries))
+	errs := make([]error, len(entries))
+	for d := maxDepth; d >= 1; d-- {
+		idxs := byDepth[d]
+		if len(idxs) == 0 {
+			continue
+		}
+		w := workers
+		if w > len(idxs) {
+			w = len(idxs)
+		}
+		if w <= 1 {
+			for _, i := range idxs {
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache)
+			}
+			continue
+		}
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache)
+				}
+			}()
+		}
+		for _, i := range idxs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	// First error in entry order — deterministic no matter which worker
+	// failed first on the wall clock.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	pa.Loops = results
+
+	if opts.NestVectors {
+		for _, e := range entries {
+			if inner, ok := tightInnerOf(e.loop); ok && !containsLoop(inner.Body) {
+				recs, err := nest.FindRecurrences(e.loop, maxVec)
+				if err == nil && len(recs) > 0 {
+					pa.Vectors[e.loop] = recs
+					pa.vectorOrder = append(pa.vectorOrder, e.loop)
+				}
+			}
+		}
+	}
+
+	m := &Metrics{Loops: len(entries), Parallelism: workers, PerLoop: loopMetrics}
+	for _, lm := range loopMetrics {
+		m.Solves += 1 + lm.WRTSolves
+		m.CacheHits += lm.CacheHits
+		m.CacheMisses += lm.CacheMisses
+		if lm.Solver.ChangedPasses > m.MaxChangedPasses {
+			m.MaxChangedPasses = lm.Solver.ChangedPasses
+		}
+		m.NodeVisits += lm.Solver.NodeVisits
+		m.FlowApps += lm.Solver.FlowApps
+	}
+	m.Elapsed = time.Since(start)
+	pa.Metrics = m
+	return pa, nil
+}
+
+// collectEntries gathers every loop with depth and enclosing chain, in the
+// innermost-first order of the §3.2 protocol (stable within one depth).
+func collectEntries(prog *ast.Program) []entry {
 	var entries []entry
 	var walk func(stmts []ast.Stmt, depth int, chain []*ast.DoLoop)
 	walk = func(stmts []ast.Stmt, depth int, chain []*ast.DoLoop) {
@@ -100,56 +227,60 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	}
 	walk(prog.Body, 0, nil)
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].depth > entries[j].depth })
+	return entries
+}
 
-	for _, e := range entries {
-		g, err := ir.Build(e.loop, nil)
-		if err != nil {
-			return nil, fmt.Errorf("loop %s: %w", e.loop.Var, err)
+// analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
+// called from worker goroutines: everything it touches is either private to
+// the entry or behind the cache's synchronization.
+func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool) (*LoopAnalysis, LoopMetrics, error) {
+	t0 := time.Now()
+	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
+	countLookup := func(hit bool) {
+		if !useCache {
+			return
 		}
-		la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, Graph: g,
-			Results: map[string]*dataflow.Result{}, WRT: map[string][]problems.Reuse{}}
-		for _, spec := range specs {
-			res := dataflow.Solve(g, spec, nil)
-			la.Results[spec.Name] = res
-			if spec.Name == "must-reaching-defs" {
-				la.Reuses = problems.FindReuses(res)
-			}
-		}
-
-		// §3.6: for the innermost loop of a tight chain, re-analyze its
-		// body with respect to each enclosing induction variable.
-		if len(e.loop.Body) > 0 && !containsLoop(e.loop.Body) {
-			for _, enc := range e.enclosing {
-				if !tightChain(enc, e.loop) {
-					continue
-				}
-				synthetic := &ast.DoLoop{
-					DoPos: e.loop.DoPos, Var: enc.Var, Label: enc.Label,
-					Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
-					Body: e.loop.Body,
-				}
-				gw, err := ir.Build(synthetic, nil)
-				if err != nil {
-					continue
-				}
-				res := dataflow.Solve(gw, problems.MustReachingDefs(), nil)
-				la.WRT[enc.Var] = problems.FindReuses(res)
-			}
-		}
-		pa.Loops = append(pa.Loops, la)
-	}
-
-	if opts.NestVectors {
-		for _, e := range entries {
-			if inner, ok := tightInnerOf(e.loop); ok && !containsLoop(inner.Body) {
-				recs, err := nest.FindRecurrences(e.loop, maxVec)
-				if err == nil && len(recs) > 0 {
-					pa.Vectors[e.loop] = recs
-				}
-			}
+		if hit {
+			lm.CacheHits++
+		} else {
+			lm.CacheMisses++
 		}
 	}
-	return pa, nil
+	sv, hit, err := solveLoop(e.loop, specs, useCache)
+	if err != nil {
+		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
+	}
+	countLookup(hit)
+	for _, res := range sv.results {
+		lm.Solver.Add(res.Metrics())
+	}
+	la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, Graph: sv.graph,
+		Results: sv.results, Reuses: sv.reuses, WRT: map[string][]problems.Reuse{}}
+
+	// §3.6: for the innermost loop of a tight chain, re-analyze its
+	// body with respect to each enclosing induction variable.
+	if len(e.loop.Body) > 0 && !containsLoop(e.loop.Body) {
+		for _, enc := range e.enclosing {
+			if !tightChain(enc, e.loop) {
+				continue
+			}
+			synthetic := &ast.DoLoop{
+				DoPos: e.loop.DoPos, Var: enc.Var, Label: enc.Label,
+				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
+				Body: e.loop.Body,
+			}
+			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache)
+			if err != nil {
+				continue
+			}
+			countLookup(hitw)
+			lm.WRTSolves++
+			lm.Solver.Add(svw.results["must-reaching-defs"].Metrics())
+			la.WRT[enc.Var] = svw.reuses
+		}
+	}
+	lm.Elapsed = time.Since(t0)
+	return la, lm, nil
 }
 
 // containsLoop reports whether a statement list contains a nested loop.
@@ -210,11 +341,26 @@ func (pa *ProgramAnalysis) Report() string {
 			}
 		}
 	}
-	for outer, recs := range pa.Vectors {
+	for _, outer := range pa.vectorLoops() {
 		fmt.Fprintf(&b, "tight nest at %s: distance vectors:\n", outer.Var)
-		for _, r := range recs {
+		for _, r := range pa.Vectors[outer] {
 			fmt.Fprintf(&b, "  %s\n", r)
 		}
 	}
 	return b.String()
+}
+
+// vectorLoops returns the Vectors keys in a deterministic order: analysis
+// order when this ProgramAnalysis came from Analyze, induction-variable
+// order as a fallback for hand-built values.
+func (pa *ProgramAnalysis) vectorLoops() []*ast.DoLoop {
+	if len(pa.vectorOrder) == len(pa.Vectors) {
+		return pa.vectorOrder
+	}
+	loops := make([]*ast.DoLoop, 0, len(pa.Vectors))
+	for l := range pa.Vectors {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Var < loops[j].Var })
+	return loops
 }

@@ -9,11 +9,13 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/baseline"
 	"repro/internal/dataflow"
 	"repro/internal/depend"
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -649,6 +651,135 @@ func problemsDependence(g *ir.Graph) *depend.Graph {
 }
 
 // ---------------------------------------------------------------------------
+// E13 — driver scheduling and memoization
+
+// ReanalysisRow is one sweep point of the E13a memoization experiment: the
+// optimization-pipeline pattern of analyzing a loop, transforming it, and
+// re-analyzing. The re-analysis of any unchanged loop body is served from
+// the driver's content-addressed cache.
+type ReanalysisRow struct {
+	Factor           int // unroll factor of the variant
+	Loops            int // loops analyzed across the three driver calls
+	Solves           int
+	CacheHits        int
+	CacheMisses      int
+	HitRate          float64
+	MaxChangedPasses int
+}
+
+// UnrollingReanalysis runs the E13a sweep: for each unroll factor of the
+// Figure 5 loop, the pipeline (1) analyzes the normalized variant,
+// (2) applies redundant-load elimination and analyzes the rewrite, and
+// (3) re-analyzes the original variant — step 3 always hits the memo cache,
+// and across factors the misses stay proportional to the distinct bodies.
+func UnrollingReanalysis() ([]ReanalysisRow, error) {
+	driver.ResetCache()
+	var rows []ReanalysisRow
+	for _, f := range []int{1, 2, 4} {
+		prog := parser.MustParse(Fig5Source)
+		unrolled, err := opt.Unroll(prog, 0, f)
+		if err != nil {
+			return nil, err
+		}
+		norm, err := sema.Normalize(unrolled)
+		if err != nil {
+			return nil, err
+		}
+		pa1, err := driver.Analyze(norm, nil)
+		if err != nil {
+			return nil, err
+		}
+		le, err := opt.EliminateLoads(norm, 0)
+		if err != nil {
+			return nil, err
+		}
+		pa2, err := driver.Analyze(le.Prog, nil)
+		if err != nil {
+			return nil, err
+		}
+		pa3, err := driver.Analyze(norm, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := ReanalysisRow{Factor: f}
+		for _, pa := range []*driver.ProgramAnalysis{pa1, pa2, pa3} {
+			m := pa.Metrics
+			row.Loops += m.Loops
+			row.Solves += m.Solves
+			row.CacheHits += m.CacheHits
+			row.CacheMisses += m.CacheMisses
+			if m.MaxChangedPasses > row.MaxChangedPasses {
+				row.MaxChangedPasses = m.MaxChangedPasses
+			}
+		}
+		if row.Solves > 0 {
+			row.HitRate = float64(row.CacheHits) / float64(row.Solves)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReanalysisReport renders E13a.
+func ReanalysisReport(rows []ReanalysisRow) string {
+	var b strings.Builder
+	b.WriteString("== E13a: memoized re-analysis across the unrolling pipeline ==\n")
+	fmt.Fprintf(&b, "  %6s %6s %7s %6s %7s %9s %12s\n",
+		"factor", "loops", "solves", "hits", "misses", "hit-rate", "max-passes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %6d %6d %7d %6d %7d %9.2f %12d\n",
+			r.Factor, r.Loops, r.Solves, r.CacheHits, r.CacheMisses, r.HitRate, r.MaxChangedPasses)
+	}
+	return b.String()
+}
+
+// ScheduleResult is the E13b comparison of the serial and parallel driver
+// schedules on a many-loop program.
+type ScheduleResult struct {
+	Loops            int
+	Workers          int // GOMAXPROCS-derived pool width of the parallel run
+	SerialWall       time.Duration
+	ParallelWall     time.Duration
+	Identical        bool // rendered reports byte-identical
+	MaxChangedPasses int
+}
+
+// DriverSchedule runs E13b: a 32-loop mixed-depth program analyzed with the
+// serial schedule and with the wave-parallel schedule (both uncached, so
+// the comparison isolates scheduling), asserting the outputs match.
+func DriverSchedule() (*ScheduleResult, error) {
+	prog := synth.MultiLoopProgram(synth.MultiParams{Seed: 13, Loops: 32, StmtsPer: 24, NestEvery: 4})
+	serial, err := driver.Analyze(prog, &driver.Options{Parallelism: 1, DisableCache: true})
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := driver.Analyze(prog, &driver.Options{DisableCache: true})
+	if err != nil {
+		return nil, err
+	}
+	return &ScheduleResult{
+		Loops:            len(parallel.Loops),
+		Workers:          parallel.Metrics.Parallelism,
+		SerialWall:       serial.Metrics.Elapsed,
+		ParallelWall:     parallel.Metrics.Elapsed,
+		Identical:        serial.Report() == parallel.Report(),
+		MaxChangedPasses: parallel.Metrics.MaxChangedPasses,
+	}, nil
+}
+
+// Report renders E13b.
+func (r *ScheduleResult) Report() string {
+	var b strings.Builder
+	b.WriteString("== E13b: serial vs. wave-parallel driver schedule ==\n")
+	fmt.Fprintf(&b, "  loops: %d   workers: %d   max changing passes: %d (bound: 2)\n",
+		r.Loops, r.Workers, r.MaxChangedPasses)
+	fmt.Fprintf(&b, "  wall: serial %s, parallel %s\n",
+		r.SerialWall.Round(time.Microsecond), r.ParallelWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  outputs byte-identical: %v\n", r.Identical)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
 // Full report
 
 // FullReport runs every experiment and concatenates the reports.
@@ -694,5 +825,17 @@ func FullReport() (string, error) {
 	b.WriteString(VsBaselineReport(VsBaseline([]int64{2, 4, 8, 16, 32})))
 	b.WriteString("\n")
 	b.WriteString(UnrollingReport(Unrolling()))
+	b.WriteString("\n")
+	rows, err := UnrollingReanalysis()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(ReanalysisReport(rows))
+	b.WriteString("\n")
+	sched, err := DriverSchedule()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(sched.Report())
 	return b.String(), nil
 }

@@ -227,3 +227,45 @@ func TestFullReportRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestUnrollingReanalysisHitsCache: the acceptance check that the memoizing
+// driver reports a positive cache hit rate on the unrolling pipeline, with
+// the paper's pass bound intact.
+func TestUnrollingReanalysisHitsCache(t *testing.T) {
+	rows, err := UnrollingReanalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.HitRate <= 0 {
+			t.Errorf("factor %d: hit rate %.2f, want > 0 (%+v)", r.Factor, r.HitRate, r)
+		}
+		if r.MaxChangedPasses > 2 {
+			t.Errorf("factor %d: %d changing passes violates the bound", r.Factor, r.MaxChangedPasses)
+		}
+	}
+	if !strings.Contains(ReanalysisReport(rows), "hit-rate") {
+		t.Error("report missing hit-rate column")
+	}
+}
+
+// TestDriverScheduleIdentical: the parallel schedule must render the same
+// bytes as the serial one.
+func TestDriverScheduleIdentical(t *testing.T) {
+	r, err := DriverSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("serial and parallel outputs diverged")
+	}
+	if r.Loops != 40 {
+		t.Errorf("loops = %d, want 40 (32 top-level + 8 nest inners)", r.Loops)
+	}
+	if r.MaxChangedPasses > 2 {
+		t.Errorf("pass bound violated: %d", r.MaxChangedPasses)
+	}
+}

@@ -568,6 +568,17 @@ func (g *Graph) Dominates(a, b *Node) bool {
 	return a != b && g.doms[b.ID][a.ID]
 }
 
+// Precompute forces every lazily-built relation (currently the dominator
+// sets; body reachability is already built eagerly). A graph that has been
+// precomputed is never mutated by queries again, so it can be shared
+// read-only across goroutines — the memoizing driver publishes graphs to
+// its cache only after calling this.
+func (g *Graph) Precompute() {
+	if g.doms == nil {
+		g.computeDominators()
+	}
+}
+
 // computeDominators runs the standard iterative dominator computation over
 // the acyclic body (back edge excluded), seeding Dom(entry) = {entry}.
 func (g *Graph) computeDominators() {

@@ -143,6 +143,66 @@ func ChainLoop(s int, carry int64, ub int64) *ast.Program {
 	return parser.MustParse(b.String())
 }
 
+// MultiParams controls MultiLoopProgram generation.
+type MultiParams struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Loops is the number of top-level loops (default 8).
+	Loops int
+	// StmtsPer is the number of assignments per loop body (default 6).
+	StmtsPer int
+	// NestEvery wraps every k-th top-level loop in an enclosing loop,
+	// producing a tight two-level nest (0 = all loops flat). Mixed depths
+	// exercise the driver's wave schedule and the §3.6 re-analyses.
+	NestEvery int
+	// DistinctBodies > 0 draws the loop bodies from a cycle of only that
+	// many distinct texts, so a memoizing driver sees repeats; 0 makes
+	// every body distinct (the cache-hostile extreme).
+	DistinctBodies int
+	// UB is the loop bound (0 = symbolic "N").
+	UB int64
+}
+
+// MultiLoopProgram generates a whole program of many sibling loops (with
+// optional two-level nests), the workload for the parallel driver's
+// scheduling, determinism, and memoization tests.
+func MultiLoopProgram(p MultiParams) *ast.Program {
+	if p.Loops <= 0 {
+		p.Loops = 8
+	}
+	if p.StmtsPer <= 0 {
+		p.StmtsPer = 6
+	}
+	bound := "N"
+	if p.UB > 0 {
+		bound = fmt.Sprintf("%d", p.UB)
+	}
+	inner := Params{Arrays: 4, MaxDist: 5}
+	var b strings.Builder
+	for k := 0; k < p.Loops; k++ {
+		bodyID := int64(k)
+		if p.DistinctBodies > 0 {
+			bodyID = int64(k % p.DistinctBodies)
+		}
+		rng := rand.New(rand.NewSource(p.Seed*1_000_003 + bodyID))
+		nested := p.NestEvery > 0 && k%p.NestEvery == p.NestEvery-1
+		ind := "  "
+		if nested {
+			fmt.Fprintf(&b, "do j = 1, %s\n", bound)
+			ind = "    "
+		}
+		fmt.Fprintf(&b, "%sdo i = 1, %s\n", ind[2:], bound)
+		for s := 0; s < p.StmtsPer; s++ {
+			fmt.Fprintf(&b, "%s%s\n", ind, genAssign(rng, inner))
+		}
+		fmt.Fprintf(&b, "%senddo\n", ind[2:])
+		if nested {
+			b.WriteString("enddo\n")
+		}
+	}
+	return parser.MustParse(b.String())
+}
+
 // WideLoop generates n independent statements (no dependences), the
 // fully-parallel extreme for scaling benches.
 func WideLoop(n int, ub int64) *ast.Program {

@@ -91,3 +91,33 @@ func TestChainAndWideShapes(t *testing.T) {
 		t.Errorf("wide stmts = %d, want 9", got)
 	}
 }
+
+func TestMultiLoopProgramShape(t *testing.T) {
+	prog := MultiLoopProgram(MultiParams{Seed: 5, Loops: 12, StmtsPer: 4, NestEvery: 3, DistinctBodies: 3})
+	if got := len(prog.Body); got != 12 {
+		t.Fatalf("top-level stmts = %d, want 12", got)
+	}
+	nests := 0
+	for _, s := range prog.Body {
+		loop := s.(*ast.DoLoop)
+		if inner, ok := loop.Body[0].(*ast.DoLoop); ok && len(loop.Body) == 1 {
+			nests++
+			if len(inner.Body) != 4 {
+				t.Errorf("inner stmts = %d, want 4", len(inner.Body))
+			}
+		}
+	}
+	if nests != 4 {
+		t.Errorf("nests = %d, want 4 (every 3rd loop)", nests)
+	}
+	if _, err := sema.Check(prog); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	// DistinctBodies makes bodies repeat textually: loops 0 and 3 share a
+	// body cycle slot (both flat, bodyID 0).
+	a := ast.StmtString(prog.Body[0], 0)
+	d := ast.StmtString(prog.Body[3], 0)
+	if a != d {
+		t.Errorf("expected repeated body texts with DistinctBodies=3:\n%s\nvs\n%s", a, d)
+	}
+}
