@@ -24,13 +24,17 @@
 package arrayflow
 
 import (
+	"io"
+
 	"repro/internal/ast"
 	"repro/internal/baseline"
 	"repro/internal/dataflow"
 	"repro/internal/depend"
+	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/lint"
 	"repro/internal/machine"
 	"repro/internal/nest"
 	"repro/internal/opt"
@@ -277,6 +281,45 @@ func NewMemory() *MachineMemory { return machine.NewMemory() }
 // (related work, paper §5) with the given instance-distance limit.
 func BaselineMustReachingDefs(g *Graph, limit int64) *baseline.Result {
 	return baseline.MustReachingDefs(g, &baseline.Options{Limit: limit})
+}
+
+// Static analysis (internal/diag + internal/lint).
+
+type (
+	// Finding is one static-analysis diagnostic: analyzer ID, source
+	// position range, severity, message, related positions, and
+	// structured detail.
+	Finding = diag.Finding
+	// FindingSeverity grades a Finding (info, warning, error).
+	FindingSeverity = diag.Severity
+	// VetResult bundles the findings of a full source-to-diagnostics run.
+	VetResult = lint.VetResult
+	// LintOptions tunes a lint/vet run (parallelism, cache, analyzer
+	// selection).
+	LintOptions = lint.Options
+)
+
+// Vet runs the complete static-analysis pipeline over source text: parse,
+// check, normalize, solve the four array data flow problems on every loop,
+// and apply every analyzer. Front-end errors become findings with analyzer
+// IDs "parse" and "sema". opts may be nil. The finding list is sorted
+// deterministically and identical at every parallelism setting.
+func Vet(file, src string, opts *LintOptions) *VetResult { return lint.Vet(file, src, opts) }
+
+// LintProgram applies the analyzers to a checked, normalized program.
+func LintProgram(file string, prog *Program, opts *LintOptions) ([]Finding, *ProgramAnalysis, error) {
+	return lint.Run(file, prog, opts)
+}
+
+// WriteFindingsText renders findings as "file:line:col: severity: analyzer:
+// message" lines; WriteFindingsJSON as an indented JSON document.
+func WriteFindingsText(w io.Writer, file string, fs []Finding) error {
+	return diag.WriteText(w, file, fs)
+}
+
+// WriteFindingsJSON renders findings as a deterministic JSON document.
+func WriteFindingsJSON(w io.Writer, file string, fs []Finding) error {
+	return diag.WriteJSON(w, file, fs)
 }
 
 // Render helpers.

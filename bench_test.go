@@ -410,6 +410,42 @@ func BenchmarkDriverMemoization(b *testing.B) {
 	})
 }
 
+// --- Vet: the static analysis layer over the memoizing driver ----------------
+
+func BenchmarkVet(b *testing.B) {
+	// 24 loops drawn from 4 distinct bodies: the memoized run serves most
+	// solves from the cache, isolating the analyzers' own cost; the
+	// uncached run measures the full solve-plus-analyze pipeline. The
+	// driver metrics embedded in the result expose the split.
+	prog := synth.MultiLoopProgram(synth.MultiParams{Seed: 41, Loops: 24, StmtsPer: 32, DistinctBodies: 4})
+	src := ast.ProgramString(prog)
+	run := func(b *testing.B, disableCache bool) {
+		var hits, misses, analysisNS int64
+		for i := 0; i < b.N; i++ {
+			res := arrayflow.Vet("bench.loop", src, &arrayflow.LintOptions{DisableCache: disableCache})
+			if res.Analysis == nil {
+				b.Fatalf("front end rejected the synthetic program: %v", res.Findings)
+			}
+			m := res.Analysis.Metrics
+			hits += int64(m.CacheHits)
+			misses += int64(m.CacheMisses)
+			analysisNS += int64(m.Elapsed)
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+		b.ReportMetric(float64(misses)/float64(b.N), "cachemisses/op")
+		b.ReportMetric(float64(analysisNS)/float64(b.N)/1e6, "analysis-ms/op")
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, true) })
+	b.Run("memoized", func(b *testing.B) {
+		driver.ResetCache()
+		if res := arrayflow.Vet("bench.loop", src, nil); res.Analysis == nil {
+			b.Fatal("warm-up vet failed")
+		}
+		b.ResetTimer()
+		run(b, false)
+	})
+}
+
 // --- Ablation: initialization pass (DESIGN.md §5.2) -------------------------------
 
 func BenchmarkAblationInitPass(b *testing.B) {

@@ -1,17 +1,24 @@
-// Command arrayflow parses a loop program and runs one of the four data
-// flow analyses, printing the loop flow graph, the IN/OUT tuple tables in
-// the style of the paper's Table 1, and the derived facts (reuses,
-// redundant stores, or dependences).
+// Command arrayflow parses a loop program and runs the array data flow
+// analyses over it.
 //
-// Usage:
+// The default mode prints one analysis in the style of the paper's
+// Table 1 — the loop flow graph, the IN/OUT tuple tables, and the derived
+// facts (reuses, redundant stores, or dependences):
 //
 //	arrayflow [-analysis reach|avail|busy|deps] [-trace] [-metrics] [-loop n] [file]
+//
+// The vet mode runs every static analyzer (internal/lint) over every loop
+// and prints source-positioned findings, exiting 1 when an error-severity
+// finding (including parse and semantic errors) is present:
+//
+//	arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [file]
 //
 // With no file the program is read from stdin. With no file and no piped
 // input, the paper's Figure 1 loop is analyzed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,15 +26,22 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
+	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/ir"
+	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/problems"
 	"repro/internal/sema"
 )
 
 func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
+		return
+	}
+
 	analysis := flag.String("analysis", "reach",
 		"analysis to run: reach (must-reaching defs), avail (δ-available), busy (δ-busy stores), deps (δ-reaching refs)")
 	trace := flag.Bool("trace", false, "print initialization and per-pass tuple tables (Table 1 style)")
@@ -38,22 +52,7 @@ func main() {
 	nocache := flag.Bool("nocache", false, "disable the memoizing solve cache for -program")
 	flag.Parse()
 
-	src, err := readSource(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-
-	prog, err := parser.Parse(src)
-	if err != nil {
-		fatal(fmt.Errorf("parse: %w", err))
-	}
-	if _, err := sema.Check(prog); err != nil {
-		fatal(fmt.Errorf("check: %w", err))
-	}
-	prog, err = sema.Normalize(prog)
-	if err != nil {
-		fatal(fmt.Errorf("normalize: %w", err))
-	}
+	_, prog := loadProgram(flag.Arg(0))
 
 	if *whole {
 		pa, err := driver.Analyze(prog, &driver.Options{
@@ -131,18 +130,111 @@ func main() {
 	}
 }
 
-func readSource(path string) (string, error) {
+// runVet implements the `arrayflow vet` subcommand. Exit status: 0 clean,
+// 1 when error-severity findings exist, 2 on usage or I/O failure.
+func runVet(args []string) {
+	fs := flag.NewFlagSet("arrayflow vet", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text or json")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
+	metrics := fs.Bool("metrics", false, "print analysis metrics to stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [file]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	src, file, err := readSource(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		os.Exit(2)
+	}
+
+	res := lint.Vet(file, src, &lint.Options{Parallelism: *workers, DisableCache: *nocache})
+
+	switch *format {
+	case "json":
+		err = diag.WriteJSON(os.Stdout, file, res.Findings)
+	default:
+		err = diag.WriteText(os.Stdout, file, res.Findings)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		os.Exit(2)
+	}
+	if *metrics && res.Analysis != nil {
+		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
+		fmt.Fprint(os.Stderr, res.Analysis.Metrics.Report())
+	}
+	os.Exit(res.ExitCode())
+}
+
+// loadProgram reads, parses, checks, and normalizes the input. Every
+// front-end error is printed with a file:line:col prefix before exiting
+// nonzero — not just the first.
+func loadProgram(path string) (string, *ast.Program) {
+	src, file, err := readSource(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		reportErrors(file, "parse", err)
+		os.Exit(1)
+	}
+	if _, errs := sema.CheckAll(prog); len(errs) > 0 {
+		for _, e := range errs {
+			reportErrors(file, "check", e)
+		}
+		os.Exit(1)
+	}
+	prog, err = sema.Normalize(prog)
+	if err != nil {
+		reportErrors(file, "normalize", err)
+		os.Exit(1)
+	}
+	return file, prog
+}
+
+// reportErrors prints every positioned error inside err as
+// "file:line:col: stage: message".
+func reportErrors(file, stage string, err error) {
+	line := func(pos fmt.Stringer, msg string) {
+		fmt.Fprintf(os.Stderr, "%s:%s: %s: %s\n", file, pos, stage, msg)
+	}
+	var pl parser.ErrorList
+	var pe *parser.Error
+	var se *sema.Error
+	switch {
+	case errors.As(err, &pl):
+		for _, e := range pl {
+			line(e.Pos, e.Msg)
+		}
+	case errors.As(err, &pe):
+		line(pe.Pos, pe.Msg)
+	case errors.As(err, &se):
+		line(se.Pos, se.Msg)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", file, stage, err)
+	}
+}
+
+// readSource returns the program text and a display name for diagnostics.
+func readSource(path string) (src, file string, err error) {
 	if path != "" {
 		b, err := os.ReadFile(path)
-		return string(b), err
+		return string(b), path, err
 	}
 	st, err := os.Stdin.Stat()
 	if err == nil && (st.Mode()&os.ModeCharDevice) == 0 {
 		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
+		return string(b), "<stdin>", err
 	}
 	fmt.Fprintln(os.Stderr, "(no input: analyzing the paper's Figure 1 loop)")
-	return experiments.Fig1Source, nil
+	return experiments.Fig1Source, "<figure1>", nil
 }
 
 func pickLoop(prog *ast.Program, idx int) (*ast.DoLoop, error) {

@@ -79,6 +79,20 @@ type Assign struct {
 func (s *Assign) Pos() token.Pos { return s.LHS.Pos() }
 func (*Assign) stmtNode()        {}
 
+// Dim declares an array's dimension sizes: dim A[100, 200]. Sizes must be
+// positive integer constants (validated by internal/sema); the declaration
+// gives diagnostics a bound to check subscript extremes against. Arrays are
+// 1-based, so dim A[n] declares the valid index range [1, n].
+type Dim struct {
+	DimPos  token.Pos
+	Name    string
+	NamePos token.Pos
+	Sizes   []Expr
+}
+
+func (s *Dim) Pos() token.Pos { return s.DimPos }
+func (*Dim) stmtNode()        {}
+
 // ---------------------------------------------------------------------------
 // Expressions
 
@@ -160,6 +174,10 @@ func inspectStmt(s Stmt, f func(Node) bool) {
 	case *Assign:
 		inspectExpr(st.LHS, f)
 		inspectExpr(st.RHS, f)
+	case *Dim:
+		for _, sz := range st.Sizes {
+			inspectExpr(sz, f)
+		}
 	}
 }
 
@@ -224,6 +242,12 @@ func CloneStmt(s Stmt) Stmt {
 		return &If{IfPos: st.IfPos, Cond: CloneExpr(st.Cond), Then: CloneStmts(st.Then), Else: CloneStmts(st.Else)}
 	case *Assign:
 		return &Assign{LHS: CloneExpr(st.LHS), RHS: CloneExpr(st.RHS)}
+	case *Dim:
+		c := &Dim{DimPos: st.DimPos, Name: st.Name, NamePos: st.NamePos, Sizes: make([]Expr, len(st.Sizes))}
+		for i, sz := range st.Sizes {
+			c.Sizes[i] = CloneExpr(sz)
+		}
+		return c
 	}
 	panic("ast: unknown statement type in CloneStmt")
 }

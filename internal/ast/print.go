@@ -122,6 +122,15 @@ func writeStmt(b *strings.Builder, s Stmt, depth int) {
 		fmt.Fprintf(b, "%sendif\n", ind)
 	case *Assign:
 		fmt.Fprintf(b, "%s%s := %s\n", ind, ExprString(st.LHS), ExprString(st.RHS))
+	case *Dim:
+		fmt.Fprintf(b, "%sdim %s[", ind, st.Name)
+		for i, sz := range st.Sizes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, sz, 0)
+		}
+		b.WriteString("]\n")
 	default:
 		fmt.Fprintf(b, "%s<?stmt>\n", ind)
 	}

@@ -88,6 +88,11 @@ type Result struct {
 	FlowApps int
 	// Elapsed is the wall time of the Solve call.
 	Elapsed time.Duration
+
+	// flowFns are the compiled per-node, per-class flow functions, kept so
+	// consumers (the framework self-check analyzer) can re-apply them to
+	// arbitrary lattice values after the solve. Indexed [nodeID][classIndex].
+	flowFns [][]flowFn
 }
 
 // Metrics is the cheap per-solve instrumentation bundle: the empirical
@@ -187,6 +192,7 @@ func Solve(g *ir.Graph, spec *Spec, opts *Options) *Result {
 
 	// Per-node, per-class flow functions, precomputed once.
 	fns := res.buildFlowFunctions()
+	res.flowFns = fns
 
 	order := g.RPO()
 	if spec.Backward {
@@ -480,28 +486,42 @@ func (res *Result) compileNodeClass(nd *ir.Node, c *Class) flowFn {
 func applyFlow(nd *ir.Node, g *ir.Graph, fns []flowFn, in lattice.Tuple, res *Result) lattice.Tuple {
 	out := make(lattice.Tuple, len(in))
 	res.FlowApps += len(in)
-	if nd.Kind == ir.KindExit {
-		for i, x := range in {
-			v := x.Inc()
-			if g.HasUB {
-				v = v.Clamp(g.UBConst)
-			}
-			out[i] = v
-		}
-		return out
-	}
 	for i, x := range in {
-		v := x
-		for _, op := range fns[i].ops {
-			if op.gen {
-				v = lattice.Max(v, lattice.D(0))
-			} else {
-				v = lattice.Min(v, op.pres)
-			}
-		}
-		out[i] = v
+		out[i] = applyOne(nd, g, fns[i], x)
 	}
 	return out
+}
+
+// applyOne applies node nd's flow function for one class to a single lattice
+// value. The exit node's function is the loop-closing increment (clamped at
+// the constant bound when known); every other node applies its compiled
+// generate/preserve op sequence.
+func applyOne(nd *ir.Node, g *ir.Graph, fn flowFn, x lattice.Dist) lattice.Dist {
+	if nd.Kind == ir.KindExit {
+		v := x.Inc()
+		if g.HasUB {
+			v = v.Clamp(g.UBConst)
+		}
+		return v
+	}
+	v := x
+	for _, op := range fn.ops {
+		if op.gen {
+			v = lattice.Max(v, lattice.D(0))
+		} else {
+			v = lattice.Min(v, op.pres)
+		}
+	}
+	return v
+}
+
+// ApplyFlow re-applies the solved problem's flow function of node nd for the
+// class with the given index to an arbitrary lattice value. It is read-only
+// and safe for concurrent use on a finished Result; the framework
+// self-check analyzer uses it to test monotonicity and idempotence of the
+// compiled functions over sampled lattice values.
+func (res *Result) ApplyFlow(nd *ir.Node, classIndex int, x lattice.Dist) lattice.Dist {
+	return applyOne(nd, res.Graph, res.flowFns[nd.ID][classIndex], x)
 }
 
 func makeTuples(n, m int) []lattice.Tuple {

@@ -18,6 +18,9 @@ type Edge struct {
 	From, To int // node IDs in the loop flow graph
 	Distance int64
 	Kind     string // flow, anti, output
+	// FromRef and ToRef are the array references the dependence runs
+	// between, for diagnostics that need source positions.
+	FromRef, ToRef *ir.Ref
 }
 
 // Graph is the dependence graph over the statement nodes of one loop.
@@ -41,7 +44,8 @@ func Build(g *ir.Graph, res *dataflow.Result, maxDist int64) *Graph {
 	}
 	seen := map[string]bool{}
 	for _, d := range problems.FindDependences(res, maxDist) {
-		e := Edge{From: d.From.Node.ID, To: d.To.Node.ID, Distance: d.Distance, Kind: d.Kind}
+		e := Edge{From: d.From.Node.ID, To: d.To.Node.ID, Distance: d.Distance, Kind: d.Kind,
+			FromRef: d.From, ToRef: d.To}
 		// Loop-independent edges must respect execution order; the query
 		// layer guarantees a preceding member exists for distance 0, but
 		// per-member pairs can be reversed — drop those.

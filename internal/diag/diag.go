@@ -1,0 +1,209 @@
+// Package diag defines the unified diagnostic currency of the static
+// analysis layer: a Finding ties an analyzer's verdict to a source position
+// range, a severity, and optional structured detail. Findings are value
+// types with a total deterministic order, so analyzer output can be pinned
+// byte-for-byte in golden tests and emitted stably from parallel runs.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Severity grades a finding. The zero value is Info.
+type Severity int
+
+// Severity levels, ordered least to most severe.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+var severityNames = [...]string{"info", "warning", "error"}
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	if s < Info || s > Error {
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// MarshalJSON emits the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts a lower-case severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range severityNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("diag: unknown severity %q", name)
+}
+
+// Related points at a secondary position that explains a finding (the
+// overwriting store of a dead store, the blocking reference pair of a
+// non-parallelizable loop).
+type Related struct {
+	Pos     token.Pos `json:"pos"`
+	Message string    `json:"message"`
+}
+
+// Finding is one diagnostic produced by a static analyzer.
+type Finding struct {
+	// Analyzer is the stable ID of the producing analyzer (e.g.
+	// "deadstore"); parse and semantic errors use "parse" and "sema".
+	Analyzer string `json:"analyzer"`
+	// Pos is the primary source position; End, when valid, closes a range
+	// (an invalid End means the finding covers a single point).
+	Pos token.Pos `json:"pos"`
+	End token.Pos `json:"end"`
+	// Severity grades the finding; Error severities fail `arrayflow vet`.
+	Severity Severity `json:"severity"`
+	// Message is the human-readable, single-line description.
+	Message string `json:"message"`
+	// Related lists secondary positions that explain the finding.
+	Related []Related `json:"related,omitempty"`
+	// Detail carries analyzer-specific structured facts (distances, bounds,
+	// class forms). A string-keyed map keeps JSON output deterministic:
+	// encoding/json sorts map keys.
+	Detail map[string]string `json:"detail,omitempty"`
+}
+
+// String renders "line:col: severity: analyzer: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", f.Pos, f.Severity, f.Analyzer, f.Message)
+}
+
+// Less is the total deterministic order over findings: by position first
+// (source order is what a reader scans by), then analyzer ID, severity,
+// message, and finally the detail rendering as an ultimate tie-break.
+func Less(a, b Finding) bool {
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Col != b.Pos.Col {
+		return a.Pos.Col < b.Pos.Col
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	if a.Severity != b.Severity {
+		return a.Severity > b.Severity // more severe first
+	}
+	if a.Message != b.Message {
+		return a.Message < b.Message
+	}
+	return detailKey(a) < detailKey(b)
+}
+
+func detailKey(f Finding) string {
+	if len(f.Detail) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(f.Detail))
+	for k := range f.Detail {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, f.Detail[k])
+	}
+	return b.String()
+}
+
+// Sort orders findings deterministically in place (see Less).
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool { return Less(fs[i], fs[j]) })
+}
+
+// Dedup removes exact duplicates from a sorted slice.
+func Dedup(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && equal(f, fs[i-1]) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func equal(a, b Finding) bool {
+	if a.Analyzer != b.Analyzer || a.Pos != b.Pos || a.End != b.End ||
+		a.Severity != b.Severity || a.Message != b.Message ||
+		len(a.Related) != len(b.Related) {
+		return false
+	}
+	for i := range a.Related {
+		if a.Related[i] != b.Related[i] {
+			return false
+		}
+	}
+	return detailKey(a) == detailKey(b)
+}
+
+// MaxSeverity returns the highest severity present (Info for an empty set,
+// alongside ok=false).
+func MaxSeverity(fs []Finding) (Severity, bool) {
+	if len(fs) == 0 {
+		return Info, false
+	}
+	max := Info
+	for _, f := range fs {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max, true
+}
+
+// WriteText renders findings in the conventional compiler format, one per
+// line, with related positions indented beneath:
+//
+//	file:3:9: warning: deadstore: store to A[i] is overwritten ...
+//	    file:4:9: overwritten here (distance 1)
+func WriteText(w io.Writer, file string, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintf(w, "%s:%s\n", file, f); err != nil {
+			return err
+		}
+		for _, r := range f.Related {
+			if _, err := fmt.Fprintf(w, "    %s:%s: %s\n", file, r.Pos, r.Message); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// File groups the findings of one source file for JSON output.
+type File struct {
+	File     string    `json:"file"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteJSON renders one file's findings as an indented JSON document with a
+// trailing newline. Output is deterministic for sorted findings: struct
+// fields emit in declaration order and Detail maps sort by key.
+func WriteJSON(w io.Writer, file string, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(File{File: file, Findings: fs})
+}

@@ -207,6 +207,48 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	return pa, nil
 }
 
+// ForEachLoop invokes fn once per analyzed loop, fanning the calls out
+// across at most parallelism goroutines (0 = GOMAXPROCS, 1 = serial). fn
+// receives the loop's index in pa.Loops; callers that collect output should
+// write into index-aligned slots so results stay deterministic regardless of
+// completion order. fn must not mutate shared state without its own
+// synchronization.
+func (pa *ProgramAnalysis) ForEachLoop(parallelism int, fn func(i int, la *LoopAnalysis)) {
+	n := len(pa.Loops)
+	if n == 0 {
+		return
+	}
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, la := range pa.Loops {
+			fn(i, la)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i, pa.Loops[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
 // collectEntries gathers every loop with depth and enclosing chain, in the
 // innermost-first order of the §3.2 protocol (stable within one depth).
 func collectEntries(prog *ast.Program) []entry {

@@ -298,6 +298,11 @@ func (m *machine) execStmt(s ast.Stmt) error {
 			delete(m.st.Scalars, st.Var)
 		}
 		return nil
+
+	case *ast.Dim:
+		// Declarations have no runtime effect; the interpreter's arrays
+		// grow on demand.
+		return nil
 	}
 	return &RuntimeError{Msg: "unknown statement"}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/poly"
 	"repro/internal/sema"
+	"repro/internal/token"
 )
 
 // NodeKind classifies graph nodes.
@@ -112,6 +113,11 @@ func (r *Ref) String() string {
 type Node struct {
 	ID   int // 1-based; the exit node is always the highest ID
 	Kind NodeKind
+
+	// SrcPos is the source position of the statement (or condition) the
+	// node stands for; the exit node carries its loop's position. Zero for
+	// synthesized nodes.
+	SrcPos token.Pos
 
 	// Assign is set for KindStmt nodes.
 	Assign *ast.Assign
@@ -230,6 +236,7 @@ func Build(loop *ast.DoLoop, opts *Options) (*Graph, error) {
 
 	// Exit node.
 	exit := b.newNode(KindExit)
+	exit.SrcPos = loop.Pos()
 	g.Exit = exit
 	if len(g.Nodes) == 1 {
 		// Empty body: the exit node is also the entry.
@@ -291,15 +298,20 @@ func (b *builder) buildBlock(stmts []ast.Stmt) (heads, tails []*Node) {
 		case *ast.Assign:
 			n := b.newNode(KindStmt)
 			n.Assign = st
+			n.SrcPos = st.Pos()
 			b.collectAssignRefs(n, st)
 			link(n)
 
 		case *ast.DoLoop:
 			n := b.newNode(KindSummary)
 			n.Loop = st
+			n.SrcPos = st.Pos()
 			b.g.InnerIVs[st.Var] = true
 			b.collectSummaryRefs(n, st)
 			link(n)
+
+		case *ast.Dim:
+			// Declarations carry no control flow or references.
 
 		case *ast.If:
 			// Fold the test into the current frontier node when it is a
@@ -309,6 +321,7 @@ func (b *builder) buildBlock(stmts []ast.Stmt) (heads, tails []*Node) {
 				site = frontier[0]
 			} else {
 				site = b.newNode(KindCond)
+				site.SrcPos = st.Pos()
 				link(site)
 			}
 			site.Cond = st.Cond

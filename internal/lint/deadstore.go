@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/diag"
+	"repro/internal/problems"
+)
+
+// deadStoreAnalyzer reports δ-redundant stores (paper §4.2.1): a store
+// whose element is overwritten δ iterations later on every path with no
+// intervening use, read off the δ-busy-stores solution.
+var deadStoreAnalyzer = &Analyzer{
+	ID:      "deadstore",
+	Doc:     "store overwritten on every path with no intervening read",
+	Problem: "δ-busy stores (§4.2.1)",
+	Default: diag.Warning,
+	Run:     runDeadStore,
+}
+
+func runDeadStore(c *Context) []diag.Finding {
+	res := c.result("delta-busy-stores")
+	if res == nil {
+		return nil
+	}
+	var out []diag.Finding
+	for _, rs := range problems.FindRedundantStores(res) {
+		when := "later in the same iteration"
+		if rs.Distance > 0 {
+			when = iterations(rs.Distance) + " later"
+		}
+		f := diag.Finding{
+			Analyzer: "deadstore",
+			Pos:      rs.Store.Expr.Pos(),
+			Severity: diag.Warning,
+			Message: fmt.Sprintf("store to %s is dead: %s overwrites the element %s with no intervening read",
+				ast.ExprString(rs.Store.Expr), rs.By, when),
+			Detail: map[string]string{
+				"array":         rs.Store.Array,
+				"distance":      fmt.Sprintf("%d", rs.Distance),
+				"overwrittenBy": rs.By.String(),
+			},
+		}
+		if len(rs.By.Members) > 0 {
+			f.Related = append(f.Related, diag.Related{
+				Pos:     rs.By.Members[0].Expr.Pos(),
+				Message: fmt.Sprintf("overwritten by this store (%s)", rs.By),
+			})
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package lint turns the framework's data flow solutions into source-level
+// diagnostics. Each Analyzer consumes the per-loop results computed by
+// internal/driver — the paper's four array data flow problems — and reports
+// diag.Findings anchored to token positions: dead stores from δ-busy
+// stores, guaranteed reuses from δ-available values, loop-carried
+// dependence blockers from δ-reaching references, uninitialized-read gaps
+// from must-reaching definitions, subscript bounds violations from the
+// affine forms, and a self-check of the framework's own convergence
+// guarantees.
+//
+// Analyzers run per loop through the driver's deterministic fan-out
+// (ProgramAnalysis.ForEachLoop); findings are merged, sorted, and deduped
+// so output is byte-for-byte identical at every parallelism setting.
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/diag"
+	"repro/internal/driver"
+	"repro/internal/problems"
+	"repro/internal/sema"
+)
+
+// Analyzer is one diagnostic pass over a single analyzed loop.
+type Analyzer struct {
+	// ID is the stable identifier stamped on findings (and the selector
+	// accepted by Options.Analyzers).
+	ID string
+	// Doc is a one-line description of what the analyzer reports.
+	Doc string
+	// Problem names the paper data flow problem the analyzer consumes.
+	Problem string
+	// Default is the severity of the analyzer's ordinary findings.
+	Default diag.Severity
+	// Run produces the findings for the loop in ctx. It must be safe to
+	// call concurrently for different contexts and must not mutate the
+	// analysis results.
+	Run func(ctx *Context) []diag.Finding
+}
+
+// Context bundles everything an analyzer may inspect for one loop.
+type Context struct {
+	// File is the display name of the source file.
+	File string
+	// Program and Info describe the whole (checked, normalized) program.
+	Program *ast.Program
+	Info    *sema.Info
+	// Loop is the analyzed loop: flow graph plus the solved problems.
+	Loop *driver.LoopAnalysis
+	// Metrics are the driver's solver metrics for this loop.
+	Metrics driver.LoopMetrics
+	// DefinedBefore is the set of arrays stored to at some pre-order
+	// position before the loop; reads of those arrays are assumed
+	// initialized by the earlier code.
+	DefinedBefore map[string]bool
+}
+
+// result returns the named problem's solution, or nil when it was not
+// requested.
+func (c *Context) result(name string) *dataflow.Result { return c.Loop.Results[name] }
+
+// registry lists the analyzers in ID order (the order findings tie-break
+// by, and the order documentation tables render in).
+var registry = []*Analyzer{
+	boundsAnalyzer,
+	deadStoreAnalyzer,
+	noParallelAnalyzer,
+	reuseAnalyzer,
+	selfCheckAnalyzer,
+	uninitAnalyzer,
+}
+
+// Analyzers returns the full analyzer registry in ID order.
+func Analyzers() []*Analyzer { return registry }
+
+// Specs returns the data flow problem instances the analyzers consume —
+// the paper's four array problems.
+func Specs() []*dataflow.Spec {
+	return []*dataflow.Spec{
+		problems.MustReachingDefs(),
+		problems.AvailableValues(),
+		problems.BusyStores(),
+		problems.ReachingRefs(),
+	}
+}
+
+// Options tunes a lint run.
+type Options struct {
+	// Parallelism caps worker goroutines, both in the underlying driver
+	// and in the per-loop analyzer fan-out (0 = GOMAXPROCS, 1 = serial).
+	// Output is identical at every setting.
+	Parallelism int
+	// DisableCache bypasses the driver's memo cache.
+	DisableCache bool
+	// Analyzers restricts the run to the given IDs (nil = all).
+	Analyzers []string
+}
+
+// Run solves the four problems on every loop of a checked, normalized
+// program and applies the analyzers, returning the deterministic, sorted
+// finding list together with the underlying analysis (for metrics).
+func Run(file string, prog *ast.Program, opts *Options) ([]diag.Finding, *driver.ProgramAnalysis, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	pa, err := driver.Analyze(prog, &driver.Options{
+		Specs:        Specs(),
+		Parallelism:  opts.Parallelism,
+		DisableCache: opts.DisableCache,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunOn(file, pa, opts), pa, nil
+}
+
+// RunOn applies the analyzers to an existing whole-program analysis. The
+// analysis must have been produced with (at least) the Specs() problems.
+func RunOn(file string, pa *driver.ProgramAnalysis, opts *Options) []diag.Finding {
+	if opts == nil {
+		opts = &Options{}
+	}
+	selected := selectAnalyzers(opts.Analyzers)
+	before := definedBefore(pa.Prog)
+	slots := make([][]diag.Finding, len(pa.Loops))
+	pa.ForEachLoop(opts.Parallelism, func(i int, la *driver.LoopAnalysis) {
+		ctx := &Context{
+			File:          file,
+			Program:       pa.Prog,
+			Info:          pa.Info,
+			Loop:          la,
+			DefinedBefore: before[la.Loop],
+		}
+		if pa.Metrics != nil && i < len(pa.Metrics.PerLoop) {
+			ctx.Metrics = pa.Metrics.PerLoop[i]
+		}
+		for _, a := range selected {
+			slots[i] = append(slots[i], a.Run(ctx)...)
+		}
+	})
+	var out []diag.Finding
+	for _, fs := range slots {
+		out = append(out, fs...)
+	}
+	diag.Sort(out)
+	return diag.Dedup(out)
+}
+
+func selectAnalyzers(ids []string) []*Analyzer {
+	if ids == nil {
+		return registry
+	}
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []*Analyzer
+	for _, a := range registry {
+		if want[a.ID] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// definedBefore computes, for every loop, the set of arrays some statement
+// stores to at an earlier pre-order position. The uninitialized-read
+// analyzer treats those arrays as initialized: the approximation errs
+// toward silence (a conditional earlier store still suppresses), never
+// toward false positives.
+func definedBefore(prog *ast.Program) map[*ast.DoLoop]map[string]bool {
+	out := map[*ast.DoLoop]map[string]bool{}
+	seen := map[string]bool{}
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.DoLoop:
+				snap := make(map[string]bool, len(seen))
+				for k := range seen {
+					snap[k] = true
+				}
+				out[st] = snap
+				walk(st.Body)
+			case *ast.If:
+				walk(st.Then)
+				walk(st.Else)
+			case *ast.Assign:
+				if ar, ok := st.LHS.(*ast.ArrayRef); ok {
+					seen[ar.Name] = true
+				}
+			}
+		}
+	}
+	walk(prog.Body)
+	return out
+}
+
+// iterations renders "1 iteration" / "n iterations".
+func iterations(n int64) string {
+	if n == 1 {
+		return "1 iteration"
+	}
+	return fmt.Sprintf("%d iterations", n)
+}

@@ -1,0 +1,234 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/lint"
+)
+
+// -update regenerates the golden files from current analyzer output:
+//
+//	go test ./internal/lint -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func examplePaths(t testing.TB) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.loop"))
+	if err != nil {
+		t.Fatalf("globbing examples: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example .loop programs found")
+	}
+	return paths
+}
+
+func vetExample(t testing.TB, path string, opts *lint.Options) *lint.VetResult {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	// The display name is fixed so golden output does not depend on the
+	// working directory.
+	return lint.Vet("examples/"+filepath.Base(path), string(b), opts)
+}
+
+// TestGoldenText pins the exact text findings (content and ordering) for
+// every example program.
+func TestGoldenText(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".loop")
+		t.Run(name, func(t *testing.T) {
+			res := vetExample(t, path, &lint.Options{Parallelism: 1})
+			var buf bytes.Buffer
+			if err := diag.WriteText(&buf, res.File, res.Findings); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", name+".golden"), buf.Bytes())
+		})
+	}
+}
+
+// TestGoldenJSON pins the JSON rendering for the paper's Figure 1 program.
+func TestGoldenJSON(t *testing.T) {
+	res := vetExample(t, filepath.Join("..", "..", "examples", "fig1.loop"), &lint.Options{Parallelism: 1})
+	var buf bytes.Buffer
+	if err := diag.WriteJSON(&buf, res.File, res.Findings); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "fig1.json.golden"), buf.Bytes())
+}
+
+func compareGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n-- got --\n%s-- want --\n%s", golden, got, want)
+	}
+}
+
+// TestFig1Findings asserts the headline facts of the Figure 1 run without
+// relying on exact formatting: at least five distinct analyzer IDs fire,
+// every finding carries a valid position, and the known key findings are
+// present.
+func TestFig1Findings(t *testing.T) {
+	res := vetExample(t, filepath.Join("..", "..", "examples", "fig1.loop"), nil)
+	if res.Analysis == nil {
+		t.Fatal("front end rejected fig1.loop")
+	}
+	ids := map[string]bool{}
+	for _, f := range res.Findings {
+		ids[f.Analyzer] = true
+		if !f.Pos.IsValid() {
+			t.Errorf("finding without position: %s", f)
+		}
+	}
+	for _, want := range []string{"bounds", "noparallel", "reuse", "selfcheck", "uninit"} {
+		if !ids[want] {
+			t.Errorf("analyzer %s produced no finding on fig1; got IDs %v", want, ids)
+		}
+	}
+	if len(ids) < 5 {
+		t.Errorf("want >= 5 distinct analyzer IDs, got %d (%v)", len(ids), ids)
+	}
+	if res.ExitCode() != 1 {
+		t.Errorf("fig1 has a bounds error; want exit code 1, got %d", res.ExitCode())
+	}
+}
+
+// TestSelfCheckAllExamples asserts the framework self-check passes (one
+// info finding per loop, no error-severity selfcheck findings) on every
+// example program.
+func TestSelfCheckAllExamples(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".loop")
+		t.Run(name, func(t *testing.T) {
+			res := vetExample(t, path, nil)
+			if res.Analysis == nil {
+				t.Fatalf("front end rejected %s: %v", path, res.Findings)
+			}
+			passes := 0
+			for _, f := range res.Findings {
+				if f.Analyzer != "selfcheck" {
+					continue
+				}
+				if f.Severity == diag.Error {
+					t.Errorf("self-check violation: %s", f)
+				} else {
+					passes++
+				}
+			}
+			if want := len(res.Analysis.Loops); passes != want {
+				t.Errorf("want %d self-check passes (one per loop), got %d", want, passes)
+			}
+		})
+	}
+}
+
+// TestVetDeterminism renders the Figure 1 JSON output 50 times under
+// parallel analysis and asserts every run is byte-for-byte identical,
+// with and without the memo cache.
+func TestVetDeterminism(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "fig1.loop")
+	render := func(opts *lint.Options) []byte {
+		res := vetExample(t, path, opts)
+		var buf bytes.Buffer
+		if err := diag.WriteJSON(&buf, res.File, res.Findings); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(&lint.Options{Parallelism: 1, DisableCache: true})
+	for run := 0; run < 50; run++ {
+		opts := &lint.Options{Parallelism: 8, DisableCache: run%2 == 0}
+		if got := render(opts); !bytes.Equal(got, want) {
+			t.Fatalf("run %d (%+v) diverged\n-- got --\n%s-- want --\n%s", run, opts, got, want)
+		}
+	}
+}
+
+// TestVetFrontEndFindings verifies parse and semantic failures surface as
+// positioned error findings with the dedicated analyzer IDs and a nonzero
+// exit code.
+func TestVetFrontEndFindings(t *testing.T) {
+	cases := []struct {
+		name, src, analyzer string
+	}{
+		{"parse", "do i = 1,\nenddo", "parse"},
+		{"parse_multiple", "A[ := 1\nB] := 2", "parse"},
+		{"sema", "do i = 1, 10\n  i := 3\nenddo", "sema"},
+		{"sema_dim_mismatch", "dim A[10]\nA[1, 2] := 0", "sema"},
+		{"sema_dim_size", "dim A[0]", "sema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := lint.Vet("<test>", tc.src, nil)
+			if res.ExitCode() != 1 {
+				t.Fatalf("want exit code 1, got %d (findings: %v)", res.ExitCode(), res.Findings)
+			}
+			if len(res.Findings) == 0 {
+				t.Fatal("no findings")
+			}
+			for _, f := range res.Findings {
+				if f.Analyzer != tc.analyzer {
+					t.Errorf("finding %s: want analyzer %q", f, tc.analyzer)
+				}
+				if f.Severity != diag.Error {
+					t.Errorf("finding %s: want error severity", f)
+				}
+				if !f.Pos.IsValid() {
+					t.Errorf("finding %s: invalid position", f)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzerRegistry pins the registry's IDs and ordering (documentation
+// tables and the -analyzers selector depend on both).
+func TestAnalyzerRegistry(t *testing.T) {
+	var ids []string
+	for _, a := range lint.Analyzers() {
+		ids = append(ids, a.ID)
+		if a.Doc == "" || a.Problem == "" || a.Run == nil {
+			t.Errorf("analyzer %s is missing Doc, Problem, or Run", a.ID)
+		}
+	}
+	want := []string{"bounds", "deadstore", "noparallel", "reuse", "selfcheck", "uninit"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("registry IDs = %v, want %v", ids, want)
+	}
+}
+
+// TestAnalyzerSelection verifies Options.Analyzers restricts the run.
+func TestAnalyzerSelection(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "fig1.loop")
+	res := vetExample(t, path, &lint.Options{Analyzers: []string{"bounds"}})
+	if len(res.Findings) == 0 {
+		t.Fatal("bounds-only run produced no findings")
+	}
+	for _, f := range res.Findings {
+		if f.Analyzer != "bounds" {
+			t.Errorf("unexpected analyzer %s in bounds-only run", f.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/depend"
+	"repro/internal/diag"
+)
+
+// maxBlockingDist bounds the dependence-distance search; a loop whose only
+// carried dependences exceed it is still reported via the closest pair
+// found within the bound.
+const maxBlockingDist = 8
+
+// noParallelAnalyzer reports loops that cannot be run in parallel as
+// written: any loop-carried dependence (distance ≥ 1) in the dependence
+// graph derived from the δ-reaching-references solution (paper §4.3)
+// orders iterations. One finding per loop names a deterministic minimal
+// blocking pair.
+var noParallelAnalyzer = &Analyzer{
+	ID:      "noparallel",
+	Doc:     "loop-carried dependence prevents parallel execution",
+	Problem: "δ-reaching references (§4.3)",
+	Default: diag.Info,
+	Run:     runNoParallel,
+}
+
+func runNoParallel(c *Context) []diag.Finding {
+	res := c.result("delta-reaching-refs")
+	if res == nil {
+		return nil
+	}
+	dg := depend.Build(c.Loop.Graph, res, maxBlockingDist)
+	var carried []depend.Edge
+	for _, e := range dg.Edges {
+		if e.Distance >= 1 {
+			carried = append(carried, e)
+		}
+	}
+	if len(carried) == 0 {
+		return nil
+	}
+	best := carried[0]
+	for _, e := range carried[1:] {
+		if blockingLess(e, best) {
+			best = e
+		}
+	}
+	f := diag.Finding{
+		Analyzer: "noparallel",
+		Pos:      c.Loop.Loop.Pos(),
+		Severity: diag.Info,
+		Message: fmt.Sprintf("loop over %s is not parallelizable: %s dependence from %s to %s carried over %s (%d carried dependence(s) within distance %d)",
+			c.Loop.Loop.Var, best.Kind,
+			ast.ExprString(best.FromRef.Expr), ast.ExprString(best.ToRef.Expr),
+			iterations(best.Distance), len(carried), maxBlockingDist),
+		Detail: map[string]string{
+			"iv":       c.Loop.Loop.Var,
+			"kind":     best.Kind,
+			"distance": fmt.Sprintf("%d", best.Distance),
+			"carried":  fmt.Sprintf("%d", len(carried)),
+		},
+	}
+	f.Related = append(f.Related,
+		diag.Related{Pos: best.FromRef.Expr.Pos(),
+			Message: fmt.Sprintf("dependence source %s", ast.ExprString(best.FromRef.Expr))},
+		diag.Related{Pos: best.ToRef.Expr.Pos(),
+			Message: fmt.Sprintf("dependence sink %s (%s later)", ast.ExprString(best.ToRef.Expr), iterations(best.Distance))},
+	)
+	return []diag.Finding{f}
+}
+
+// blockingLess orders carried edges deterministically: smallest distance
+// first, then source position, sink position, and kind.
+func blockingLess(a, b depend.Edge) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	ap, bp := a.FromRef.Expr.Pos(), b.FromRef.Expr.Pos()
+	if ap != bp {
+		return ap.Line < bp.Line || (ap.Line == bp.Line && ap.Col < bp.Col)
+	}
+	ap, bp = a.ToRef.Expr.Pos(), b.ToRef.Expr.Pos()
+	if ap != bp {
+		return ap.Line < bp.Line || (ap.Line == bp.Line && ap.Col < bp.Col)
+	}
+	return a.Kind < b.Kind
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/diag"
+	"repro/internal/problems"
+)
+
+// reuseAnalyzer reports guaranteed value reuses (paper §4.1): a load whose
+// value is provably available from an earlier reference, read off the
+// δ-available-values solution. These are optimization opportunities, so
+// the severity is informational.
+var reuseAnalyzer = &Analyzer{
+	ID:      "reuse",
+	Doc:     "load whose value is provably available from an earlier reference",
+	Problem: "δ-available values (§4.1)",
+	Default: diag.Info,
+	Run:     runReuse,
+}
+
+func runReuse(c *Context) []diag.Finding {
+	res := c.result("delta-available-values")
+	if res == nil {
+		return nil
+	}
+	var out []diag.Finding
+	for _, r := range problems.FindReuses(res) {
+		when := "earlier in the same iteration"
+		if r.Distance > 0 {
+			when = iterations(r.Distance) + " earlier"
+		}
+		f := diag.Finding{
+			Analyzer: "reuse",
+			Pos:      r.At.Expr.Pos(),
+			Severity: diag.Info,
+			Message: fmt.Sprintf("load of %s reuses the value of %s from %s",
+				ast.ExprString(r.At.Expr), r.From, when),
+			Detail: map[string]string{
+				"array":    r.At.Array,
+				"distance": fmt.Sprintf("%d", r.Distance),
+				"source":   r.From.String(),
+			},
+		}
+		if len(r.From.Members) > 0 {
+			f.Related = append(f.Related, diag.Related{
+				Pos:     r.From.Members[0].Expr.Pos(),
+				Message: fmt.Sprintf("value available from here (%s)", r.From),
+			})
+		}
+		out = append(out, f)
+	}
+	return out
+}

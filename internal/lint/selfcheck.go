@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/lattice"
+)
+
+// selfCheckAnalyzer validates the framework's own guarantees on every
+// solved problem of the loop: each compiled flow function must be monotone
+// over the distance lattice and idempotent (f∘f = f) on body nodes — the
+// properties behind the paper's rapid-convergence argument — and the solve
+// must have stabilized within two changing passes (§3.4). Violations are
+// errors; a clean loop yields one informational finding so the check's
+// coverage is visible in the output.
+var selfCheckAnalyzer = &Analyzer{
+	ID:      "selfcheck",
+	Doc:     "framework invariants: monotone, idempotent flow functions and 2-pass convergence",
+	Problem: "all solved problems (§3.4 convergence bound)",
+	Default: diag.Info,
+	Run:     runSelfCheck,
+}
+
+// selfCheckSamples spans the lattice's shape: bottom, several finite
+// distances (including non-adjacent ones), and top.
+var selfCheckSamples = []lattice.Dist{
+	lattice.None(), lattice.D(0), lattice.D(1), lattice.D(2),
+	lattice.D(3), lattice.D(7), lattice.All(),
+}
+
+func runSelfCheck(c *Context) []diag.Finding {
+	names := make([]string, 0, len(c.Loop.Results))
+	for name := range c.Loop.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []diag.Finding
+	checked := 0
+	maxChanged := 0
+	for _, name := range names {
+		res := c.Loop.Results[name]
+		for _, nd := range c.Loop.Graph.Nodes {
+			for ci := range res.Classes {
+				checked++
+				fx := make([]lattice.Dist, len(selfCheckSamples))
+				for i, x := range selfCheckSamples {
+					fx[i] = res.ApplyFlow(nd, ci, x)
+				}
+				for i, x := range selfCheckSamples {
+					for j, y := range selfCheckSamples {
+						if x.Cmp(y) <= 0 && fx[i].Cmp(fx[j]) > 0 {
+							out = append(out, selfCheckViolation(c, nd, fmt.Sprintf(
+								"flow function of node n%d (problem %s, class %s) is not monotone: f(%s)=%s exceeds f(%s)=%s",
+								nd.ID, name, res.Classes[ci], x, fx[i], y, fx[j])))
+						}
+					}
+					// The exit node's function is the iteration increment and
+					// is intentionally not idempotent; body nodes must be.
+					if nd.Kind != ir.KindExit {
+						if ffx := res.ApplyFlow(nd, ci, fx[i]); !ffx.Eq(fx[i]) {
+							out = append(out, selfCheckViolation(c, nd, fmt.Sprintf(
+								"flow function of node n%d (problem %s, class %s) is not idempotent: f(f(%s))=%s but f(%s)=%s",
+								nd.ID, name, res.Classes[ci], x, ffx, x, fx[i])))
+						}
+					}
+				}
+			}
+		}
+		if res.ChangedPasses > maxChanged {
+			maxChanged = res.ChangedPasses
+		}
+		if res.ChangedPasses > 2 {
+			out = append(out, diag.Finding{
+				Analyzer: "selfcheck",
+				Pos:      c.Loop.Loop.Pos(),
+				Severity: diag.Error,
+				Message: fmt.Sprintf("problem %s needed %d changing passes on the loop over %s, exceeding the framework's bound of 2",
+					name, res.ChangedPasses, c.Loop.Loop.Var),
+				Detail: map[string]string{"problem": name, "changedPasses": fmt.Sprintf("%d", res.ChangedPasses)},
+			})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, diag.Finding{
+			Analyzer: "selfcheck",
+			Pos:      c.Loop.Loop.Pos(),
+			Severity: diag.Info,
+			Message: fmt.Sprintf("framework self-check passed for the loop over %s: %d flow functions monotone and idempotent over %d lattice samples, %d problem(s) converged within %d changing pass(es)",
+				c.Loop.Loop.Var, checked, len(selfCheckSamples), len(names), maxChanged),
+			Detail: map[string]string{
+				"flowFunctions": fmt.Sprintf("%d", checked),
+				"samples":       fmt.Sprintf("%d", len(selfCheckSamples)),
+				"problems":      fmt.Sprintf("%d", len(names)),
+				"changedPasses": fmt.Sprintf("%d", maxChanged),
+			},
+		})
+	}
+	return out
+}
+
+func selfCheckViolation(c *Context, nd *ir.Node, msg string) diag.Finding {
+	pos := nd.SrcPos
+	if !pos.IsValid() {
+		pos = c.Loop.Loop.Pos()
+	}
+	return diag.Finding{Analyzer: "selfcheck", Pos: pos, Severity: diag.Error, Message: msg}
+}

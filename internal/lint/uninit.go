@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/problems"
+)
+
+// uninitAnalyzer reports array reads that may see never-written elements.
+// The framework's facts describe the loop's steady state; the analyzer
+// detects the boundary gap arithmetically: when the earliest guaranteed
+// producer of a read's element lags δ* ≥ 1 iterations (must-reaching
+// definitions), the first δ* iterations read elements no statement has
+// written. Reads with no guaranteed producer at all are reported when a
+// same-shape store exists but is conditional or mis-ordered; arrays stored
+// to before the loop, and reads with no matching store anywhere (loop
+// inputs), stay silent.
+var uninitAnalyzer = &Analyzer{
+	ID:      "uninit",
+	Doc:     "array read that may see a never-written element",
+	Problem: "must-reaching definitions (§3.5)",
+	Default: diag.Warning,
+	Run:     runUninit,
+}
+
+func runUninit(c *Context) []diag.Finding {
+	res := c.result("must-reaching-defs")
+	if res == nil {
+		return nil
+	}
+	// Earliest guaranteed producer per use.
+	guaranteed := map[*ir.Ref]problems.Reuse{}
+	for _, r := range problems.FindReuses(res) {
+		if prev, ok := guaranteed[r.At]; !ok || r.Distance < prev.Distance {
+			guaranteed[r.At] = r
+		}
+	}
+	var out []diag.Finding
+	for _, u := range c.Loop.Graph.Refs {
+		if u.Kind != ir.Use || !u.Affine || u.FromInner {
+			continue
+		}
+		if c.DefinedBefore[u.Array] {
+			continue
+		}
+		if r, ok := guaranteed[u]; ok {
+			if r.Distance >= 1 {
+				out = append(out, uninitGapFinding(u, r))
+			}
+			continue // distance 0: written earlier in the same iteration on every path
+		}
+		if f, ok := uninitMayFinding(u, res); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// uninitGapFinding reports the boundary gap of a use whose earliest
+// guaranteed producer lags r.Distance iterations: that many leading
+// iterations read elements nothing in the loop has written yet.
+func uninitGapFinding(u *ir.Ref, r problems.Reuse) diag.Finding {
+	f := diag.Finding{
+		Analyzer: "uninit",
+		Pos:      u.Expr.Pos(),
+		Severity: diag.Warning,
+		Message: fmt.Sprintf("%s reads a possibly uninitialized element during the first %s: the earliest guaranteed store (%s) lags %s",
+			ast.ExprString(u.Expr), iterations(r.Distance), r.From, iterations(r.Distance)),
+		Detail: map[string]string{
+			"array":    u.Array,
+			"gap":      fmt.Sprintf("%d", r.Distance),
+			"producer": r.From.String(),
+		},
+	}
+	if len(r.From.Members) > 0 {
+		f.Related = append(f.Related, diag.Related{
+			Pos:     r.From.Members[0].Expr.Pos(),
+			Message: fmt.Sprintf("earliest guaranteed store (%s)", r.From),
+		})
+	}
+	return f
+}
+
+// uninitMayFinding handles uses with no guaranteed producer: when some
+// definition class writes the same elements at a computable distance, the
+// read may still see uninitialized data — the store is conditional, or
+// follows the read. With no computable candidate the analyzer stays
+// silent (the array is a loop input or subscripts are symbolic).
+func uninitMayFinding(u *ir.Ref, res *dataflow.Result) (diag.Finding, bool) {
+	var best *dataflow.Class
+	bestDist := int64(-1)
+	for _, cl := range res.Classes {
+		if cl.Array != u.Array {
+			continue
+		}
+		d, ok := problems.ClassDistance(cl, u)
+		if !ok {
+			continue
+		}
+		if bestDist < 0 || d < bestDist {
+			bestDist, best = d, cl
+		}
+	}
+	if best == nil {
+		return diag.Finding{}, false
+	}
+	f := diag.Finding{
+		Analyzer: "uninit",
+		Pos:      u.Expr.Pos(),
+		Severity: diag.Warning,
+		Message: fmt.Sprintf("%s may read an uninitialized element: the matching store %s is not guaranteed to precede the read on every path",
+			ast.ExprString(u.Expr), best),
+		Detail: map[string]string{
+			"array":             u.Array,
+			"candidate":         best.String(),
+			"candidateDistance": fmt.Sprintf("%d", bestDist),
+		},
+	}
+	if len(best.Members) > 0 {
+		f.Related = append(f.Related, diag.Related{
+			Pos:     best.Members[0].Expr.Pos(),
+			Message: fmt.Sprintf("candidate store (%s)", best),
+		})
+	}
+	return f, true
+}

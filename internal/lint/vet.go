@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"errors"
+
+	"repro/internal/diag"
+	"repro/internal/driver"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/token"
+)
+
+// VetResult is the outcome of a full source-to-findings pipeline run.
+type VetResult struct {
+	File     string
+	Findings []diag.Finding
+	// Analysis is the underlying whole-program analysis; nil when the
+	// front end rejected the source.
+	Analysis *driver.ProgramAnalysis
+}
+
+// ExitCode returns the conventional process status for the findings:
+// 1 when any error-severity finding is present, 0 otherwise.
+func (r *VetResult) ExitCode() int {
+	if sev, ok := diag.MaxSeverity(r.Findings); ok && sev >= diag.Error {
+		return 1
+	}
+	return 0
+}
+
+// Vet runs the complete pipeline — parse, semantic check, normalization,
+// data flow analysis, analyzers — over source text. Front-end failures
+// become error findings with analyzer IDs "parse" and "sema" (every error
+// is reported, each with its source position); the analyzers run only on a
+// clean front end.
+func Vet(file, src string, opts *Options) *VetResult {
+	res := &VetResult{File: file}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		res.Findings = frontEndFindings("parse", err)
+		diag.Sort(res.Findings)
+		return res
+	}
+	if _, errs := sema.CheckAll(prog); len(errs) > 0 {
+		for _, err := range errs {
+			res.Findings = append(res.Findings, frontEndFindings("sema", err)...)
+		}
+		diag.Sort(res.Findings)
+		return res
+	}
+	norm, err := sema.Normalize(prog)
+	if err != nil {
+		res.Findings = frontEndFindings("sema", err)
+		diag.Sort(res.Findings)
+		return res
+	}
+	findings, pa, err := Run(file, norm, opts)
+	if err != nil {
+		res.Findings = frontEndFindings("sema", err)
+		diag.Sort(res.Findings)
+		return res
+	}
+	res.Findings = findings
+	res.Analysis = pa
+	return res
+}
+
+// frontEndFindings converts parser/sema errors into findings, preserving
+// each error's own position. Errors without one anchor at 1:1.
+func frontEndFindings(analyzer string, err error) []diag.Finding {
+	var out []diag.Finding
+	add := func(pos token.Pos, msg string) {
+		if !pos.IsValid() {
+			pos = token.Pos{Line: 1, Col: 1}
+		}
+		out = append(out, diag.Finding{Analyzer: analyzer, Pos: pos, Severity: diag.Error, Message: msg})
+	}
+	var pl parser.ErrorList
+	var pe *parser.Error
+	var se *sema.Error
+	switch {
+	case errors.As(err, &pl):
+		for _, e := range pl {
+			add(e.Pos, e.Msg)
+		}
+	case errors.As(err, &pe):
+		add(pe.Pos, pe.Msg)
+	case errors.As(err, &se):
+		add(se.Pos, se.Msg)
+	default:
+		add(token.Pos{}, err.Error())
+	}
+	return out
+}

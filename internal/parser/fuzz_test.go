@@ -1,13 +1,18 @@
 package parser
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/ast"
 )
 
-// FuzzParse is a native fuzz target: the parser must never panic, and
-// whatever parses must print/reparse stably. Run with
+// FuzzParse is a native fuzz target: the parser must never panic, every
+// reported error must carry a valid source position, and whatever parses
+// must print/reparse stably. The seed corpus mixes hand-picked pathological
+// inputs with the example programs under examples/. Run with
 // `go test -fuzz=FuzzParse ./internal/parser` for continuous fuzzing; the
 // seed corpus runs as a normal test.
 func FuzzParse(f *testing.F) {
@@ -23,9 +28,22 @@ func FuzzParse(f *testing.F) {
 		"! comment only",
 		"do i = 1, \n enddo",
 		"A[B[i]] := A[i*i]",
+		"dim A[100]\nA[1] := 0",
+		"dim X[64, 64]\ndim X(64, 64)",
+		"dim",
+		"dim A",
+		"dim A[",
+		"dim A[]\ndim B[0]\ndim C[-1]",
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	for _, path := range exampleSeeds(f) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", path, err)
+		}
+		f.Add(string(b))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {
@@ -33,6 +51,15 @@ func FuzzParse(f *testing.F) {
 		}
 		prog, err := Parse(src)
 		if err != nil {
+			var list ErrorList
+			if !errors.As(err, &list) || len(list) == 0 {
+				t.Fatalf("parse error is not a non-empty ErrorList: %v", err)
+			}
+			for _, e := range list {
+				if !e.Pos.IsValid() {
+					t.Fatalf("parse error without a valid position: %q: %v", src, e)
+				}
+			}
 			return
 		}
 		printed := ast.ProgramString(prog)
@@ -44,4 +71,17 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("print unstable: %q vs %q", printed, got)
 		}
 	})
+}
+
+// exampleSeeds lists the .loop programs under examples/ so the fuzzer
+// starts from realistic inputs.
+func exampleSeeds(f *testing.F) []string {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.loop"))
+	if err != nil {
+		f.Fatalf("globbing examples: %v", err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example .loop seeds found")
+	}
+	return paths
 }

@@ -5,8 +5,9 @@
 //
 //	program  = block EOF .
 //	block    = { stmt NEWLINE } .
-//	stmt     = doloop | ifstmt | assign .
+//	stmt     = doloop | ifstmt | assign | dim .
 //	doloop   = "do" IDENT "=" expr "," expr [ "," expr ] NEWLINE block "enddo" .
+//	dim      = "dim" IDENT ( "[" exprlist "]" | "(" exprlist ")" ) .
 //	ifstmt   = "if" expr "then" [NEWLINE] block [ "else" [NEWLINE] block ] "endif" .
 //	assign   = lvalue (":=" | "=") expr .
 //	lvalue   = IDENT [ "[" exprlist "]" | "(" exprlist ")" ] .
@@ -180,6 +181,8 @@ func (p *parser) parseStmt() ast.Stmt {
 		return p.parseDo()
 	case token.IF:
 		return p.parseIf()
+	case token.DIM:
+		return p.parseDim()
 	case token.IDENT:
 		return p.parseAssign()
 	default:
@@ -241,6 +244,28 @@ func (p *parser) parseIf() ast.Stmt {
 	}
 	p.expect(token.ENDIF)
 	return st
+}
+
+func (p *parser) parseDim() ast.Stmt {
+	dimTok := p.expect(token.DIM)
+	name := p.expect(token.IDENT)
+	d := &ast.Dim{DimPos: dimTok.Pos, Name: name.Text, NamePos: name.Pos}
+	closeKind := token.RBRACKET
+	switch {
+	case p.accept(token.LBRACKET):
+	case p.accept(token.LPAREN):
+		closeKind = token.RPAREN
+	default:
+		p.errorf("expected '[' after dim %s, found %s", d.Name, p.cur())
+		p.syncStmt()
+		return d
+	}
+	d.Sizes = append(d.Sizes, p.parseExpr())
+	for p.accept(token.COMMA) {
+		d.Sizes = append(d.Sizes, p.parseExpr())
+	}
+	p.expect(closeKind)
+	return d
 }
 
 func (p *parser) parseAssign() ast.Stmt {

@@ -166,6 +166,14 @@ func classDistance(c *dataflow.Class, u *ir.Ref) (int64, bool) {
 	return d, true
 }
 
+// ClassDistance is the exported form of classDistance for analysis
+// consumers (the lint layer): it reports the iteration distance δ at which
+// class c supplies the element read by u, when that distance is a
+// nonnegative integer constant.
+func ClassDistance(c *dataflow.Class, u *ir.Ref) (int64, bool) {
+	return classDistance(c, u)
+}
+
 // RedundantStore records that the definition Store is δ-redundant: another
 // store of class By overwrites the same element Distance iterations later
 // on every path, with no intervening use (paper §4.2.1).

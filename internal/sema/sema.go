@@ -19,6 +19,12 @@ type Info struct {
 	Loops []*ast.DoLoop
 	// IVs is the set of induction variable names.
 	IVs map[string]bool
+	// Bounds maps each dim-declared array to its per-dimension sizes
+	// (1-based: dim A[n] declares indices 1..n). Arrays without a dim
+	// declaration are absent.
+	Bounds map[string][]int64
+	// Dims maps each declared array to its dim statement (for positions).
+	Dims map[string]*ast.Dim
 }
 
 // ArrayNames returns the array names in sorted order.
@@ -57,15 +63,9 @@ type checker struct {
 // It returns the collected Info and the first error encountered (all errors
 // are available via the returned slice when the caller needs them).
 func Check(prog *ast.Program) (*Info, error) {
-	info := &Info{
-		Arrays:  map[string]int{},
-		Scalars: map[string]bool{},
-		IVs:     map[string]bool{},
-	}
-	c := &checker{info: info}
-	c.checkBlock(prog.Body, nil)
-	if len(c.errs) > 0 {
-		return info, c.errs[0]
+	info, errs := CheckAll(prog)
+	if len(errs) > 0 {
+		return info, errs[0]
 	}
 	return info, nil
 }
@@ -76,6 +76,8 @@ func CheckAll(prog *ast.Program) (*Info, []error) {
 		Arrays:  map[string]int{},
 		Scalars: map[string]bool{},
 		IVs:     map[string]bool{},
+		Bounds:  map[string][]int64{},
+		Dims:    map[string]*ast.Dim{},
 	}
 	c := &checker{info: info}
 	c.checkBlock(prog.Body, nil)
@@ -107,6 +109,8 @@ func (c *checker) checkBlock(body []ast.Stmt, enclosing []string) {
 			c.checkExpr(st.Cond, enclosing)
 			c.checkBlock(st.Then, enclosing)
 			c.checkBlock(st.Else, enclosing)
+		case *ast.Dim:
+			c.noteDim(st)
 		case *ast.Assign:
 			switch lhs := st.LHS.(type) {
 			case *ast.Ident:
@@ -115,7 +119,7 @@ func (c *checker) checkBlock(body []ast.Stmt, enclosing []string) {
 						c.errorf(lhs.Pos(), "assignment to induction variable %s inside its loop", iv)
 					}
 				}
-				c.noteScalar(lhs.Name)
+				c.noteScalar(lhs.Name, lhs.Pos())
 			case *ast.ArrayRef:
 				c.noteArray(lhs)
 				for _, sub := range lhs.Subs {
@@ -136,16 +140,16 @@ func (c *checker) checkExpr(e ast.Expr, enclosing []string) {
 			c.noteArray(x)
 		case *ast.Ident:
 			if x.Name != "_" && !c.info.IVs[x.Name] {
-				c.noteScalar(x.Name)
+				c.noteScalar(x.Name, x.Pos())
 			}
 		}
 		return true
 	})
 }
 
-func (c *checker) noteScalar(name string) {
+func (c *checker) noteScalar(name string, pos token.Pos) {
 	if _, isArray := c.info.Arrays[name]; isArray {
-		c.errorf(token.Pos{}, "%s used both as scalar and as array", name)
+		c.errorf(pos, "%s used both as scalar and as array", name)
 		return
 	}
 	if !c.info.IVs[name] {
@@ -165,4 +169,50 @@ func (c *checker) noteArray(ref *ast.ArrayRef) {
 		return
 	}
 	c.info.Arrays[ref.Name] = len(ref.Subs)
+}
+
+// noteDim records a dim declaration: sizes must be positive integer
+// constants, redeclarations must agree, and the dimension count must match
+// every subscripted use of the array.
+func (c *checker) noteDim(d *ast.Dim) {
+	if c.info.Scalars[d.Name] || c.info.IVs[d.Name] {
+		c.errorf(d.NamePos, "%s declared as array (dim) but used as scalar", d.Name)
+		return
+	}
+	sizes := make([]int64, 0, len(d.Sizes))
+	for _, sz := range d.Sizes {
+		v, ok := constValue(sz)
+		if !ok || v < 1 {
+			c.errorf(sz.Pos(), "dim %s: size %q must be a positive integer constant", d.Name, ast.ExprString(sz))
+			return
+		}
+		sizes = append(sizes, v)
+	}
+	if prev, ok := c.info.Bounds[d.Name]; ok {
+		if !equalSizes(prev, sizes) {
+			c.errorf(d.NamePos, "%s redeclared with different sizes (previous dim at %s)",
+				d.Name, c.info.Dims[d.Name].Pos())
+		}
+		return
+	}
+	if nd, ok := c.info.Arrays[d.Name]; ok && nd != len(sizes) {
+		c.errorf(d.NamePos, "dim %s declares %d dimensions but %s is used with %d subscripts",
+			d.Name, len(sizes), d.Name, nd)
+		return
+	}
+	c.info.Arrays[d.Name] = len(sizes)
+	c.info.Bounds[d.Name] = sizes
+	c.info.Dims[d.Name] = d
+}
+
+func equalSizes(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

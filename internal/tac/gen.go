@@ -189,6 +189,9 @@ func (g *gen) stmt(s ast.Stmt) {
 		g.b.Emit(Instr{Op: Add, Dst: iv, Src1: iv, Src2: stepReg, Comment: "iv++"})
 		g.b.Branch(Jmp, -1, headL)
 		g.b.Label(endL)
+
+	case *ast.Dim:
+		// Declarations emit no code.
 	}
 }
 

@@ -54,6 +54,7 @@ const (
 	AND
 	OR
 	NOT
+	DIM
 )
 
 var kindNames = map[Kind]string{
@@ -88,6 +89,7 @@ var kindNames = map[Kind]string{
 	AND:      "and",
 	OR:       "or",
 	NOT:      "not",
+	DIM:      "dim",
 }
 
 // String returns a human-readable name for the token kind.
@@ -110,6 +112,7 @@ var keywords = map[string]Kind{
 	"and":   AND,
 	"or":    OR,
 	"not":   NOT,
+	"dim":   DIM,
 }
 
 // Lookup returns the keyword kind for an identifier spelling, or IDENT.
@@ -122,8 +125,8 @@ func Lookup(ident string) Kind {
 
 // Pos is a source position: 1-based line and column.
 type Pos struct {
-	Line int
-	Col  int
+	Line int `json:"line"`
+	Col  int `json:"col"`
 }
 
 // String renders the position as "line:col".
