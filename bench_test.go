@@ -59,9 +59,32 @@ func BenchmarkTable1FixedPoint(b *testing.B) {
 	if got := res.In[1].String(); got != "(2,1,_,T)" {
 		b.Fatalf("fixed point IN[1] = %s, want (2,1,_,T)", got)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dataflow.Solve(g, problems.MustReachingDefs(), nil)
+	spec := problems.MustReachingDefs()
+	for _, eng := range []dataflow.Engine{dataflow.EnginePacked, dataflow.EngineReference} {
+		b.Run(string(eng), func(b *testing.B) {
+			opts := &dataflow.Options{Engine: eng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.Solve(g, spec, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1FusedSolve solves all four standard problems on the
+// Figure 1 graph through one SolveAll call, sharing class discovery, node
+// orderings, and the precedes bitsets across the specs.
+func BenchmarkTable1FusedSolve(b *testing.B) {
+	g := mustGraph(b, experiments.Fig1Source)
+	specs := problems.StandardSpecs()
+	for _, eng := range []dataflow.Engine{dataflow.EnginePacked, dataflow.EngineReference} {
+		b.Run(string(eng), func(b *testing.B) {
+			opts := &dataflow.Options{Engine: eng}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dataflow.SolveAll(g, specs, opts)
+			}
+		})
 	}
 }
 
@@ -279,35 +302,43 @@ func BenchmarkScalingLinear(b *testing.B) {
 	// time grows linearly with the statement count, matching the paper's
 	// 3·N node-visit bound.
 	for _, n := range []int{32, 128, 512, 2048} {
-		b.Run(fmt.Sprintf("bounded-classes/stmts=%d", n), func(b *testing.B) {
-			prog := synth.Loop(synth.Params{Seed: 1, Stmts: n, Arrays: 4, MaxDist: 5, CondProb: 0.2})
-			loop := prog.Body[0].(*ast.DoLoop)
-			g, err := ir.Build(loop, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dataflow.Solve(g, problems.MustReachingDefs(), nil)
-			}
-		})
+		prog := synth.Loop(synth.Params{Seed: 1, Stmts: n, Arrays: 4, MaxDist: 5, CondProb: 0.2})
+		loop := prog.Body[0].(*ast.DoLoop)
+		g, err := ir.Build(loop, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := problems.MustReachingDefs()
+		for _, eng := range []dataflow.Engine{dataflow.EnginePacked, dataflow.EngineReference} {
+			b.Run(fmt.Sprintf("bounded-classes/stmts=%d/%s", n, eng), func(b *testing.B) {
+				opts := &dataflow.Options{Engine: eng}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dataflow.Solve(g, spec, opts)
+				}
+			})
+		}
 	}
 	// Classes growing with N (every statement its own array): total work is
 	// O(N·m) = O(N²), matching the paper's O(N²) space statement for the
 	// IN/OUT sets.
 	for _, n := range []int{32, 128, 512} {
-		b.Run(fmt.Sprintf("growing-classes/stmts=%d", n), func(b *testing.B) {
-			prog := synth.WideLoop(n, 0)
-			loop := prog.Body[0].(*ast.DoLoop)
-			g, err := ir.Build(loop, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dataflow.Solve(g, problems.MustReachingDefs(), nil)
-			}
-		})
+		prog := synth.WideLoop(n, 0)
+		loop := prog.Body[0].(*ast.DoLoop)
+		g, err := ir.Build(loop, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := problems.MustReachingDefs()
+		for _, eng := range []dataflow.Engine{dataflow.EnginePacked, dataflow.EngineReference} {
+			b.Run(fmt.Sprintf("growing-classes/stmts=%d/%s", n, eng), func(b *testing.B) {
+				opts := &dataflow.Options{Engine: eng}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dataflow.Solve(g, spec, opts)
+				}
+			})
+		}
 	}
 }
 

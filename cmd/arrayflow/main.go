@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
@@ -35,6 +37,61 @@ import (
 	"repro/internal/problems"
 	"repro/internal/sema"
 )
+
+// stopProfiles flushes any active profiles; it must run before every exit
+// path once startProfiles has been called (os.Exit skips deferred calls).
+var stopProfiles = func() {}
+
+// startProfiles starts CPU profiling and arranges the heap profile write,
+// installing the combined flush as stopProfiles.
+func startProfiles(cpu, mem string) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arrayflow: memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "arrayflow: memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	stopProfiles = func() {
+		for _, s := range stops {
+			s()
+		}
+		stopProfiles = func() {}
+	}
+}
+
+// parseEngine validates a -engine flag value.
+func parseEngine(s string) dataflow.Engine {
+	switch s {
+	case "packed":
+		return dataflow.EnginePacked
+	case "reference":
+		return dataflow.EngineReference
+	}
+	fatal(fmt.Errorf("unknown -engine %q (want packed or reference)", s))
+	panic("unreachable")
+}
 
 func main() {
 	if len(os.Args) >= 2 && os.Args[1] == "vet" {
@@ -50,13 +107,21 @@ func main() {
 	whole := flag.Bool("program", false, "run the whole-program hierarchical analysis (§3.2) instead of a single loop")
 	workers := flag.Int("workers", 0, "worker goroutines for -program (0 = GOMAXPROCS, 1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the memoizing solve cache for -program")
+	engineFlag := flag.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	engine := parseEngine(*engineFlag)
+	startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	_, prog := loadProgram(flag.Arg(0))
 
 	if *whole {
 		pa, err := driver.Analyze(prog, &driver.Options{
-			NestVectors: true, Parallelism: *workers, DisableCache: *nocache})
+			NestVectors: true, Parallelism: *workers, DisableCache: *nocache,
+			Engine: engine})
 		if err != nil {
 			fatal(err)
 		}
@@ -91,7 +156,7 @@ func main() {
 		fatal(fmt.Errorf("unknown analysis %q", *analysis))
 	}
 
-	res := dataflow.Solve(g, spec, &dataflow.Options{CollectTrace: *trace})
+	res := dataflow.Solve(g, spec, &dataflow.Options{CollectTrace: *trace, Engine: engine})
 
 	fmt.Println(g.Dump())
 	if *trace {
@@ -138,8 +203,11 @@ func runVet(args []string) {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
 	metrics := fs.Bool("metrics", false, "print analysis metrics to stderr")
+	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [file]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -147,13 +215,17 @@ func runVet(args []string) {
 		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
+	engine := parseEngine(*engineFlag)
 	src, file, err := readSource(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
 		os.Exit(2)
 	}
+	// Profiles start here so they cover the analysis, and are flushed
+	// explicitly on every exit path (os.Exit skips defers).
+	startProfiles(*cpuprofile, *memprofile)
 
-	res := lint.Vet(file, src, &lint.Options{Parallelism: *workers, DisableCache: *nocache})
+	res := lint.Vet(file, src, &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine})
 
 	switch *format {
 	case "json":
@@ -163,12 +235,14 @@ func runVet(args []string) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		stopProfiles()
 		os.Exit(2)
 	}
 	if *metrics && res.Analysis != nil {
 		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
 		fmt.Fprint(os.Stderr, res.Analysis.Metrics.Report())
 	}
+	stopProfiles()
 	os.Exit(res.ExitCode())
 }
 
@@ -255,5 +329,6 @@ func pickLoop(prog *ast.Program, idx int) (*ast.DoLoop, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "arrayflow:", err)
+	stopProfiles()
 	os.Exit(1)
 }

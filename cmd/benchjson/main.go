@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op}.
+// It reads the benchmark output on stdin and writes JSON to stdout (or to
+// the file named by -o). scripts/bench.sh uses it to record the repo's
+// perf trajectory snapshots (BENCH_PR3.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is the recorded measurement of one benchmark.
+type Row struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// cpuSuffix strips the trailing GOMAXPROCS marker (e.g. "-8") go test
+// appends to benchmark names, so keys stay stable across machines.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rows := map[string]Row{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then "value unit" pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		row := rows[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				row.NsPerOp = v
+			case "B/op":
+				row.BytesPerOp = v
+			case "allocs/op":
+				row.AllocsPerOp = v
+			}
+		}
+		rows[name] = row
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Deterministic rendering: sorted keys, stable indentation.
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(rows[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.WriteString(b.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,482 @@
+// The packed solver engine: the same three-pass framework as the reference
+// implementation in solve.go, rebuilt around flat storage so the constant
+// factor is bounded by lattice arithmetic rather than allocator traffic.
+//
+//   - IN/OUT tuples live in two flat slabs (lattice.Slab) indexed by node ID:
+//     two backing allocations per solve instead of one tuple per node.
+//   - Flow functions compile into one flowOp arena addressed by
+//     starts[nodeID·m + classIndex]; membership tests go through a dense
+//     ref-ID → class-index array, never a map[*ir.Ref].
+//   - pr(class, node) is a per-class bitset built by OR-ing the graph's
+//     packed precedes rows over the class members.
+//   - applyFlow writes into a single scratch tuple reused across every node
+//     and pass, making the steady-state iteration passes allocation-free
+//     (pinned by an AllocsPerRun test).
+//
+// A solveCtx is shareable across problem instances on the same graph:
+// SolveAll reuses class discovery (per generate-predicate signature), node
+// orderings, and the pr bitsets across the four standard problems.
+package dataflow
+
+import (
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/lattice"
+)
+
+// solveCtx carries everything derivable from the graph alone, shared by all
+// specs solved through one SolveAll call.
+type solveCtx struct {
+	g   *ir.Graph
+	n   int
+	fwd []*ir.Node // reverse postorder of the body DAG
+	bwd []*ir.Node // reverse of fwd, built on first backward spec
+
+	// shared marks a context that solves several specs (SolveAll): only
+	// then do the memo tables below get built. A single-spec context skips
+	// the signature keys and memo maps entirely — there is nothing to
+	// share with.
+	shared bool
+	// tables memoizes class discovery by generate-predicate signature (the
+	// Gen bitmask over g.Refs): specs with the same signature — e.g.
+	// must-reaching defs and δ-busy stores, both G = defs — share one table.
+	tables map[string]*classTable
+	// prZero memoizes the per-class pr bitsets by (table, direction).
+	prZero map[prKey][][]uint64
+}
+
+type prKey struct {
+	table    *classTable
+	backward bool
+}
+
+func newSolveCtx(g *ir.Graph) *solveCtx {
+	return &solveCtx{g: g, n: len(g.Nodes), fwd: g.RPO()}
+}
+
+// order returns the iteration order for the direction, building the
+// backward order on first use.
+func (ctx *solveCtx) order(backward bool) []*ir.Node {
+	if !backward {
+		return ctx.fwd
+	}
+	if ctx.bwd == nil {
+		ctx.bwd = make([]*ir.Node, len(ctx.fwd))
+		for i, nd := range ctx.fwd {
+			ctx.bwd[len(ctx.fwd)-1-i] = nd
+		}
+	}
+	return ctx.bwd
+}
+
+// tableFor returns the class table for the spec's generate predicate. In a
+// shared context the table is memoized by the predicate's decision vector
+// over the graph's references, so specs with the same signature (e.g.
+// must-reaching defs and δ-busy stores, both G = defs) share one table.
+func (ctx *solveCtx) tableFor(spec *Spec) *classTable {
+	if !ctx.shared {
+		return buildClassTable(ctx.g, spec.Gen)
+	}
+	mask := make([]byte, len(ctx.g.Refs))
+	for i, r := range ctx.g.Refs {
+		if spec.Gen(r) {
+			mask[i] = '1'
+		} else {
+			mask[i] = '0'
+		}
+	}
+	key := string(mask)
+	ct, ok := ctx.tables[key]
+	if !ok {
+		ct = buildClassTable(ctx.g, spec.Gen)
+		if ctx.tables == nil {
+			ctx.tables = map[string]*classTable{}
+		}
+		ctx.tables[key] = ct
+	}
+	return ct
+}
+
+// prZeroFor returns, per class, the bitset of node IDs with pr = 0: nodes
+// that some member precedes (forward) or that precede some member
+// (backward). One word-wide OR per member replaces a Precedes call per
+// member per node per class.
+func (ctx *solveCtx) prZeroFor(ct *classTable, backward bool) [][]uint64 {
+	k := prKey{ct, backward}
+	if ctx.shared {
+		if pz, ok := ctx.prZero[k]; ok {
+			return pz
+		}
+	}
+	g := ctx.g
+	words := g.BitWords()
+	backing := make([]uint64, len(ct.classes)*words)
+	pz := make([][]uint64, len(ct.classes))
+	for i, c := range ct.classes {
+		row := backing[i*words : (i+1)*words]
+		for _, mem := range c.Members {
+			var src []uint64
+			if backward {
+				src = g.PrecededByRow(mem.Node.ID)
+			} else {
+				src = g.PrecedesRow(mem.Node.ID)
+			}
+			for w := range row {
+				row[w] |= src[w]
+			}
+		}
+		pz[i] = row
+	}
+	if ctx.shared {
+		if ctx.prZero == nil {
+			ctx.prZero = map[prKey][][]uint64{}
+		}
+		ctx.prZero[k] = pz
+	}
+	return pz
+}
+
+func bitGet(row []uint64, i int) bool {
+	return row[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func bitSet(row []uint64, i int) {
+	row[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// packedProgram is the compiled form of every flow function of one problem
+// instance: one op arena plus monotone start offsets per (node, class) slot
+// idx = nodeID·m + classIndex, and a generate bitset per slot feeding the
+// initialization pass's overestimate.
+type packedProgram struct {
+	arena  []flowOp
+	starts []int32
+	gen    []uint64
+}
+
+func (p *packedProgram) ops(idx int) []flowOp {
+	return p.arena[p.starts[idx]:p.starts[idx+1]]
+}
+
+// solver is the per-spec iteration state; its pass methods are allocation-
+// free once constructed.
+type solver struct {
+	res     *Result
+	g       *ir.Graph
+	order   []*ir.Node
+	entry   *ir.Node
+	prog    *packedProgram
+	scratch lattice.Tuple
+	m       int
+	may     bool
+	back    bool
+}
+
+// preds returns the meet inputs of nd for the solve direction.
+func (st *solver) preds(nd *ir.Node) []*ir.Node {
+	if st.back {
+		return nd.Succs
+	}
+	return nd.Preds
+}
+
+// solve runs one problem instance through the packed engine.
+func (ctx *solveCtx) solve(spec *Spec, opts *Options) *Result {
+	start := time.Now()
+	res := &Result{Graph: ctx.g, Spec: spec}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	ct := ctx.tableFor(spec)
+	res.adoptClasses(ct)
+	m := len(ct.classes)
+	n := ctx.n
+	res.prZero = ctx.prZeroFor(ct, spec.Backward)
+
+	res.In = lattice.Slab(n, m)
+	res.Out = lattice.Slab(n, m)
+
+	prog := ctx.compile(spec, ct, res.prZero)
+	res.prog = prog // ApplyFlow serves views into the arena on demand
+
+	st := &solver{
+		res:     res,
+		g:       ctx.g,
+		order:   ctx.order(spec.Backward),
+		entry:   ctx.g.Entry,
+		prog:    prog,
+		scratch: make(lattice.Tuple, m),
+		m:       m,
+		may:     spec.May,
+		back:    spec.Backward,
+	}
+	if spec.Backward {
+		st.entry = ctx.g.Exit
+	}
+
+	// --- Initialization (paper §3.2 for must, §3.3 for may) -------------
+	switch {
+	case spec.May:
+		startVal := lattice.All()
+		if opts.MayTopStart {
+			startVal = lattice.None()
+		}
+		for id := 1; id <= n; id++ {
+			res.In[id].Fill(startVal)
+			res.Out[id].Fill(startVal)
+		}
+	case opts.SkipInitPass:
+		for id := 1; id <= n; id++ {
+			res.In[id].Fill(lattice.All())
+			res.Out[id].Fill(lattice.All())
+		}
+	default:
+		st.initPass()
+		res.InitIn = lattice.CloneSlab(res.In)
+		res.InitOut = lattice.CloneSlab(res.Out)
+	}
+
+	// --- Fixed point iteration ------------------------------------------
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
+	for pass := 1; pass <= maxPasses; pass++ {
+		changed := st.iteratePass()
+		res.Passes = pass
+		if changed {
+			res.ChangedPasses++
+		}
+		if opts.CollectTrace {
+			res.Trace = append(res.Trace, TraceEntry{
+				In:  lattice.CloneSlab(res.In),
+				Out: lattice.CloneSlab(res.Out),
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+// initPass runs the paper's initialization pass for must-problems: meet
+// over already-visited predecessors (back-edge inputs excluded), then the
+// generate overestimate from the compiled program's gen bits.
+func (st *solver) initPass() {
+	res := st.res
+	visited := make([]bool, len(st.g.Nodes)+1)
+	for _, nd := range st.order {
+		res.NodeVisits++
+		in := res.In[nd.ID]
+		if nd == st.entry {
+			in.Fill(lattice.None())
+		} else {
+			in.Fill(lattice.All())
+			any := false
+			for _, p := range st.preds(nd) {
+				if !visited[p.ID] {
+					continue // back-edge predecessor: excluded from init
+				}
+				in.MeetInto(res.Out[p.ID], false)
+				any = true
+			}
+			if !any {
+				in.Fill(lattice.None())
+			}
+		}
+		out := res.Out[nd.ID]
+		copy(out, in)
+		base := nd.ID * st.m
+		for ci := 0; ci < st.m; ci++ {
+			if bitGet(st.prog.gen, base+ci) {
+				out[ci] = lattice.All()
+			}
+		}
+		visited[nd.ID] = true
+	}
+}
+
+// iteratePass runs one fixed-point pass over every node, reporting whether
+// any OUT tuple changed. It allocates nothing: the meet writes into the
+// slab-backed IN row and the flow functions write into the shared scratch
+// tuple, which is copied over OUT only on change.
+func (st *solver) iteratePass() bool {
+	res := st.res
+	g := st.g
+	m := st.m
+	changed := false
+	for _, nd := range st.order {
+		res.NodeVisits++
+		in := res.In[nd.ID]
+		ps := st.preds(nd)
+		if len(ps) > 0 {
+			if st.may {
+				in.Fill(lattice.None())
+			} else {
+				in.Fill(lattice.All())
+			}
+			for _, p := range ps {
+				in.MeetInto(res.Out[p.ID], st.may)
+			}
+		}
+		res.FlowApps += m
+		scratch := st.scratch
+		if nd.Kind == ir.KindExit {
+			for ci, x := range in {
+				v := x.Inc()
+				if g.HasUB {
+					v = v.Clamp(g.UBConst)
+				}
+				scratch[ci] = v
+			}
+		} else {
+			base := nd.ID * m
+			starts := st.prog.starts
+			arena := st.prog.arena
+			for ci, x := range in {
+				for _, op := range arena[starts[base+ci]:starts[base+ci+1]] {
+					if op.gen {
+						x = lattice.Max(x, lattice.D(0))
+					} else {
+						x = lattice.Min(x, op.pres)
+					}
+				}
+				scratch[ci] = x
+			}
+		}
+		out := res.Out[nd.ID]
+		if !scratch.Eq(out) {
+			changed = true
+			copy(out, scratch)
+		}
+	}
+	return changed
+}
+
+// compile builds the packed program: every (node, class) flow function
+// appended to one arena in slot order, so starts is monotone and a slot's
+// ops are arena[starts[idx]:starts[idx+1]]. Class membership is decided by
+// the table's dense refClass array; no maps are consulted.
+func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64) *packedProgram {
+	g := ctx.g
+	m := len(ct.classes)
+	total := (ctx.n + 1) * m
+	prog := &packedProgram{
+		// Most references compile to at most one op in their own class and
+		// none elsewhere; len(g.Refs) covers the common case so the arena
+		// rarely regrows.
+		arena:  make([]flowOp, 0, len(g.Refs)+4),
+		starts: make([]int32, total+1),
+		gen:    make([]uint64, (total+63)/64),
+	}
+	idx := m // slots 0..m-1 belong to the unused node ID 0 and stay empty
+	for _, nd := range g.Nodes {
+		for _, c := range ct.classes {
+			prog.starts[idx] = int32(len(prog.arena))
+			prog.arena = appendOps(prog.arena, g, spec, ct, c, nd, prZero[c.Index])
+			idx++
+		}
+	}
+	for ; idx <= total; idx++ {
+		prog.starts[idx] = int32(len(prog.arena))
+	}
+	for i := 0; i < total; i++ {
+		for _, op := range prog.ops(i) {
+			if op.gen {
+				bitSet(prog.gen, i)
+				break
+			}
+		}
+	}
+	return prog
+}
+
+// appendOps emits node nd's flow function for class c onto the arena. The
+// emitted sequence is definitionally identical to the reference compiler's
+// compileNodeClass: reference effects in execution order, reversed for
+// backward problems, with summary nodes reordered by polarity (must:
+// generates before kills; may: kills before generates) and consecutive
+// preserve caps merged.
+func appendOps(arena []flowOp, g *ir.Graph, spec *Spec, ct *classTable, c *Class, nd *ir.Node, prZeroC []uint64) []flowOp {
+	opsStart := len(arena)
+	nodePr := int64(1)
+	if bitGet(prZeroC, nd.ID) {
+		nodePr = 0
+	}
+	want := int32(c.Index)
+	genSeen := false
+
+	emit := func(r *ir.Ref) {
+		if ct.refClass[r.ID] == want {
+			arena = append(arena, flowOp{gen: true})
+			genSeen = true
+			return
+		}
+		if !spec.Kill(r) || r.Array != c.Array {
+			return
+		}
+		pr := nodePr
+		if genSeen {
+			// A member of the class already executed within this node
+			// before the kill: the distance-0 instance is in range.
+			pr = 0
+		}
+		kctx := KillContext{
+			Pr:       pr,
+			May:      spec.May,
+			Backward: spec.Backward,
+			UB:       g.UBConst,
+			HasUB:    g.HasUB,
+		}
+		var p lattice.Dist
+		if r.FromInner && r.HasRegion {
+			p = PreserveAgainstRegion(c.Form, r.RegionLo, r.RegionHi, kctx)
+		} else {
+			p = PreserveConst(c.Form, r.Form, r.Affine && !r.FromInner, kctx)
+		}
+		if p.IsAll() {
+			return // identity cap
+		}
+		if n := len(arena); n > opsStart && !arena[n-1].gen {
+			arena[n-1].pres = lattice.Min(arena[n-1].pres, p)
+			return
+		}
+		arena = append(arena, flowOp{pres: p})
+	}
+
+	// phase: 0 = members of c only, 1 = non-members only, 2 = all.
+	walk := func(phase int, reverse bool) {
+		refs := nd.Refs
+		for k := 0; k < len(refs); k++ {
+			r := refs[k]
+			if reverse {
+				r = refs[len(refs)-1-k]
+			}
+			isMember := ct.refClass[r.ID] == want
+			if phase == 0 && !isMember || phase == 1 && isMember {
+				continue
+			}
+			emit(r)
+		}
+	}
+
+	if nd.Kind != ir.KindSummary {
+		walk(2, spec.Backward)
+		return arena
+	}
+	// Summary nodes collapse an inner loop of unknown internal order: the
+	// safe approximation applies generates before kills for must-problems
+	// (underestimate) and kills before generates for may-problems
+	// (overestimate); backward solves reverse the whole sequence.
+	first, second := 0, 1 // must, forward: gens then kills
+	if spec.May {
+		first, second = 1, 0
+	}
+	if spec.Backward {
+		first, second = second, first
+	}
+	walk(first, spec.Backward)
+	walk(second, spec.Backward)
+	return arena
+}

@@ -2,8 +2,8 @@ package dataflow
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ast"
@@ -60,6 +60,13 @@ type Result struct {
 	Classes []*Class
 	// ClassOf maps each generating reference to its class.
 	ClassOf map[*ir.Ref]*Class
+	// ct is the class table behind Classes/ClassOf; ClassFor answers from
+	// its lazily built key index in O(1) instead of a scan per query.
+	ct *classTable
+	// prZero, when set (packed engine), holds one bitset per class over node
+	// IDs with pr(class, node) = 0; prOf answers from it without touching
+	// the members.
+	prZero [][]uint64
 
 	// In and Out are the fixed point tuples per node ID (1-based). For
 	// backward problems, following the paper's convention, In[n] describes
@@ -89,10 +96,13 @@ type Result struct {
 	// Elapsed is the wall time of the Solve call.
 	Elapsed time.Duration
 
-	// flowFns are the compiled per-node, per-class flow functions, kept so
-	// consumers (the framework self-check analyzer) can re-apply them to
-	// arbitrary lattice values after the solve. Indexed [nodeID][classIndex].
+	// flowFns are the compiled per-node, per-class flow functions of the
+	// reference engine, kept so consumers (the framework self-check
+	// analyzer) can re-apply them to arbitrary lattice values after the
+	// solve. Indexed [nodeID][classIndex]. Packed results keep prog instead
+	// and serve ApplyFlow as views into its op arena.
 	flowFns [][]flowFn
+	prog    *packedProgram
 }
 
 // Metrics is the cheap per-solve instrumentation bundle: the empirical
@@ -155,10 +165,29 @@ type TraceEntry struct {
 	Out []lattice.Tuple
 }
 
+// Engine selects the solver implementation.
+type Engine string
+
+const (
+	// EnginePacked is the default engine: IN/OUT tuples in two flat slabs,
+	// compiled flow functions in one index-addressed op arena, per-class
+	// predecessor bitsets, and a reused scratch tuple that makes the
+	// steady-state iteration passes allocation-free.
+	EnginePacked Engine = "packed"
+	// EngineReference is the straightforward per-node implementation kept
+	// as the executable specification: differential tests assert the packed
+	// engine produces byte-identical results, and benchmarks use it as the
+	// ablation baseline.
+	EngineReference Engine = "reference"
+)
+
 // Options tunes the solver.
 type Options struct {
 	// CollectTrace records per-pass snapshots (used to reproduce Table 1).
 	CollectTrace bool
+	// Engine selects the solver implementation; the zero value runs the
+	// packed engine. Both engines produce byte-identical Results.
+	Engine Engine
 	// MaxPasses bounds iteration (0 = default 64). The theory guarantees
 	// convergence in 2 changing passes; the bound protects against
 	// violations of the structured-loop preconditions.
@@ -175,15 +204,51 @@ type Options struct {
 	MayTopStart bool
 }
 
-// Solve computes the greatest fixed point of spec over g.
+// Solve computes the greatest fixed point of spec over g. The packed engine
+// runs unless opts selects EngineReference.
 func Solve(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	if opts == nil {
 		opts = &Options{}
 	}
+	if opts.Engine == EngineReference {
+		return solveReference(g, spec, opts)
+	}
+	return newSolveCtx(g).solve(spec, opts)
+}
+
+// SolveAll solves several problem instances on one graph through a shared
+// solve context: class discovery (per generate-predicate signature), node
+// orderings, and the precedes bit matrix are computed once and reused by
+// every spec. Results are returned in spec order and are identical to
+// len(specs) independent Solve calls.
+func SolveAll(g *ir.Graph, specs []*Spec, opts *Options) []*Result {
+	if opts == nil {
+		opts = &Options{}
+	}
+	out := make([]*Result, len(specs))
+	if opts.Engine == EngineReference {
+		for i, spec := range specs {
+			out[i] = solveReference(g, spec, opts)
+		}
+		return out
+	}
+	ctx := newSolveCtx(g)
+	ctx.shared = true
+	for i, spec := range specs {
+		out[i] = ctx.solve(spec, opts)
+	}
+	return out
+}
+
+// solveReference is the executable specification of the framework: one
+// freshly allocated tuple per node and per applyFlow call, per-node flow
+// functions compiled through member sets, pr computed by walking class
+// members. Kept verbatim for differential testing against the packed engine.
+func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	start := time.Now()
-	res := &Result{Graph: g, Spec: spec, ClassOf: map[*ir.Ref]*Class{}}
+	res := &Result{Graph: g, Spec: spec}
 	defer func() { res.Elapsed = time.Since(start) }()
-	res.buildClasses()
+	res.adoptClasses(buildClassTable(g, spec.Gen))
 	m := len(res.Classes)
 	n := len(g.Nodes)
 
@@ -332,41 +397,126 @@ func (f flowFn) generates() bool {
 	return false
 }
 
-func (res *Result) buildClasses() {
-	g := res.Graph
-	type key struct {
-		array string
-		a, b  string
+// classKey identifies a tracked class by array name and the canonical
+// renderings of its affine coefficients (poly.String is deterministic, so
+// equal polynomials render equally).
+type classKey struct {
+	array string
+	a, b  string
+}
+
+// classTable is the class discovery for one generate predicate on one
+// graph: the classes in first-occurrence order, the member → class map, a
+// dense ref-ID → class-index array the packed compiler uses instead of map
+// lookups (-1 = not a member), and the lazily built key index behind
+// ClassFor.
+type classTable struct {
+	classes  []*Class
+	classOf  map[*ir.Ref]*Class
+	refClass []int32
+
+	// byKey indexes classes by (array, affine form renderings) for
+	// ClassFor. It is built once, on first lookup, because rendering the
+	// polynomial keys costs more than the rest of class discovery combined
+	// and most solves (benchmarks, whole-program passes without lint) never
+	// call ClassFor at all.
+	byKeyOnce sync.Once
+	byKey     map[classKey]*Class
+}
+
+// lookup finds the class for (array, form), building the key index on
+// first use. Safe for concurrent callers on a finished table.
+func (ct *classTable) lookup(array string, form sema.AffineForm) *Class {
+	ct.byKeyOnce.Do(func() {
+		ct.byKey = make(map[classKey]*Class, len(ct.classes))
+		for _, c := range ct.classes {
+			ct.byKey[classKey{c.Array, c.Form.A.String(), c.Form.B.String()}] = c
+		}
+	})
+	return ct.byKey[classKey{array, form.A.String(), form.B.String()}]
+}
+
+// buildClassTable groups the generating references of g under gen into
+// equivalence classes (same array, same affine subscript form). Grouping
+// compares polynomials with Equal over the classes found so far instead of
+// going through rendered string keys: the class count is small, and the
+// per-reference poly renderings dominated this function's cost.
+func buildClassTable(g *ir.Graph, gen func(*ir.Ref) bool) *classTable {
+	ct := &classTable{
+		classOf:  make(map[*ir.Ref]*Class, len(g.Refs)),
+		classes:  make([]*Class, 0, 8),
+		refClass: make([]int32, len(g.Refs)+1),
 	}
-	byKey := map[key]*Class{}
+	for i := range ct.refClass {
+		ct.refClass[i] = -1
+	}
+	// Pass 1: assign classes. g.Refs is ID-ordered, so classes are
+	// discovered (and indexed) in first-occurrence source order.
+	total := 0
 	for _, r := range g.Refs {
-		if !res.Spec.Gen(r) || !r.Affine || r.FromInner {
+		if !gen(r) || !r.Affine || r.FromInner {
 			continue
 		}
-		k := key{r.Array, r.Form.A.String(), r.Form.B.String()}
-		c, ok := byKey[k]
-		if !ok {
-			c = &Class{Index: len(res.Classes), Array: r.Array, Form: r.Form}
-			byKey[k] = c
-			res.Classes = append(res.Classes, c)
+		var c *Class
+		for _, cand := range ct.classes {
+			if cand.Array == r.Array && cand.Form.A.Equal(r.Form.A) && cand.Form.B.Equal(r.Form.B) {
+				c = cand
+				break
+			}
 		}
-		c.Members = append(c.Members, r)
-		res.ClassOf[r] = c
+		if c == nil {
+			c = &Class{Index: len(ct.classes), Array: r.Array, Form: r.Form}
+			ct.classes = append(ct.classes, c)
+		}
+		ct.classOf[r] = c
+		ct.refClass[r.ID] = int32(c.Index)
+		total++
 	}
-	// Classes are already in first-occurrence source order because g.Refs
-	// is ID-ordered; keep Index consistent with that order.
-	sort.SliceStable(res.Classes, func(i, j int) bool {
-		return res.Classes[i].Members[0].ID < res.Classes[j].Members[0].ID
-	})
-	for i, c := range res.Classes {
-		c.Index = i
+	// Pass 2: fill the member lists as views into one backing array (one
+	// allocation instead of per-class append chains). Counting goes through
+	// the already-assigned refClass, so no subscript comparisons re-run.
+	counts := make([]int32, len(ct.classes)+1)
+	for _, r := range g.Refs {
+		if ci := ct.refClass[r.ID]; ci >= 0 {
+			counts[ci+1]++
+		}
 	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	backing := make([]*ir.Ref, total)
+	next := make([]int32, len(ct.classes))
+	copy(next, counts)
+	for _, r := range g.Refs {
+		if ci := ct.refClass[r.ID]; ci >= 0 {
+			backing[next[ci]] = r
+			next[ci]++
+		}
+	}
+	for i, c := range ct.classes {
+		c.Members = backing[counts[i]:counts[i+1]:counts[i+1]]
+	}
+	return ct
+}
+
+// adoptClasses installs a class table's views on the result.
+func (res *Result) adoptClasses(ct *classTable) {
+	res.Classes = ct.classes
+	res.ClassOf = ct.classOf
+	res.ct = ct
 }
 
 // prOf computes pr(class, n): 0 when any member of the class occurs in a
 // node that precedes n in the body (for backward problems: that n precedes,
-// since the reverse graph swaps the ordering).
+// since the reverse graph swaps the ordering). Packed results answer from
+// the precomputed per-class bitset.
 func (res *Result) prOf(c *Class, nd *ir.Node) int64 {
+	if res.prZero != nil {
+		if bitGet(res.prZero[c.Index], nd.ID) {
+			return 0
+		}
+		return 1
+	}
 	for _, mem := range c.Members {
 		if res.Spec.Backward {
 			if res.Graph.Precedes(nd, mem.Node) {
@@ -521,7 +671,11 @@ func applyOne(nd *ir.Node, g *ir.Graph, fn flowFn, x lattice.Dist) lattice.Dist 
 // self-check analyzer uses it to test monotonicity and idempotence of the
 // compiled functions over sampled lattice values.
 func (res *Result) ApplyFlow(nd *ir.Node, classIndex int, x lattice.Dist) lattice.Dist {
-	return applyOne(nd, res.Graph, res.flowFns[nd.ID][classIndex], x)
+	if res.flowFns != nil {
+		return applyOne(nd, res.Graph, res.flowFns[nd.ID][classIndex], x)
+	}
+	fn := flowFn{ops: res.prog.ops(nd.ID*len(res.Classes) + classIndex)}
+	return applyOne(nd, res.Graph, fn, x)
 }
 
 func makeTuples(n, m int) []lattice.Tuple {
@@ -581,9 +735,16 @@ func (res *Result) TupleTable(pass int) string {
 		header[i] = c.String()
 	}
 	fmt.Fprintf(&b, "%-8s tuples (%s)\n", "", strings.Join(header, ", "))
+	// Rows are rendered straight into the builder (Tuple.WriteTo) rather
+	// than through per-tuple Sprintf strings: on wide problems the rows
+	// dominate the table's cost.
 	for _, nd := range res.Graph.Nodes {
-		fmt.Fprintf(&b, "IN [%d]  %s\n", nd.ID, in[nd.ID])
-		fmt.Fprintf(&b, "OUT[%d]  %s\n", nd.ID, out[nd.ID])
+		fmt.Fprintf(&b, "IN [%d]  ", nd.ID)
+		in[nd.ID].WriteTo(&b)
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "OUT[%d]  ", nd.ID)
+		out[nd.ID].WriteTo(&b)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -594,14 +755,15 @@ func (res *Result) InAt(nd *ir.Node, c *Class) lattice.Dist { return res.In[nd.I
 // OutAt returns the fixed point OUT value of class c at node nd.
 func (res *Result) OutAt(nd *ir.Node, c *Class) lattice.Dist { return res.Out[nd.ID][c.Index] }
 
-// ClassFor finds the class tracking the given array and affine form, if any.
+// ClassFor finds the class tracking the given array and affine form, if
+// any. The lookup is a single map access against a key index built once on
+// first use — analyzers calling it once per finding no longer pay a scan
+// over every class.
 func (res *Result) ClassFor(array string, form sema.AffineForm) *Class {
-	for _, c := range res.Classes {
-		if c.Array == array && c.Form.A.Equal(form.A) && c.Form.B.Equal(form.B) {
-			return c
-		}
+	if res.ct == nil {
+		return nil
 	}
-	return nil
+	return res.ct.lookup(array, form)
 }
 
 // Pr exposes pr(class, n) for result consumers (reuse queries need it).

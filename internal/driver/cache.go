@@ -57,19 +57,23 @@ func newSolveCache(cap int) *solveCache {
 	return &solveCache{cap: cap, entries: map[string]*cacheEntry{}}
 }
 
-// cacheKey renders the content-addressed key for a loop + spec set. The
-// rendered loop text covers the induction variable, the bounds, and the
+// cacheKey renders the content-addressed key for a loop + spec set + engine.
+// The rendered loop text covers the induction variable, the bounds, and the
 // whole (possibly nested) body; specs contribute their names, which are
-// canonical for the problem instances built by package problems. Callers
-// that hand-build a Spec reusing a canned name with different semantics
-// must disable the cache.
-func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec) string {
+// canonical for the problem instances built by package problems; the engine
+// is included so packed and reference results never alias (both engines
+// produce identical values, but differential tests compare fresh solves).
+// Callers that hand-build a Spec reusing a canned name with different
+// semantics must disable the cache.
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) string {
 	var b strings.Builder
 	b.WriteString(ast.StmtString(loop, 0))
 	for _, s := range specs {
 		b.WriteByte('\x00')
 		b.WriteString(s.Name)
 	}
+	b.WriteByte('\x00')
+	b.WriteString(string(engine))
 	return b.String()
 }
 
@@ -95,24 +99,27 @@ func (c *solveCache) claim(key string) (*cacheEntry, bool) {
 
 // solveLoop analyzes one loop (graph construction, every spec's fixed
 // point, reuse extraction), going through the memo cache unless disabled.
-func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool) (*solved, bool, error) {
+func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine) (*solved, bool, error) {
 	if !useCache {
-		sv, err := solveLoopFresh(loop, specs)
+		sv, err := solveLoopFresh(loop, specs, engine)
 		return sv, false, err
 	}
-	e, hit := globalCache.claim(cacheKey(loop, specs))
-	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs) })
+	e, hit := globalCache.claim(cacheKey(loop, specs, engine))
+	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, engine) })
 	return e.sv, hit, e.err
 }
 
-func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec) (*solved, error) {
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) (*solved, error) {
 	g, err := ir.Build(loop, nil)
 	if err != nil {
 		return nil, err
 	}
 	sv := &solved{graph: g, results: make(map[string]*dataflow.Result, len(specs))}
-	for _, spec := range specs {
-		res := dataflow.Solve(g, spec, nil)
+	// One fused SolveAll per loop: every spec shares the graph's class
+	// discovery, node orderings, and precedes bitsets through one solve
+	// context instead of re-deriving them per problem instance.
+	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine}) {
+		spec := specs[i]
 		sv.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {
 			sv.reuses = problems.FindReuses(res)

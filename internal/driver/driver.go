@@ -85,6 +85,10 @@ type Options struct {
 	// Name does not uniquely identify their semantics; also useful for
 	// benchmarking the raw solver.
 	DisableCache bool
+	// Engine selects the solver implementation (zero value = packed). The
+	// engine participates in the memo-cache key, so mixed-engine processes
+	// never share entries across engines.
+	Engine dataflow.Engine
 }
 
 // entry is one loop to analyze, with its nesting context.
@@ -149,7 +153,7 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 		}
 		if w <= 1 {
 			for _, i := range idxs {
-				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache)
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine)
 			}
 			continue
 		}
@@ -160,7 +164,7 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache)
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine)
 				}
 			}()
 		}
@@ -275,7 +279,7 @@ func collectEntries(prog *ast.Program) []entry {
 // analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
 // called from worker goroutines: everything it touches is either private to
 // the entry or behind the cache's synchronization.
-func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool) (*LoopAnalysis, LoopMetrics, error) {
+func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine) (*LoopAnalysis, LoopMetrics, error) {
 	t0 := time.Now()
 	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
 	countLookup := func(hit bool) {
@@ -288,7 +292,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool) (*LoopAnalysis, 
 			lm.CacheMisses++
 		}
 	}
-	sv, hit, err := solveLoop(e.loop, specs, useCache)
+	sv, hit, err := solveLoop(e.loop, specs, useCache, engine)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
@@ -311,7 +315,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool) (*LoopAnalysis, 
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache)
+			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache, engine)
 			if err != nil {
 				continue
 			}

@@ -16,6 +16,7 @@ package ir
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -202,12 +203,21 @@ type Graph struct {
 	// InnerIVs is the set of induction variables of summarized inner loops.
 	InnerIVs map[string]bool
 
-	// reach[i][j] reports that node ID i reaches node ID j along body edges
-	// (excluding the exit→entry back edge), with i ≠ j.
-	reach [][]bool
+	// reach and reachT are the body-edge reachability relation (excluding
+	// the exit→entry back edge) as packed bit matrices: bit j of row i in
+	// reach is set when node ID i strictly precedes node ID j; reachT is the
+	// transpose (bit i of row j). Rows are bitWords words long. The packed
+	// form lets the dataflow solver build per-class predecessor bitsets with
+	// word-wide ORs instead of per-member Precedes calls.
+	reach    []uint64
+	reachT   []uint64
+	bitWords int
 	// doms[b][a] reports that node a dominates node b over body edges
 	// (computed lazily).
 	doms [][]bool
+	// rpo caches the reverse postorder (computed lazily; solvers request it
+	// once per problem instance).
+	rpo []*Node
 }
 
 // Options configures graph construction.
@@ -536,27 +546,41 @@ func (b *builder) addRef(n *Node, kind RefKind, expr *ast.ArrayRef, fromInner bo
 
 // computeReach fills the body-edge reachability relation used by the pr
 // predicate. The exit→entry back edge is excluded, so the relation is a DAG
-// reachability: reach[i][j] ⇔ node i strictly precedes node j on some path.
+// reachability: bit j of row i ⇔ node i strictly precedes node j on some
+// path. Both the forward matrix and its transpose are built, packed 64 node
+// IDs per word.
 func (g *Graph) computeReach() {
 	n := len(g.Nodes)
-	g.reach = make([][]bool, n+1)
-	for i := range g.reach {
-		g.reach[i] = make([]bool, n+1)
-	}
+	g.bitWords = (n + 1 + 63) / 64
+	g.reach = make([]uint64, (n+1)*g.bitWords)
 	// DFS from each node over body edges.
+	stack := make([]*Node, 0, n)
 	for _, src := range g.Nodes {
-		stack := []*Node{src}
+		row := g.reach[src.ID*g.bitWords : (src.ID+1)*g.bitWords]
+		stack = append(stack[:0], src)
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			if cur == g.Exit {
+				continue // skip back edge
+			}
 			for _, s := range cur.Succs {
-				if cur == g.Exit {
-					continue // skip back edge
-				}
-				if !g.reach[src.ID][s.ID] {
-					g.reach[src.ID][s.ID] = true
+				if row[s.ID>>6]&(1<<(uint(s.ID)&63)) == 0 {
+					row[s.ID>>6] |= 1 << (uint(s.ID) & 63)
 					stack = append(stack, s)
 				}
+			}
+		}
+	}
+	// Transpose.
+	g.reachT = make([]uint64, (n+1)*g.bitWords)
+	for i := 1; i <= n; i++ {
+		row := g.reach[i*g.bitWords : (i+1)*g.bitWords]
+		for w, word := range row {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				g.reachT[j*g.bitWords+(i>>6)] |= 1 << (uint(i) & 63)
 			}
 		}
 	}
@@ -566,7 +590,24 @@ func (g *Graph) computeReach() {
 // (the pr predicate's "occurs in a predecessor node": pr(d,n)=0 iff
 // Precedes(d.Node, n)).
 func (g *Graph) Precedes(a, b *Node) bool {
-	return g.reach[a.ID][b.ID]
+	return g.reach[a.ID*g.bitWords+(b.ID>>6)]&(1<<(uint(b.ID)&63)) != 0
+}
+
+// BitWords returns the word length of the per-node bitset rows returned by
+// PrecedesRow and PrecededByRow (bit index = node ID).
+func (g *Graph) BitWords() int { return g.bitWords }
+
+// PrecedesRow returns the bitset of node IDs that node id strictly precedes
+// along body edges. The returned slice aliases the graph's matrix: callers
+// must treat it as read-only.
+func (g *Graph) PrecedesRow(id int) []uint64 {
+	return g.reach[id*g.bitWords : (id+1)*g.bitWords]
+}
+
+// PrecededByRow returns the bitset of node IDs that strictly precede node
+// id along body edges (the transpose row). Read-only, like PrecedesRow.
+func (g *Graph) PrecededByRow(id int) []uint64 {
+	return g.reachT[id*g.bitWords : (id+1)*g.bitWords]
 }
 
 // Dominates reports whether every body path from the loop entry to b passes
@@ -590,6 +631,7 @@ func (g *Graph) Precompute() {
 	if g.doms == nil {
 		g.computeDominators()
 	}
+	g.RPO()
 }
 
 // computeDominators runs the standard iterative dominator computation over
@@ -675,8 +717,11 @@ func (g *Graph) Pr(ref *Ref, n *Node) int64 {
 // for structured programs, but RPO recomputes it from the edges to stay
 // correct under transformation.
 func (g *Graph) RPO() []*Node {
+	if g.rpo != nil {
+		return g.rpo
+	}
 	seen := make([]bool, len(g.Nodes)+1)
-	var post []*Node
+	post := make([]*Node, 0, len(g.Nodes))
 	var dfs func(n *Node)
 	dfs = func(n *Node) {
 		seen[n.ID] = true
@@ -701,6 +746,9 @@ func (g *Graph) RPO() []*Node {
 	for i, n := range post {
 		out[len(post)-1-i] = n
 	}
+	// Cache: the order is a pure function of the (immutable) edge lists,
+	// and every solver pass requests it. Callers must not mutate it.
+	g.rpo = out
 	return out
 }
 

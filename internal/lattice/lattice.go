@@ -16,7 +16,10 @@
 // operator a solver picks as its meet and how results are initialized.
 package lattice
 
-import "fmt"
+import (
+	"strconv"
+	"strings"
+)
 
 // Dist is an element of the iteration-distance chain lattice.
 //
@@ -136,7 +139,20 @@ func (x Dist) String() string {
 	case 2:
 		return "T"
 	}
-	return fmt.Sprintf("%d", x.val)
+	return strconv.FormatInt(x.val, 10)
+}
+
+// writeTo appends the rendering of x to b without allocating intermediates.
+func (x Dist) writeTo(b *strings.Builder) {
+	switch x.kind {
+	case 0:
+		b.WriteByte('_')
+	case 2:
+		b.WriteByte('T')
+	default:
+		var buf [20]byte
+		b.Write(strconv.AppendInt(buf[:0], x.val, 10))
+	}
 }
 
 // Tuple is a vector of lattice values, one per tracked reference.
@@ -182,14 +198,75 @@ func (dst Tuple) Fill(v Dist) Tuple {
 	return dst
 }
 
-// String renders the tuple as "(a, b, c)".
+// String renders the tuple as "(a,b,c)". Rendering goes through one
+// strings.Builder sized up front: the naive += concatenation it replaces was
+// quadratic in the tuple width, which dominated table rendering on wide
+// (many-class) problems.
 func (dst Tuple) String() string {
-	s := "("
+	var b strings.Builder
+	b.Grow(2 + 2*len(dst))
+	dst.WriteTo(&b)
+	return b.String()
+}
+
+// WriteTo appends the "(a,b,c)" rendering of the tuple to b; table renderers
+// use it to build whole rows in a single builder.
+func (dst Tuple) WriteTo(b *strings.Builder) {
+	b.WriteByte('(')
 	for i, d := range dst {
 		if i > 0 {
-			s += ","
+			b.WriteByte(',')
 		}
-		s += d.String()
+		d.writeTo(b)
 	}
-	return s + ")"
+	b.WriteByte(')')
+}
+
+// --- Slabs ------------------------------------------------------------------
+//
+// A slab is a dense rows×m matrix of lattice values held in ONE flat backing
+// array, with per-row Tuple views aliasing it. Solvers keep their per-node
+// IN/OUT state in slabs so a whole solve costs two backing allocations
+// instead of one tuple allocation per node, and so the iteration passes walk
+// memory sequentially in node order.
+
+// Slab allocates an n-row, m-column matrix in one flat backing array and
+// returns 1-based row views: rows[0] is nil (node IDs are 1-based) and
+// rows[i] for 1 ≤ i ≤ n aliases backing[(i−1)·m : i·m]. Every value starts
+// at the zero Dist (⊥ of the must lattice). The row views are full-capacity
+// slices of disjoint regions, so writes through one row never bleed into a
+// neighbor.
+func Slab(n, m int) []Tuple {
+	backing := make(Tuple, n*m)
+	rows := make([]Tuple, n+1)
+	for i := 1; i <= n; i++ {
+		rows[i] = backing[(i-1)*m : i*m : i*m]
+	}
+	return rows
+}
+
+// CloneSlab snapshots a 1-based row set (as returned by Slab, or any
+// []Tuple whose rows share one width) into a freshly allocated slab. Nil
+// rows stay nil.
+func CloneSlab(rows []Tuple) []Tuple {
+	out := make([]Tuple, len(rows))
+	var m, n int
+	for _, r := range rows {
+		if r != nil {
+			m = len(r)
+			n++
+		}
+	}
+	backing := make(Tuple, n*m)
+	next := 0
+	for i, r := range rows {
+		if r == nil {
+			continue
+		}
+		dst := backing[next*m : (next+1)*m : (next+1)*m]
+		copy(dst, r)
+		out[i] = dst
+		next++
+	}
+	return out
 }

@@ -78,14 +78,7 @@ func Analyzers() []*Analyzer { return registry }
 
 // Specs returns the data flow problem instances the analyzers consume —
 // the paper's four array problems.
-func Specs() []*dataflow.Spec {
-	return []*dataflow.Spec{
-		problems.MustReachingDefs(),
-		problems.AvailableValues(),
-		problems.BusyStores(),
-		problems.ReachingRefs(),
-	}
-}
+func Specs() []*dataflow.Spec { return problems.StandardSpecs() }
 
 // Options tunes a lint run.
 type Options struct {
@@ -97,6 +90,9 @@ type Options struct {
 	DisableCache bool
 	// Analyzers restricts the run to the given IDs (nil = all).
 	Analyzers []string
+	// Engine selects the solver implementation (zero value = packed),
+	// forwarded to the driver.
+	Engine dataflow.Engine
 }
 
 // Run solves the four problems on every loop of a checked, normalized
@@ -110,6 +106,7 @@ func Run(file string, prog *ast.Program, opts *Options) ([]diag.Finding, *driver
 		Specs:        Specs(),
 		Parallelism:  opts.Parallelism,
 		DisableCache: opts.DisableCache,
+		Engine:       opts.Engine,
 	})
 	if err != nil {
 		return nil, nil, err

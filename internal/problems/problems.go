@@ -55,6 +55,20 @@ func ReachingRefs() *dataflow.Spec {
 	}
 }
 
+// StandardSpecs returns fresh instances of the paper's four problems in
+// canonical order: must-reaching definitions, δ-available values, δ-busy
+// stores, δ-reaching references. Solving them together through
+// dataflow.SolveAll shares class discovery, node orderings, and the
+// precedes bitsets across all four.
+func StandardSpecs() []*dataflow.Spec {
+	return []*dataflow.Spec{
+		MustReachingDefs(),
+		AvailableValues(),
+		BusyStores(),
+		ReachingRefs(),
+	}
+}
+
 // Solve runs a spec on a graph with default options.
 func Solve(g *ir.Graph, spec *dataflow.Spec) *dataflow.Result {
 	return dataflow.Solve(g, spec, nil)

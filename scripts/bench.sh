@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the solver/driver benchmark suite with -benchmem and records the
+# results as JSON at the repo root (benchmark name → ns/op, B/op,
+# allocs/op), seeding the perf trajectory that future changes are compared
+# against.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCH_PATTERN   benchmark regexp (default: the solver engine suite)
+#   BENCH_TIME      go test -benchtime value (default 1s; CI may lower it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1InitPass|BenchmarkTable1FixedPoint|BenchmarkTable1FusedSolve|BenchmarkScalingLinear|BenchmarkDriverMemoization}"
+TIME="${BENCH_TIME:-1s}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . | tee "$TMP"
+go run ./cmd/benchjson -o "$OUT" < "$TMP"
+echo "wrote $OUT"
