@@ -95,6 +95,8 @@ type (
 	// AnalysisMetrics instruments one AnalyzeProgram call: per-loop solver
 	// work, cache hits/misses, the empirical pass-bound check, wall times.
 	AnalysisMetrics = driver.Metrics
+	// BatchResult is one program's outcome in an AnalyzeProgramBatch call.
+	BatchResult = driver.BatchResult
 	// SolverMetrics is the per-solve counter bundle of the dataflow core.
 	SolverMetrics = dataflow.Metrics
 )
@@ -227,6 +229,16 @@ func AnalyzeProgram(prog *Program, specs []*Spec, nestVectors bool) (*ProgramAna
 // name and canonical loop text.
 func AnalyzeProgramOpts(prog *Program, opts *AnalyzeOptions) (*ProgramAnalysis, error) {
 	return driver.Analyze(prog, opts)
+}
+
+// AnalyzeProgramBatch analyzes many programs through one shared worker
+// pool, per-worker solver scratch, and the shared memo cache, amortizing
+// startup and allocation costs across the batch. Parallelism in opts fans
+// out across programs (each analyzed serially by its worker); results come
+// back in input order with per-program errors isolated per item, each
+// byte-identical to a standalone AnalyzeProgramOpts call.
+func AnalyzeProgramBatch(progs []*Program, opts *AnalyzeOptions) []BatchResult {
+	return driver.AnalyzeBatch(progs, opts)
 }
 
 // AnalysisCacheStats reports the process-global solve cache: resident

@@ -18,8 +18,11 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lattice"
 	"repro/internal/machine"
+	"repro/internal/parser"
 	"repro/internal/problems"
+	"repro/internal/sema"
 	"repro/internal/synth"
+	"repro/internal/token"
 )
 
 func mustGraph(b *testing.B, src string) *ir.Graph {
@@ -436,6 +439,84 @@ func BenchmarkDriverMemoization(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := driver.Analyze(prog, nil); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Front end: lex + parse + sema in isolation -------------------------------
+
+// BenchmarkFrontEnd isolates the zero-copy front end (lexer, parser,
+// semantic checks) from the solver: the cost of getting a large program
+// from source bytes to a checked AST. The shared-interner variant models
+// the batch pipeline, where one intern table serves many programs.
+func BenchmarkFrontEnd(b *testing.B) {
+	src := []byte(ast.ProgramString(driverBenchProgram()))
+	prog, err := parser.ParseBytes(src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sema.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh-interner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := parser.ParseBytes(src, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sema.Check(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared-interner", func(b *testing.B) {
+		in := token.NewInterner()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := parser.ParseBytes(src, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sema.Check(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Batch: many programs through one worker pool ------------------------------
+
+// BenchmarkAnalyzeBatch measures the cold path over N distinct programs:
+// the batched API (one worker pool, per-worker scratch, shared cache
+// machinery) against a loop of standalone Analyze calls.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	progs := make([]*ast.Program, 16)
+	for i := range progs {
+		progs[i] = synth.MultiLoopProgram(synth.MultiParams{
+			Seed: int64(100 + i), Loops: 8, StmtsPer: 24, NestEvery: 3})
+	}
+	cold := &driver.Options{DisableCache: true}
+	for _, r := range driver.AnalyzeBatch(progs, cold) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range driver.AnalyzeBatch(progs, cold) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("analyze-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range progs {
+				if _, err := driver.Analyze(p, cold); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -13,6 +13,13 @@
 //
 //	arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [file]
 //
+// The batch mode analyzes many programs — files and/or directories of
+// .loop files — through one shared worker pool, one identifier intern
+// table, and the shared memoizing solve cache, printing each program's
+// whole-program report in input order:
+//
+//	arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] path...
+//
 // With no file the program is read from stdin. With no file and no piped
 // input, the paper's Figure 1 loop is analyzed.
 package main
@@ -23,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
@@ -36,6 +45,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/problems"
 	"repro/internal/sema"
+	"repro/internal/token"
 )
 
 // stopProfiles flushes any active profiles; it must run before every exit
@@ -96,6 +106,10 @@ func parseEngine(s string) dataflow.Engine {
 func main() {
 	if len(os.Args) >= 2 && os.Args[1] == "vet" {
 		runVet(os.Args[2:])
+		return
+	}
+	if len(os.Args) >= 2 && os.Args[1] == "batch" {
+		runBatch(os.Args[2:])
 		return
 	}
 
@@ -193,6 +207,131 @@ func main() {
 			fmt.Println("  " + d.String())
 		}
 	}
+}
+
+// runBatch implements the `arrayflow batch` subcommand: many programs
+// analyzed through driver.AnalyzeBatch with a shared intern table and
+// worker pool. Exit status: 0 when every program analyzed cleanly, 1 when
+// any failed, 2 on usage or I/O failure.
+func runBatch(args []string) {
+	fs := flag.NewFlagSet("arrayflow batch", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker goroutines across programs (0 = GOMAXPROCS, 1 = serial)")
+	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
+	cachecap := fs.Int("cachecap", 0, "memo cache capacity in entries (0 = default 4096, negative = unlimited)")
+	vectors := fs.Bool("vectors", false, "run the §6 distance-vector extension on tight nests")
+	metrics := fs.Bool("metrics", false, "print batch totals and cache stats to stderr")
+	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] [-engine packed|reference] path...")
+		fmt.Fprintln(os.Stderr, "each path is a .loop file or a directory of .loop files")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	engine := parseEngine(*engineFlag)
+	files, err := expandBatchPaths(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow batch:", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	// Front end: one intern table across every file, so an identifier read
+	// in program 1 is the same symbol in program 100. Parsing is serial
+	// (the interner is not synchronized); the analysis fans out below.
+	in := token.NewInterner()
+	progs := make([]*ast.Program, len(files))
+	frontErr := make([]bool, len(files))
+	for i, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arrayflow batch:", err)
+			os.Exit(2)
+		}
+		prog, err := parser.ParseBytes(src, in)
+		if err != nil {
+			reportErrors(f, "parse", err)
+			frontErr[i] = true
+			continue
+		}
+		if _, errs := sema.CheckAll(prog); len(errs) > 0 {
+			for _, e := range errs {
+				reportErrors(f, "check", e)
+			}
+			frontErr[i] = true
+			continue
+		}
+		prog, err = sema.Normalize(prog)
+		if err != nil {
+			reportErrors(f, "normalize", err)
+			frontErr[i] = true
+			continue
+		}
+		progs[i] = prog
+	}
+
+	startProfiles(*cpuprofile, *memprofile)
+	results := driver.AnalyzeBatch(progs, &driver.Options{
+		NestVectors: *vectors, Parallelism: *workers,
+		DisableCache: *nocache, CacheCap: *cachecap, Engine: engine})
+
+	exit := 0
+	var totalLoops, totalSolves, totalHits, totalMisses int
+	for i, r := range results {
+		fmt.Printf("== %s ==\n", files[i])
+		switch {
+		case frontErr[i]:
+			fmt.Println("skipped: front-end errors (see stderr)")
+			exit = 1
+		case r.Err != nil:
+			fmt.Println("error:", r.Err)
+			exit = 1
+		default:
+			fmt.Print(r.Analysis.Report())
+			m := r.Analysis.Metrics
+			totalLoops += m.Loops
+			totalSolves += m.Solves
+			totalHits += m.CacheHits
+			totalMisses += m.CacheMisses
+		}
+	}
+	if *metrics {
+		entries, hits, misses := driver.CacheStats()
+		fmt.Fprintf(os.Stderr, "-- batch metrics --\n")
+		fmt.Fprintf(os.Stderr, "  programs %d, loops %d, solves %d, batch cache hits/misses %d/%d\n",
+			len(files), totalLoops, totalSolves, totalHits, totalMisses)
+		fmt.Fprintf(os.Stderr, "  global cache: %d entries, lifetime hits/misses %d/%d\n",
+			entries, hits, misses)
+	}
+	stopProfiles()
+	os.Exit(exit)
+}
+
+// expandBatchPaths resolves each argument to .loop files: directories
+// contribute their *.loop entries sorted by name, files pass through.
+func expandBatchPaths(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.loop"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	return files, nil
 }
 
 // runVet implements the `arrayflow vet` subcommand. Exit status: 0 clean,

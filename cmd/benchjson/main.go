@@ -1,8 +1,14 @@
 // Command benchjson converts `go test -bench` output into a stable JSON
 // document mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op}.
-// It reads the benchmark output on stdin and writes JSON to stdout (or to
-// the file named by -o). scripts/bench.sh uses it to record the repo's
-// perf trajectory snapshots (BENCH_PR3.json).
+// It reads the benchmark output on stdin (or a prior JSON snapshot named as
+// the sole positional argument) and writes JSON to stdout (or to the file
+// named by -o). scripts/bench.sh uses it to record the repo's perf
+// trajectory snapshots (BENCH_PR3.json, BENCH_PR4.json).
+//
+// With -diff BASELINE.json it additionally compares the new measurements
+// against the baseline snapshot and exits 1 if any benchmark present in
+// both regressed by more than -tol percent ns/op (default 10). Benchmarks
+// only one side knows about are reported but never fail the run.
 package main
 
 import (
@@ -10,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -30,45 +37,26 @@ var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.String("diff", "", "baseline JSON snapshot to compare against")
+	tol := flag.Float64("tol", 10, "ns/op regression tolerance in percent for -diff")
 	flag.Parse()
 
-	rows := map[string]Row{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Name, iteration count, then "value unit" pairs.
-		if len(fields) < 4 {
-			continue
-		}
-		name := cpuSuffix.ReplaceAllString(fields[0], "")
-		row := rows[name]
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				row.NsPerOp = v
-			case "B/op":
-				row.BytesPerOp = v
-			case "allocs/op":
-				row.AllocsPerOp = v
-			}
-		}
-		rows[name] = row
+	var rows map[string]Row
+	var err error
+	switch flag.NArg() {
+	case 0:
+		rows, err = parseBenchOutput(os.Stdin)
+	case 1:
+		rows, err = loadSnapshot(flag.Arg(0))
+	default:
+		err = fmt.Errorf("at most one input snapshot, got %d args", flag.NArg())
 	}
-	if err := sc.Err(); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	if len(rows) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark rows in input")
 		os.Exit(1)
 	}
 
@@ -108,4 +96,111 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *diff != "" {
+		base, err := loadSnapshot(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !compare(base, rows, *tol) {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBenchOutput scans `go test -bench` text and collects one Row per
+// benchmark name (GOMAXPROCS suffix stripped).
+func parseBenchOutput(r io.Reader) (map[string]Row, error) {
+	rows := map[string]Row{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then "value unit" pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		row := rows[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				row.NsPerOp = v
+			case "B/op":
+				row.BytesPerOp = v
+			case "allocs/op":
+				row.AllocsPerOp = v
+			}
+		}
+		rows[name] = row
+	}
+	return rows, sc.Err()
+}
+
+// loadSnapshot reads a JSON document previously written by this tool.
+func loadSnapshot(path string) (map[string]Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rows := map[string]Row{}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rows, nil
+}
+
+// compare reports each benchmark shared between baseline and current on
+// stderr and returns false if any regressed by more than tol percent
+// ns/op. Benchmarks present in only one snapshot are listed but cannot
+// fail the comparison: new benchmarks have no baseline, and retired ones
+// have no measurement.
+func compare(base, cur map[string]Row, tol float64) bool {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, n := range names {
+		b := base[n]
+		c, shared := cur[n]
+		if !shared {
+			fmt.Fprintf(os.Stderr, "  gone     %s (baseline %.0f ns/op)\n", n, b.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		verdict := "ok"
+		if delta > tol {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "  %-9s %s: %.0f -> %.0f ns/op (%+.1f%%)\n", verdict, n, b.NsPerOp, c.NsPerOp, delta)
+	}
+	newNames := make([]string, 0, 4)
+	for n := range cur {
+		if _, inBase := base[n]; !inBase {
+			newNames = append(newNames, n)
+		}
+	}
+	sort.Strings(newNames)
+	for _, n := range newNames {
+		fmt.Fprintf(os.Stderr, "  new      %s (%.0f ns/op)\n", n, cur[n].NsPerOp)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% tolerance\n", tol)
+	}
+	return ok
 }

@@ -26,9 +26,12 @@ type Expr interface {
 	exprNode()
 }
 
-// Program is a whole translation unit: a statement list.
+// Program is a whole translation unit: a statement list. Syms, when
+// non-nil, is the identifier intern table populated by the parser; symbol
+// IDs on nodes index into it. Hand-built programs may leave it nil.
 type Program struct {
 	Body []Stmt
+	Syms *token.Interner
 }
 
 // Pos returns the position of the first statement, if any.
@@ -44,12 +47,13 @@ func (p *Program) Pos() token.Pos {
 
 // DoLoop is a counted loop: do Var = Lo, Hi [, Step] ... enddo.
 type DoLoop struct {
-	DoPos token.Pos
-	Var   string
-	Lo    Expr
-	Hi    Expr
-	Step  Expr // nil means step 1
-	Body  []Stmt
+	DoPos  token.Pos
+	Var    string
+	VarSym token.Sym // intern symbol for Var (0 on hand-built nodes)
+	Lo     Expr
+	Hi     Expr
+	Step   Expr // nil means step 1
+	Body   []Stmt
 
 	// Label is a stable identity assigned by the parser (source order of DO
 	// headers), used to key analysis results across transformations.
@@ -86,6 +90,7 @@ func (*Assign) stmtNode()        {}
 type Dim struct {
 	DimPos  token.Pos
 	Name    string
+	Sym     token.Sym // intern symbol for Name (0 on hand-built nodes)
 	NamePos token.Pos
 	Sizes   []Expr
 }
@@ -100,6 +105,7 @@ func (*Dim) stmtNode()        {}
 type Ident struct {
 	NamePos token.Pos
 	Name    string
+	Sym     token.Sym // intern symbol for Name (0 on hand-built nodes)
 }
 
 func (e *Ident) Pos() token.Pos { return e.NamePos }
@@ -118,6 +124,7 @@ func (*IntLit) exprNode()        {}
 type ArrayRef struct {
 	NamePos token.Pos
 	Name    string
+	Sym     token.Sym // intern symbol for Name (0 on hand-built nodes)
 	Subs    []Expr
 }
 
@@ -181,6 +188,12 @@ func inspectStmt(s Stmt, f func(Node) bool) {
 	}
 }
 
+// InspectExpr walks a single expression depth-first, calling f for every
+// node. If f returns false for a node, its children are skipped. It is the
+// allocation-free counterpart of wrapping e in a synthetic statement and
+// calling Inspect.
+func InspectExpr(e Expr, f func(Node) bool) { inspectExpr(e, f) }
+
 func inspectExpr(e Expr, f func(Node) bool) {
 	if e == nil || !f(e) {
 		return
@@ -210,7 +223,7 @@ func CloneExpr(e Expr) Expr {
 		c := *ex
 		return &c
 	case *ArrayRef:
-		c := &ArrayRef{NamePos: ex.NamePos, Name: ex.Name, Subs: make([]Expr, len(ex.Subs))}
+		c := &ArrayRef{NamePos: ex.NamePos, Name: ex.Name, Sym: ex.Sym, Subs: make([]Expr, len(ex.Subs))}
 		for i, s := range ex.Subs {
 			c.Subs[i] = CloneExpr(s)
 		}
@@ -230,7 +243,7 @@ func CloneStmt(s Stmt) Stmt {
 		return nil
 	case *DoLoop:
 		c := &DoLoop{
-			DoPos: st.DoPos, Var: st.Var, Label: st.Label,
+			DoPos: st.DoPos, Var: st.Var, VarSym: st.VarSym, Label: st.Label,
 			Lo: CloneExpr(st.Lo), Hi: CloneExpr(st.Hi),
 		}
 		if st.Step != nil {
@@ -243,7 +256,7 @@ func CloneStmt(s Stmt) Stmt {
 	case *Assign:
 		return &Assign{LHS: CloneExpr(st.LHS), RHS: CloneExpr(st.RHS)}
 	case *Dim:
-		c := &Dim{DimPos: st.DimPos, Name: st.Name, NamePos: st.NamePos, Sizes: make([]Expr, len(st.Sizes))}
+		c := &Dim{DimPos: st.DimPos, Name: st.Name, Sym: st.Sym, NamePos: st.NamePos, Sizes: make([]Expr, len(st.Sizes))}
 		for i, sz := range st.Sizes {
 			c.Sizes[i] = CloneExpr(sz)
 		}
@@ -278,7 +291,7 @@ func SubstituteIdent(e Expr, name string, repl Expr) Expr {
 	case *IntLit:
 		return CloneExpr(ex)
 	case *ArrayRef:
-		c := &ArrayRef{NamePos: ex.NamePos, Name: ex.Name, Subs: make([]Expr, len(ex.Subs))}
+		c := &ArrayRef{NamePos: ex.NamePos, Name: ex.Name, Sym: ex.Sym, Subs: make([]Expr, len(ex.Subs))}
 		for i, s := range ex.Subs {
 			c.Subs[i] = SubstituteIdent(s, name, repl)
 		}
@@ -299,7 +312,7 @@ func SubstituteIdentStmts(list []Stmt, name string, repl Expr) []Stmt {
 	for i, s := range list {
 		switch st := s.(type) {
 		case *DoLoop:
-			c := &DoLoop{DoPos: st.DoPos, Var: st.Var, Label: st.Label}
+			c := &DoLoop{DoPos: st.DoPos, Var: st.Var, VarSym: st.VarSym, Label: st.Label}
 			c.Lo = SubstituteIdent(st.Lo, name, repl)
 			c.Hi = SubstituteIdent(st.Hi, name, repl)
 			if st.Step != nil {

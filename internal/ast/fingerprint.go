@@ -1,0 +1,84 @@
+package ast
+
+import "math/bits"
+
+// FP128 is a 128-bit structural fingerprint of canonical AST bytes. Two
+// statements have equal fingerprints exactly when their canonical renderings
+// (StmtString) are byte-identical, up to hash collisions at ~2^-128; the
+// driver's memo cache keys on it instead of the full rendering, and keeps
+// the rendering itself behind a debug flag as the collision oracle.
+type FP128 struct {
+	Hi, Lo uint64
+}
+
+// FNV-1a 128-bit parameters. The prime is 2^88 + 2^8 + 0x3b, so the 128-bit
+// multiply reduces to one 64×64→128 multiply plus shifts (see mix).
+const (
+	fnvOffset128Hi = 0x6c62272e07bb0142
+	fnvOffset128Lo = 0x62b821756295c58d
+	fnvPrime128Lo  = 0x13b // low word of the prime; high word is 1<<24
+)
+
+// Hasher streams bytes into an FNV-1a 128-bit state. It satisfies the
+// canonical printers' sink, so a statement can be fingerprinted incrementally
+// with no intermediate string. The zero value is NOT ready to use; call
+// NewHasher.
+type Hasher struct {
+	hi, lo uint64
+}
+
+// NewHasher returns a hasher seeded with the FNV-1a offset basis.
+func NewHasher() Hasher {
+	return Hasher{hi: fnvOffset128Hi, lo: fnvOffset128Lo}
+}
+
+func (h *Hasher) mix(c byte) {
+	// FNV-1a: xor the byte in, then multiply the 128-bit state by the
+	// prime 2^88 + 0x13b (mod 2^128):
+	//   state*prime = (state << 88) + state*0x13b
+	// where (state << 88) mod 2^128 contributes only lo<<24 to the high word.
+	lo := h.lo ^ uint64(c)
+	carry, newLo := bits.Mul64(lo, fnvPrime128Lo)
+	h.hi = h.hi*fnvPrime128Lo + carry + lo<<24
+	h.lo = newLo
+}
+
+// Write implements io.Writer; it never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	for _, c := range p {
+		h.mix(c)
+	}
+	return len(p), nil
+}
+
+// WriteString hashes the bytes of s; it never fails.
+func (h *Hasher) WriteString(s string) (int, error) {
+	for i := 0; i < len(s); i++ {
+		h.mix(s[i])
+	}
+	return len(s), nil
+}
+
+// WriteByte hashes one byte; it never fails.
+func (h *Hasher) WriteByte(c byte) error {
+	h.mix(c)
+	return nil
+}
+
+// Stmt streams the canonical rendering of s (exactly the bytes of
+// StmtString(s, 0)) into the hash.
+func (h *Hasher) Stmt(s Stmt) { writeStmt(h, s, 0) }
+
+// Expr streams the canonical rendering of e (exactly the bytes of
+// ExprString(e)) into the hash.
+func (h *Hasher) Expr(e Expr) { writeExpr(h, e, 0) }
+
+// Sum returns the current 128-bit state.
+func (h *Hasher) Sum() FP128 { return FP128{Hi: h.hi, Lo: h.lo} }
+
+// FingerprintStmt returns the structural fingerprint of a single statement.
+func FingerprintStmt(s Stmt) FP128 {
+	h := NewHasher()
+	h.Stmt(s)
+	return h.Sum()
+}

@@ -1,0 +1,75 @@
+package ast_test
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// hashRef computes the reference FNV-1a 128 of a byte string via the stdlib.
+func hashRef(t *testing.T, data []byte) ast.FP128 {
+	t.Helper()
+	h := fnv.New128a()
+	h.Write(data)
+	sum := h.Sum(nil)
+	return ast.FP128{
+		Hi: binary.BigEndian.Uint64(sum[:8]),
+		Lo: binary.BigEndian.Uint64(sum[8:]),
+	}
+}
+
+// TestHasherMatchesStdlibFNV pins the hand-rolled 128-bit multiply against
+// hash/fnv's New128a on assorted inputs.
+func TestHasherMatchesStdlibFNV(t *testing.T) {
+	inputs := []string{
+		"",
+		"a",
+		"do i = 1, 100\n  A[i] := B[i - 1] + 3\nenddo\n",
+		string(make([]byte, 300)),
+		"\x00\xff\x80 mixed bytes \n\t",
+	}
+	for _, in := range inputs {
+		h := ast.NewHasher()
+		h.WriteString(in)
+		got := h.Sum()
+		want := hashRef(t, []byte(in))
+		if got != want {
+			t.Errorf("Hasher(%q) = %x/%x, stdlib fnv128a = %x/%x",
+				in, got.Hi, got.Lo, want.Hi, want.Lo)
+		}
+	}
+	// Byte-at-a-time and chunked writes must agree.
+	h1 := ast.NewHasher()
+	h1.WriteString("hello world")
+	h2 := ast.NewHasher()
+	for _, c := range []byte("hello world") {
+		h2.WriteByte(c)
+	}
+	if h1.Sum() != h2.Sum() {
+		t.Error("chunked vs byte-at-a-time sums differ")
+	}
+}
+
+// TestFingerprintStmtMatchesRendering: the incremental statement fingerprint
+// must equal the hash of the canonical rendering — this is the property the
+// driver's memo cache relies on (fingerprint partition == rendering partition).
+func TestFingerprintStmtMatchesRendering(t *testing.T) {
+	srcs := []string{
+		"do i = 1, 100\n A[i] := A[i-1]\nenddo",
+		"do i = 1, n, 2\n if A[i] > 0 then\n B[i] := 1\n else\n B[i] := -A[i]*2\n endif\nenddo",
+		"dim A[10, 20]\ndo j = 1, 10\n do i = 1, 20\n  A[j, i] := A[j, i] + i*j\n enddo\nenddo",
+	}
+	for _, src := range srcs {
+		prog := parser.MustParse(src)
+		for _, s := range prog.Body {
+			got := ast.FingerprintStmt(s)
+			want := hashRef(t, []byte(ast.StmtString(s, 0)))
+			if got != want {
+				t.Errorf("FingerprintStmt != hash(StmtString) for %q", ast.StmtString(s, 0))
+			}
+		}
+	}
+}

@@ -1,11 +1,34 @@
 package ast
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/token"
 )
+
+// sink is the minimal writer the canonical printers target. It is satisfied
+// by *strings.Builder (rendering) and by *Hasher (fingerprinting), so the
+// fingerprint of a statement is computed over exactly the bytes StmtString
+// would produce — without materializing the string.
+type sink interface {
+	Write(p []byte) (int, error)
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
+// writeInt writes the decimal rendering of v without allocating.
+func writeInt(b sink, v int64) {
+	var buf [20]byte
+	b.Write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+// writeIndent writes two spaces per depth level.
+func writeIndent(b sink, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
 
 // ExprString renders an expression in source syntax.
 func ExprString(e Expr) string {
@@ -31,12 +54,12 @@ func prec(op token.Kind) int {
 	return 6
 }
 
-func writeExpr(b *strings.Builder, e Expr, outer int) {
+func writeExpr(b sink, e Expr, outer int) {
 	switch ex := e.(type) {
 	case *Ident:
 		b.WriteString(ex.Name)
 	case *IntLit:
-		fmt.Fprintf(b, "%d", ex.Value)
+		writeInt(b, ex.Value)
 	case *ArrayRef:
 		b.WriteString(ex.Name)
 		b.WriteByte('[')
@@ -53,7 +76,9 @@ func writeExpr(b *strings.Builder, e Expr, outer int) {
 			b.WriteByte('(')
 		}
 		writeExpr(b, ex.L, p)
-		fmt.Fprintf(b, " %s ", ex.Op)
+		b.WriteByte(' ')
+		b.WriteString(ex.Op.String())
+		b.WriteByte(' ')
 		writeExpr(b, ex.R, p+1)
 		if p < outer {
 			b.WriteByte(')')
@@ -95,35 +120,54 @@ func StmtsString(list []Stmt) string {
 	return b.String()
 }
 
-func writeStmt(b *strings.Builder, s Stmt, depth int) {
-	ind := strings.Repeat("  ", depth)
+func writeStmt(b sink, s Stmt, depth int) {
 	switch st := s.(type) {
 	case *DoLoop:
-		fmt.Fprintf(b, "%sdo %s = %s, %s", ind, st.Var, ExprString(st.Lo), ExprString(st.Hi))
+		writeIndent(b, depth)
+		b.WriteString("do ")
+		b.WriteString(st.Var)
+		b.WriteString(" = ")
+		writeExpr(b, st.Lo, 0)
+		b.WriteString(", ")
+		writeExpr(b, st.Hi, 0)
 		if st.Step != nil {
-			fmt.Fprintf(b, ", %s", ExprString(st.Step))
+			b.WriteString(", ")
+			writeExpr(b, st.Step, 0)
 		}
 		b.WriteByte('\n')
 		for _, inner := range st.Body {
 			writeStmt(b, inner, depth+1)
 		}
-		fmt.Fprintf(b, "%senddo\n", ind)
+		writeIndent(b, depth)
+		b.WriteString("enddo\n")
 	case *If:
-		fmt.Fprintf(b, "%sif %s then\n", ind, ExprString(st.Cond))
+		writeIndent(b, depth)
+		b.WriteString("if ")
+		writeExpr(b, st.Cond, 0)
+		b.WriteString(" then\n")
 		for _, inner := range st.Then {
 			writeStmt(b, inner, depth+1)
 		}
 		if st.Else != nil {
-			fmt.Fprintf(b, "%selse\n", ind)
+			writeIndent(b, depth)
+			b.WriteString("else\n")
 			for _, inner := range st.Else {
 				writeStmt(b, inner, depth+1)
 			}
 		}
-		fmt.Fprintf(b, "%sendif\n", ind)
+		writeIndent(b, depth)
+		b.WriteString("endif\n")
 	case *Assign:
-		fmt.Fprintf(b, "%s%s := %s\n", ind, ExprString(st.LHS), ExprString(st.RHS))
+		writeIndent(b, depth)
+		writeExpr(b, st.LHS, 0)
+		b.WriteString(" := ")
+		writeExpr(b, st.RHS, 0)
+		b.WriteByte('\n')
 	case *Dim:
-		fmt.Fprintf(b, "%sdim %s[", ind, st.Name)
+		writeIndent(b, depth)
+		b.WriteString("dim ")
+		b.WriteString(st.Name)
+		b.WriteByte('[')
 		for i, sz := range st.Sizes {
 			if i > 0 {
 				b.WriteString(", ")
@@ -132,6 +176,7 @@ func writeStmt(b *strings.Builder, s Stmt, depth int) {
 		}
 		b.WriteString("]\n")
 	default:
-		fmt.Fprintf(b, "%s<?stmt>\n", ind)
+		writeIndent(b, depth)
+		b.WriteString("<?stmt>\n")
 	}
 }

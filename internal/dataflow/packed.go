@@ -74,11 +74,11 @@ func (ctx *solveCtx) order(backward bool) []*ir.Node {
 // shared context the table is memoized by the predicate's decision vector
 // over the graph's references, so specs with the same signature (e.g.
 // must-reaching defs and δ-busy stores, both G = defs) share one table.
-func (ctx *solveCtx) tableFor(spec *Spec) *classTable {
+func (ctx *solveCtx) tableFor(spec *Spec, sc *Scratch) *classTable {
 	if !ctx.shared {
 		return buildClassTable(ctx.g, spec.Gen)
 	}
-	mask := make([]byte, len(ctx.g.Refs))
+	mask := sc.byteRow(len(ctx.g.Refs))
 	for i, r := range ctx.g.Refs {
 		if spec.Gen(r) {
 			mask[i] = '1'
@@ -168,6 +168,7 @@ type solver struct {
 	entry   *ir.Node
 	prog    *packedProgram
 	scratch lattice.Tuple
+	sc      *Scratch
 	m       int
 	may     bool
 	back    bool
@@ -182,19 +183,19 @@ func (st *solver) preds(nd *ir.Node) []*ir.Node {
 }
 
 // solve runs one problem instance through the packed engine.
-func (ctx *solveCtx) solve(spec *Spec, opts *Options) *Result {
+func (ctx *solveCtx) solve(spec *Spec, opts *Options, sc *Scratch) *Result {
 	start := time.Now()
 	res := &Result{Graph: ctx.g, Spec: spec}
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	ct := ctx.tableFor(spec)
+	ct := ctx.tableFor(spec, sc)
 	res.adoptClasses(ct)
 	m := len(ct.classes)
 	n := ctx.n
 	res.prZero = ctx.prZeroFor(ct, spec.Backward)
 
-	res.In = lattice.Slab(n, m)
-	res.Out = lattice.Slab(n, m)
+	res.In, res.inBack = pooledSlab(n, m)
+	res.Out, res.outBack = pooledSlab(n, m)
 
 	prog := ctx.compile(spec, ct, res.prZero)
 	res.prog = prog // ApplyFlow serves views into the arena on demand
@@ -205,7 +206,8 @@ func (ctx *solveCtx) solve(spec *Spec, opts *Options) *Result {
 		order:   ctx.order(spec.Backward),
 		entry:   ctx.g.Entry,
 		prog:    prog,
-		scratch: make(lattice.Tuple, m),
+		scratch: sc.tupleRow(m),
+		sc:      sc,
 		m:       m,
 		may:     spec.May,
 		back:    spec.Backward,
@@ -265,7 +267,7 @@ func (ctx *solveCtx) solve(spec *Spec, opts *Options) *Result {
 // generate overestimate from the compiled program's gen bits.
 func (st *solver) initPass() {
 	res := st.res
-	visited := make([]bool, len(st.g.Nodes)+1)
+	visited := st.sc.boolRow(len(st.g.Nodes) + 1)
 	for _, nd := range st.order {
 		res.NodeVisits++
 		in := res.In[nd.ID]
@@ -363,13 +365,16 @@ func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64) *pac
 	m := len(ct.classes)
 	total := (ctx.n + 1) * m
 	prog := &packedProgram{
-		// Most references compile to at most one op in their own class and
-		// none elsewhere; len(g.Refs) covers the common case so the arena
-		// rarely regrows.
-		arena:  make([]flowOp, 0, len(g.Refs)+4),
-		starts: make([]int32, total+1),
-		gen:    make([]uint64, (total+63)/64),
+		// Pooled storage: the arena capacity covers the common case of at
+		// most one op per reference so it rarely regrows; starts below m
+		// (the unused node ID 0's slots) and the gen bitset must be zeroed
+		// because the pools return dirty buffers.
+		arena:  opPool.get(len(g.Refs) + 4)[:0],
+		starts: int32Pool.get(total + 1),
+		gen:    u64Pool.get((total + 63) / 64),
 	}
+	clear(prog.starts[:m])
+	clear(prog.gen)
 	idx := m // slots 0..m-1 belong to the unused node ID 0 and stay empty
 	for _, nd := range g.Nodes {
 		for _, c := range ct.classes {

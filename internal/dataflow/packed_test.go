@@ -225,8 +225,9 @@ func TestPackedSteadyStateAllocFree(t *testing.T) {
 	g := buildLoop(t, fig1)
 	for _, spec := range standardTestSpecs() {
 		ctx := newSolveCtx(g)
-		res := ctx.solve(spec, &Options{})
-		ct := ctx.tableFor(spec)
+		sc := NewScratch()
+		res := ctx.solve(spec, &Options{}, sc)
+		ct := ctx.tableFor(spec, sc)
 		st := &solver{
 			res:     res,
 			g:       g,

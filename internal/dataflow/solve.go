@@ -103,6 +103,12 @@ type Result struct {
 	// and serve ApplyFlow as views into its op arena.
 	flowFns [][]flowFn
 	prog    *packedProgram
+
+	// inBack / outBack are the pooled backings of the In/Out slabs (packed
+	// engine only); Release returns them to the pools. Nil after Release or
+	// for reference-engine results.
+	inBack  lattice.Tuple
+	outBack lattice.Tuple
 }
 
 // Metrics is the cheap per-solve instrumentation bundle: the empirical
@@ -202,6 +208,11 @@ type Options struct {
 	// with an unknown loop bound, "could continue infinitely" (it hits
 	// MaxPasses instead).
 	MayTopStart bool
+	// Scratch supplies a caller-owned free list for the solve's transient
+	// buffers; drivers keep one per worker goroutine so repeated solves
+	// allocate no transients. Nil borrows one from a process-wide pool. A
+	// Scratch must not be used by two solves concurrently.
+	Scratch *Scratch
 }
 
 // Solve computes the greatest fixed point of spec over g. The packed engine
@@ -213,7 +224,9 @@ func Solve(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	if opts.Engine == EngineReference {
 		return solveReference(g, spec, opts)
 	}
-	return newSolveCtx(g).solve(spec, opts)
+	sc, done := scratchFor(opts)
+	defer done()
+	return newSolveCtx(g).solve(spec, opts, sc)
 }
 
 // SolveAll solves several problem instances on one graph through a shared
@@ -234,8 +247,10 @@ func SolveAll(g *ir.Graph, specs []*Spec, opts *Options) []*Result {
 	}
 	ctx := newSolveCtx(g)
 	ctx.shared = true
+	sc, done := scratchFor(opts)
+	defer done()
 	for i, spec := range specs {
-		out[i] = ctx.solve(spec, opts)
+		out[i] = ctx.solve(spec, opts, sc)
 	}
 	return out
 }

@@ -177,17 +177,26 @@ func MaxSeverity(fs []Finding) (Severity, bool) {
 //	file:3:9: warning: deadstore: store to A[i] is overwritten ...
 //	    file:4:9: overwritten here (distance 1)
 func WriteText(w io.Writer, file string, fs []Finding) error {
+	// Render into one pre-sized builder and write once: the per-line
+	// Fprintf-to-w pattern cost a write call per finding, which dominated
+	// rendering on large finding sets.
+	var b strings.Builder
+	size := 0
 	for _, f := range fs {
-		if _, err := fmt.Fprintf(w, "%s:%s\n", file, f); err != nil {
-			return err
-		}
+		size += len(file) + len(f.Message) + 48
 		for _, r := range f.Related {
-			if _, err := fmt.Fprintf(w, "    %s:%s: %s\n", file, r.Pos, r.Message); err != nil {
-				return err
-			}
+			size += len(file) + len(r.Message) + 24
 		}
 	}
-	return nil
+	b.Grow(size)
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%s\n", file, f)
+		for _, r := range f.Related {
+			fmt.Fprintf(&b, "    %s:%s: %s\n", file, r.Pos, r.Message)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // File groups the findings of one source file for JSON output.

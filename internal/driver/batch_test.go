@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// TestBatchMatchesStandaloneAnalyze pins the batch contract: every item's
+// report is byte-identical to a standalone Analyze of the same program, in
+// input order, at several parallelism settings and with the cache on and
+// off.
+func TestBatchMatchesStandaloneAnalyze(t *testing.T) {
+	var progs []*ast.Program
+	for seed := int64(1); seed <= 9; seed++ {
+		progs = append(progs, synth.MultiLoopProgram(synth.MultiParams{
+			Seed: seed, Loops: 6, StmtsPer: 5,
+			NestEvery: int(seed%3) + 1, DistinctBodies: 2}))
+	}
+	want := make([]string, len(progs))
+	for i, p := range progs {
+		pa, err := Analyze(p, &Options{NestVectors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pa.Report()
+	}
+	for _, workers := range []int{0, 1, 3} {
+		for _, disable := range []bool{false, true} {
+			ResetCache()
+			results := AnalyzeBatch(progs, &Options{
+				NestVectors: true, Parallelism: workers, DisableCache: disable})
+			if len(results) != len(progs) {
+				t.Fatalf("got %d results for %d programs", len(results), len(progs))
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("workers=%d disable=%v prog %d: %v", workers, disable, i, r.Err)
+				}
+				if got := r.Analysis.Report(); got != want[i] {
+					t.Errorf("workers=%d disable=%v prog %d: batch report diverged from Analyze",
+						workers, disable, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchIsolatesFailures: a program that fails sema inside the batch
+// sets only its own item's Err.
+func TestBatchIsolatesFailures(t *testing.T) {
+	good := synth.MultiLoopProgram(synth.MultiParams{Seed: 2, Loops: 3, StmtsPer: 4})
+	bad := parser.MustParse("do i = 1, 10\n A[i] := A + 1\nenddo") // A both array and scalar
+	results := AnalyzeBatch([]*ast.Program{good, bad, nil, good}, nil)
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("good programs failed: %v / %v", results[0].Err, results[3].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("semantically invalid program did not error")
+	}
+	if results[2].Err == nil {
+		t.Error("nil program did not error")
+	}
+	if results[0].Analysis.Report() != results[3].Analysis.Report() {
+		t.Error("identical programs produced different reports in one batch")
+	}
+}
+
+// TestBatchSharesCache: repeated bodies across different programs of one
+// batch hit the shared memo cache.
+func TestBatchSharesCache(t *testing.T) {
+	ResetCache()
+	// Same seed twice: program 2 is a clone of program 1.
+	p1 := synth.MultiLoopProgram(synth.MultiParams{Seed: 5, Loops: 4, StmtsPer: 6})
+	p2 := synth.MultiLoopProgram(synth.MultiParams{Seed: 5, Loops: 4, StmtsPer: 6})
+	results := AnalyzeBatch([]*ast.Program{p1, p2}, &Options{Parallelism: 1})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(i, r.Err)
+		}
+	}
+	if hits := results[0].Analysis.Metrics.CacheHits + results[1].Analysis.Metrics.CacheHits; hits == 0 {
+		t.Error("expected cross-program cache hits on identical bodies")
+	}
+}

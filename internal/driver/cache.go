@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 
@@ -33,40 +34,110 @@ type cacheEntry struct {
 	err  error
 }
 
-// solveCache memoizes loop solves content-addressed by the canonical
-// rendering of the loop (induction variable, bounds, and body — everything
-// that determines the analysis) plus the spec-name signature.
-type solveCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*cacheEntry
-	hits    int
-	misses  int
+// memoKey is the content address of one solve: a 128-bit structural
+// fingerprint of the canonical loop rendering, the spec-name signature, and
+// the engine, all folded into one hash. It replaces the full canonical
+// rendering the cache used to key on — the fingerprint is computed by
+// streaming the same bytes the renderer would produce into an FNV-1a 128
+// state, so two solves share a key exactly when their old string keys were
+// equal (modulo 2^-128 collisions; see debugCanonicalKeys).
+type memoKey struct {
+	fp ast.FP128
 }
 
-// defaultCacheCap bounds the process-global cache. When exceeded the whole
-// map is dropped (the entries are content-addressed, so a refill is only a
-// re-solve, never a correctness issue).
+// solveCache memoizes loop solves content-addressed by memoKey.
+type solveCache struct {
+	mu      sync.Mutex
+	cap     int // <0 = unlimited
+	entries map[memoKey]*cacheEntry
+	// order records keys oldest-first so eviction can drop the oldest
+	// segment instead of the whole table.
+	order  []memoKey
+	hits   int
+	misses int
+	// oracle maps each live key back to its full canonical rendering when
+	// debugCanonicalKeys is on; a key colliding across different renderings
+	// is a fingerprint collision and panics.
+	oracle map[memoKey]string
+}
+
+// defaultCacheCap bounds the process-global cache when Options.CacheCap is
+// zero. When the table is full the oldest half of the entries is evicted
+// (the entries are content-addressed, so a refill is only a re-solve, never
+// a correctness issue) — recently-used keys survive, unlike the old
+// whole-map drop.
 const defaultCacheCap = 4096
+
+// debugCanonicalKeys, when enabled, keeps the old full-rendering key
+// alongside each fingerprint and verifies on every lookup that equal
+// fingerprints imply equal renderings. It exists as a collision oracle for
+// tests; it restores the allocation cost the fingerprint removed.
+var (
+	debugCanonicalKeysMu sync.Mutex
+	debugCanonicalKeys   bool
+)
+
+// SetDebugCanonicalKeys toggles the collision oracle: when on, the memo
+// cache re-renders every loop to its canonical string and panics if two
+// different renderings ever hash to the same fingerprint. Intended for
+// tests and differential debugging; returns the previous setting.
+func SetDebugCanonicalKeys(on bool) bool {
+	debugCanonicalKeysMu.Lock()
+	defer debugCanonicalKeysMu.Unlock()
+	prev := debugCanonicalKeys
+	debugCanonicalKeys = on
+	return prev
+}
+
+func canonicalKeysDebug() bool {
+	debugCanonicalKeysMu.Lock()
+	defer debugCanonicalKeysMu.Unlock()
+	return debugCanonicalKeys
+}
 
 // globalCache is the process-wide memo table shared by every Analyze call
 // that does not set Options.DisableCache.
 var globalCache = newSolveCache(defaultCacheCap)
 
 func newSolveCache(cap int) *solveCache {
-	return &solveCache{cap: cap, entries: map[string]*cacheEntry{}}
+	return &solveCache{cap: cap, entries: map[memoKey]*cacheEntry{}}
 }
 
-// cacheKey renders the content-addressed key for a loop + spec set + engine.
-// The rendered loop text covers the induction variable, the bounds, and the
-// whole (possibly nested) body; specs contribute their names, which are
-// canonical for the problem instances built by package problems; the engine
-// is included so packed and reference results never alias (both engines
-// produce identical values, but differential tests compare fresh solves).
-// Callers that hand-build a Spec reusing a canned name with different
-// semantics must disable the cache.
-func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) string {
+// setCap adjusts the cache bound: n>0 sets it, n<0 removes it. An
+// already-overfull table is trimmed on the next insert, not eagerly.
+func (c *solveCache) setCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+}
+
+// cacheKey computes the content-addressed key for a loop + spec set +
+// engine by streaming the canonical bytes into a 128-bit hash. The hashed
+// loop text covers the induction variable, the bounds, and the whole
+// (possibly nested) body; specs contribute their names, which are
+// canonical for the problem instances built by package problems; the
+// engine is included so packed and reference results never alias (both
+// engines produce identical values, but differential tests compare fresh
+// solves). Callers that hand-build a Spec reusing a canned name with
+// different semantics must disable the cache.
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) memoKey {
+	h := ast.NewHasher()
+	h.Stmt(loop)
+	for _, s := range specs {
+		h.WriteByte('\x00')
+		h.WriteString(s.Name)
+	}
+	h.WriteByte('\x00')
+	h.WriteString(string(engine))
+	return memoKey{fp: h.Sum()}
+}
+
+// canonicalKeyString renders the pre-fingerprint string key — the exact
+// byte stream cacheKey hashes — for the collision oracle and for
+// differential tests.
+func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) string {
 	var b strings.Builder
+	b.Grow(256)
 	b.WriteString(ast.StmtString(loop, 0))
 	for _, s := range specs {
 		b.WriteByte('\x00')
@@ -80,36 +151,80 @@ func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) 
 // claim returns the entry for key, creating it when absent. The second
 // result reports whether the entry already existed (a cache hit). Counting
 // happens under the same lock as the lookup, so the tallies stay exact
-// under concurrency.
-func (c *solveCache) claim(key string) (*cacheEntry, bool) {
+// under concurrency. render supplies the canonical string key lazily; it
+// is only invoked when the collision oracle is enabled.
+func (c *solveCache) claim(key memoKey, render func() string) (*cacheEntry, bool) {
+	oracle := canonicalKeysDebug()
+	var canonical string
+	if oracle {
+		canonical = render()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if oracle {
+		if c.oracle == nil {
+			c.oracle = map[memoKey]string{}
+		}
+		if prev, ok := c.oracle[key]; ok {
+			if prev != canonical {
+				panic(fmt.Sprintf("driver: memo fingerprint collision: %x/%x keys %q and %q",
+					key.fp.Hi, key.fp.Lo, prev, canonical))
+			}
+		} else {
+			c.oracle[key] = canonical
+		}
+	}
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		return e, true
 	}
-	if len(c.entries) >= c.cap {
-		c.entries = map[string]*cacheEntry{}
+	if c.cap > 0 && len(c.entries) >= c.cap {
+		c.evictOldestLocked()
 	}
 	e := &cacheEntry{}
 	c.entries[key] = e
+	c.order = append(c.order, key)
 	c.misses++
 	return e, false
 }
 
+// evictOldestLocked drops the oldest half of the table (at least one
+// entry). Callers hold c.mu. In-flight claimants of an evicted entry keep
+// their pointer and still publish into it; only future lookups re-solve.
+func (c *solveCache) evictOldestLocked() {
+	drop := len(c.order) / 2
+	if drop == 0 {
+		drop = len(c.order)
+	}
+	for _, k := range c.order[:drop] {
+		delete(c.entries, k)
+		if c.oracle != nil {
+			delete(c.oracle, k)
+		}
+	}
+	kept := make([]memoKey, len(c.order)-drop)
+	copy(kept, c.order[drop:])
+	c.order = kept
+}
+
 // solveLoop analyzes one loop (graph construction, every spec's fixed
 // point, reuse extraction), going through the memo cache unless disabled.
-func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine) (*solved, bool, error) {
+// sc is the calling worker's scratch free list; the singleflight cell runs
+// the solve on the claiming worker's goroutine, so the scratch is never
+// shared across solves in flight.
+func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, bool, error) {
 	if !useCache {
-		sv, err := solveLoopFresh(loop, specs, engine)
+		sv, err := solveLoopFresh(loop, specs, engine, sc)
 		return sv, false, err
 	}
-	e, hit := globalCache.claim(cacheKey(loop, specs, engine))
-	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, engine) })
+	e, hit := globalCache.claim(cacheKey(loop, specs, engine), func() string {
+		return canonicalKeyString(loop, specs, engine)
+	})
+	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, engine, sc) })
 	return e.sv, hit, e.err
 }
 
-func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) (*solved, error) {
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, error) {
 	g, err := ir.Build(loop, nil)
 	if err != nil {
 		return nil, err
@@ -118,7 +233,7 @@ func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.En
 	// One fused SolveAll per loop: every spec shares the graph's class
 	// discovery, node orderings, and precedes bitsets through one solve
 	// context instead of re-deriving them per problem instance.
-	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine}) {
+	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc}) {
 		spec := specs[i]
 		sv.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {
@@ -145,6 +260,8 @@ func CacheStats() (entries, hits, misses int) {
 func ResetCache() {
 	globalCache.mu.Lock()
 	defer globalCache.mu.Unlock()
-	globalCache.entries = map[string]*cacheEntry{}
+	globalCache.entries = map[memoKey]*cacheEntry{}
+	globalCache.order = nil
+	globalCache.oracle = nil
 	globalCache.hits, globalCache.misses = 0, 0
 }

@@ -1,0 +1,243 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/dataflow"
+	"repro/internal/parser"
+	"repro/internal/problems"
+	"repro/internal/sema"
+	"repro/internal/synth"
+)
+
+// fpKey builds a distinct memo key for testing eviction mechanics.
+func fpKey(i int) memoKey {
+	return memoKey{fp: ast.FP128{Hi: uint64(i), Lo: ^uint64(i)}}
+}
+
+// TestEvictionDropsOldestHalf exercises the segmented eviction directly:
+// filling a cap-4 table and inserting a fifth key must evict exactly the two
+// oldest entries, so re-claiming the two newest (plus the fresh insert) hits
+// while the two oldest miss. Claim order is serial here, so the hit/miss
+// tallies are fully deterministic.
+func TestEvictionDropsOldestHalf(t *testing.T) {
+	c := newSolveCache(4)
+	noRender := func() string { return "" }
+	for i := 0; i < 4; i++ {
+		if _, hit := c.claim(fpKey(i), noRender); hit {
+			t.Fatalf("key %d: unexpected hit on first claim", i)
+		}
+	}
+	if len(c.entries) != 4 || len(c.order) != 4 {
+		t.Fatalf("table size %d/%d, want 4/4", len(c.entries), len(c.order))
+	}
+	// Fifth insert: keys 0 and 1 evicted, 2 and 3 survive.
+	if _, hit := c.claim(fpKey(4), noRender); hit {
+		t.Fatal("key 4: unexpected hit")
+	}
+	if len(c.entries) != 3 {
+		t.Fatalf("after eviction: %d entries, want 3", len(c.entries))
+	}
+	for _, i := range []int{2, 3, 4} {
+		if _, hit := c.claim(fpKey(i), noRender); !hit {
+			t.Errorf("key %d should have survived eviction", i)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if _, hit := c.claim(fpKey(i), noRender); hit {
+			t.Errorf("key %d should have been evicted", i)
+		}
+	}
+	if c.hits != 3 || c.misses != 7 {
+		t.Errorf("tallies hits=%d misses=%d, want 3/7", c.hits, c.misses)
+	}
+}
+
+// TestEvictionDeterministicHitMiss pins the hit/miss tallies across
+// evictions end to end: the same serial Analyze sequence against a small
+// CacheCap must produce identical tallies (and identical reports) on every
+// repetition.
+func TestEvictionDeterministicHitMiss(t *testing.T) {
+	progs := make([]*ast.Program, 3)
+	for i := range progs {
+		progs[i] = synth.MultiLoopProgram(synth.MultiParams{
+			Seed: int64(40 + i), Loops: 10, StmtsPer: 5, DistinctBodies: 10})
+	}
+	type tally struct {
+		hits, misses int
+		report       string
+	}
+	run := func() []tally {
+		ResetCache()
+		out := make([]tally, 0, len(progs))
+		for _, p := range progs {
+			pa, err := Analyze(p, &Options{Parallelism: 1, CacheCap: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tally{pa.Metrics.CacheHits, pa.Metrics.CacheMisses, pa.Report()})
+		}
+		return out
+	}
+	first := run()
+	for rep := 0; rep < 3; rep++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("rep %d prog %d: tallies/report diverged across evictions:\n got %d/%d\nwant %d/%d",
+					rep, i, again[i].hits, again[i].misses, first[i].hits, first[i].misses)
+			}
+		}
+	}
+	if entries, _, _ := CacheStats(); entries > 8 {
+		t.Errorf("cache grew past CacheCap: %d entries", entries)
+	}
+	// Negative cap removes the bound.
+	ResetCache()
+	if _, err := Analyze(progs[0], &Options{Parallelism: 1, CacheCap: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _, _ := CacheStats(); entries == 0 {
+		t.Error("unbounded cache retained nothing")
+	}
+	globalCache.setCap(defaultCacheCap)
+}
+
+// loopsOf collects every DoLoop of a checked program, nested included.
+func loopsOf(prog *ast.Program) []*ast.DoLoop {
+	var loops []*ast.DoLoop
+	ast.Inspect(prog.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.DoLoop); ok {
+			loops = append(loops, l)
+		}
+		return true
+	})
+	return loops
+}
+
+// corpusPrograms parses every example program plus a synth fuzz sweep.
+func corpusPrograms(t *testing.T) []*ast.Program {
+	t.Helper()
+	var progs []*ast.Program
+	files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "*.loop"))
+	if len(files) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.ParseBytes(src, nil)
+		if err != nil {
+			continue // some examples are intentionally invalid
+		}
+		if _, err := sema.Check(prog); err != nil {
+			continue
+		}
+		progs = append(progs, prog)
+	}
+	for seed := int64(1); seed <= 24; seed++ {
+		progs = append(progs, synth.MultiLoopProgram(synth.MultiParams{
+			Seed: seed, Loops: 8, StmtsPer: 6,
+			NestEvery: int(seed%4) + 1, DistinctBodies: int(seed%5) + 1}))
+	}
+	return progs
+}
+
+// TestFingerprintPartitionMatchesCanonical is the differential check the
+// fingerprint key rests on: over every example program and a synth fuzz
+// sweep, two (loop, specs, engine) triples get the same fingerprint key
+// exactly when they get the same canonical string key. A fingerprint
+// collision (same hash, different rendering) or a split (same rendering,
+// different hash — impossible by construction, but checked anyway) fails.
+func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
+	specsets := [][]*dataflow.Spec{
+		{problems.MustReachingDefs()},
+		{problems.MustReachingDefs(), problems.BusyStores()},
+	}
+	engines := []dataflow.Engine{dataflow.EngineReference, dataflow.EnginePacked}
+	byFP := map[memoKey]string{}
+	byStr := map[string]memoKey{}
+	n := 0
+	for _, prog := range corpusPrograms(t) {
+		for _, loop := range loopsOf(prog) {
+			for _, specs := range specsets {
+				for _, eng := range engines {
+					n++
+					fp := cacheKey(loop, specs, eng)
+					str := canonicalKeyString(loop, specs, eng)
+					if prev, ok := byFP[fp]; ok && prev != str {
+						t.Fatalf("fingerprint collision: %x/%x for %q and %q",
+							fp.fp.Hi, fp.fp.Lo, prev, str)
+					}
+					if prev, ok := byStr[str]; ok && prev != fp {
+						t.Fatalf("fingerprint split: same rendering %q hashed twice differently", str)
+					}
+					byFP[fp] = str
+					byStr[str] = fp
+				}
+			}
+		}
+	}
+	if n < 100 {
+		t.Fatalf("differential corpus too small: %d keys", n)
+	}
+	if len(byFP) != len(byStr) {
+		t.Fatalf("partition mismatch: %d fingerprint classes vs %d string classes", len(byFP), len(byStr))
+	}
+}
+
+// TestCollisionOracleEndToEnd runs the driver with the debug collision
+// oracle enabled over the corpus: every memo lookup re-renders the loop and
+// panics if equal fingerprints ever disagree on the rendering. Also checks
+// tallies and reports are unchanged by the oracle.
+func TestCollisionOracleEndToEnd(t *testing.T) {
+	progs := corpusPrograms(t)
+	type outcome struct {
+		hits, misses int
+		report       string
+	}
+	run := func() []outcome {
+		ResetCache()
+		var out []outcome
+		for _, p := range progs {
+			pa, err := Analyze(p, &Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, outcome{pa.Metrics.CacheHits, pa.Metrics.CacheMisses, pa.Report()})
+		}
+		return out
+	}
+	plain := run()
+	prev := SetDebugCanonicalKeys(true)
+	defer SetDebugCanonicalKeys(prev)
+	oracle := run()
+	for i := range plain {
+		if plain[i] != oracle[i] {
+			t.Fatalf("prog %d: oracle changed behavior: %+v vs %+v",
+				i, plain[i], oracle[i])
+		}
+	}
+	ResetCache()
+}
+
+// TestOraclePanicsOnForcedCollision verifies the oracle actually fires: two
+// different renderings planted under one key must panic the next claim.
+func TestOraclePanicsOnForcedCollision(t *testing.T) {
+	prev := SetDebugCanonicalKeys(true)
+	defer SetDebugCanonicalKeys(prev)
+	c := newSolveCache(16)
+	k := fpKey(1)
+	c.claim(k, func() string { return "rendering A" })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on fingerprint collision")
+		}
+	}()
+	c.claim(k, func() string { return "rendering B" })
+}

@@ -85,6 +85,12 @@ type Options struct {
 	// Name does not uniquely identify their semantics; also useful for
 	// benchmarking the raw solver.
 	DisableCache bool
+	// CacheCap bounds the process-global memo cache. 0 keeps the current
+	// bound (default 4096 entries); a positive value sets it; a negative
+	// value removes the bound. When the table fills, the oldest half of
+	// the entries is evicted. The bound is process-global state: the most
+	// recent Analyze call to set it wins.
+	CacheCap int
 	// Engine selects the solver implementation (zero value = packed). The
 	// engine participates in the memo-cache key, so mixed-engine processes
 	// never share entries across engines.
@@ -100,6 +106,13 @@ type entry struct {
 
 // Analyze runs the protocol over a checked, normalized program.
 func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
+	return analyze(prog, opts, nil)
+}
+
+// analyze is Analyze with an optional caller-owned scratch free list used
+// by the serial schedule; AnalyzeBatch passes one per batch worker so
+// solver transients are reused across programs.
+func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAnalysis, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -114,6 +127,9 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheCap != 0 {
+		globalCache.setCap(opts.CacheCap)
 	}
 	start := time.Now()
 
@@ -142,6 +158,10 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 	results := make([]*LoopAnalysis, len(entries))
 	loopMetrics := make([]LoopMetrics, len(entries))
 	errs := make([]error, len(entries))
+	serialScratch := sc
+	if serialScratch == nil {
+		serialScratch = dataflow.NewScratch()
+	}
 	for d := maxDepth; d >= 1; d-- {
 		idxs := byDepth[d]
 		if len(idxs) == 0 {
@@ -153,7 +173,7 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 		}
 		if w <= 1 {
 			for _, i := range idxs {
-				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine)
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine, serialScratch)
 			}
 			continue
 		}
@@ -163,8 +183,12 @@ func Analyze(prog *ast.Program, opts *Options) (*ProgramAnalysis, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Per-worker free list: every loop this worker solves
+				// reuses one scratch bundle, so the wave's transient
+				// allocations are bounded by the worker count.
+				sc := dataflow.NewScratch()
 				for i := range work {
-					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine)
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine, sc)
 				}
 			}()
 		}
@@ -279,7 +303,7 @@ func collectEntries(prog *ast.Program) []entry {
 // analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
 // called from worker goroutines: everything it touches is either private to
 // the entry or behind the cache's synchronization.
-func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine) (*LoopAnalysis, LoopMetrics, error) {
+func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
 	t0 := time.Now()
 	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
 	countLookup := func(hit bool) {
@@ -292,7 +316,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.
 			lm.CacheMisses++
 		}
 	}
-	sv, hit, err := solveLoop(e.loop, specs, useCache, engine)
+	sv, hit, err := solveLoop(e.loop, specs, useCache, engine, sc)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
@@ -315,7 +339,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache, engine)
+			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache, engine, sc)
 			if err != nil {
 				continue
 			}
@@ -323,6 +347,14 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.
 			lm.WRTSolves++
 			lm.Solver.Add(svw.results["must-reaching-defs"].Metrics())
 			la.WRT[enc.Var] = svw.reuses
+			if !useCache {
+				// Only the reuse records survive this solve; with the
+				// memo cache off nothing else references the results, so
+				// their slabs and op arenas go back to the solver pools.
+				for _, r := range svw.results {
+					r.Release()
+				}
+			}
 		}
 	}
 	lm.Elapsed = time.Since(t0)
@@ -370,6 +402,16 @@ func tightInnerOf(outer *ast.DoLoop) (*ast.DoLoop, bool) {
 // Report renders the whole-program findings.
 func (pa *ProgramAnalysis) Report() string {
 	var b strings.Builder
+	// Pre-size for the common shape: one header line per loop plus ~56
+	// bytes per reuse line. Underestimates only cost a regrow.
+	size := 48
+	for _, la := range pa.Loops {
+		size += 40 + 56*len(la.Reuses)
+		for _, rs := range la.WRT {
+			size += 64 * len(rs)
+		}
+	}
+	b.Grow(size)
 	fmt.Fprintf(&b, "program analysis: %d loops (innermost first)\n", len(pa.Loops))
 	for _, la := range pa.Loops {
 		fmt.Fprintf(&b, "loop %s (depth %d, %d nodes):\n", la.Loop.Var, la.Depth, len(la.Graph.Nodes))

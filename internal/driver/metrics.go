@@ -72,6 +72,8 @@ func (m *Metrics) HitRate() float64 {
 // is deterministic.
 func (m *Metrics) Report() string {
 	var b strings.Builder
+	// Two header lines, one column-header line, one ~80-byte row per loop.
+	b.Grow(256 + 80*len(m.PerLoop))
 	fmt.Fprintf(&b, "solver metrics: %d loops, %d solves (%d cache hits, %d misses, hit rate %.2f), workers %d\n",
 		m.Loops, m.Solves, m.CacheHits, m.CacheMisses, m.HitRate(), m.Parallelism)
 	fmt.Fprintf(&b, "  max changing passes: %d (paper bound: 2)   node visits: %d   flow applications: %d   wall: %s\n",

@@ -212,9 +212,12 @@ type Graph struct {
 	reach    []uint64
 	reachT   []uint64
 	bitWords int
-	// doms[b][a] reports that node a dominates node b over body edges
-	// (computed lazily).
-	doms [][]bool
+	// doms is the dominance relation over body edges as a packed bit
+	// matrix (computed lazily): bit a of row b is set when node ID a
+	// dominates node ID b. Rows are domWords words long and live in one
+	// backing array.
+	doms     []uint64
+	domWords int
 	// rpo caches the reverse postorder (computed lazily; solvers request it
 	// once per problem instance).
 	rpo []*Node
@@ -270,6 +273,9 @@ type builder struct {
 	g    *Graph
 	opts *Options
 	err  error
+	// dims memoizes sema.DefaultDims per array so multi-dimensional
+	// references don't rebuild the symbolic dimension polynomials per ref.
+	dims map[string][]poly.Poly
 }
 
 func (b *builder) newNode(kind NodeKind) *Node {
@@ -384,7 +390,7 @@ func (b *builder) collectAssignRefs(n *Node, st *ast.Assign) {
 
 // collectExprRefs records every array reference in e as a use of node n.
 func (b *builder) collectExprRefs(n *Node, e ast.Expr) {
-	ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(nd ast.Node) bool {
+	ast.InspectExpr(e, func(nd ast.Node) bool {
 		if ref, ok := nd.(*ast.ArrayRef); ok {
 			b.addRef(n, Use, ref, false)
 			return false // subscripts of a subscripted ref are not refs of i
@@ -439,7 +445,7 @@ func (b *builder) collectSummaryRefs(n *Node, loop *ast.DoLoop) {
 }
 
 func (b *builder) collectSummaryExpr(n *Node, e ast.Expr, inner map[string]bool, bounds map[string]int64) {
-	ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(nd ast.Node) bool {
+	ast.InspectExpr(e, func(nd ast.Node) bool {
 		if ref, ok := nd.(*ast.ArrayRef); ok {
 			b.addSummaryRef(n, Use, ref, inner, bounds)
 			return false
@@ -506,7 +512,7 @@ func refSymbols(ref *ast.ArrayRef) []string {
 			}
 		} else {
 			// Non-polynomial subscript: record every identifier mentioned.
-			ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: sub}}, func(nd ast.Node) bool {
+			ast.InspectExpr(sub, func(nd ast.Node) bool {
 				if id, ok := nd.(*ast.Ident); ok && id.Name != "_" {
 					set[id.Name] = true
 				}
@@ -532,6 +538,17 @@ func (b *builder) addRef(n *Node, kind RefKind, expr *ast.ArrayRef, fromInner bo
 		FromInner: fromInner,
 	}
 	dims := b.opts.Dims[expr.Name]
+	if dims == nil && len(expr.Subs) > 1 {
+		if d, ok := b.dims[expr.Name]; ok && len(d) == len(expr.Subs) {
+			dims = d
+		} else {
+			dims = sema.DefaultDims(expr.Name, len(expr.Subs))
+			if b.dims == nil {
+				b.dims = make(map[string][]poly.Poly, 4)
+			}
+			b.dims[expr.Name] = dims
+		}
+	}
 	form, err := sema.LinearAffine(expr, b.g.IV, dims)
 	if err == nil {
 		// The form must not mention the IV in its coefficients (guaranteed
@@ -619,7 +636,11 @@ func (g *Graph) Dominates(a, b *Node) bool {
 	if g.doms == nil {
 		g.computeDominators()
 	}
-	return a != b && g.doms[b.ID][a.ID]
+	if a == b {
+		return false
+	}
+	w := g.domWords
+	return g.doms[b.ID*w+a.ID>>6]&(1<<(uint(a.ID)&63)) != 0
 }
 
 // Precompute forces every lazily-built relation (currently the dominator
@@ -638,23 +659,24 @@ func (g *Graph) Precompute() {
 // the acyclic body (back edge excluded), seeding Dom(entry) = {entry}.
 func (g *Graph) computeDominators() {
 	n := len(g.Nodes)
-	g.doms = make([][]bool, n+1)
-	full := func() []bool {
-		row := make([]bool, n+1)
-		for i := 1; i <= n; i++ {
-			row[i] = true
-		}
-		return row
+	w := (n + 64) / 64 // room for bits 0..n
+	g.domWords = w
+	doms := make([]uint64, (n+1)*w)
+	g.doms = doms
+	row := func(id int) []uint64 { return doms[id*w : (id+1)*w] }
+	setBit := func(r []uint64, id int) { r[id>>6] |= 1 << (uint(id) & 63) }
+	full := make([]uint64, w)
+	for i := 1; i <= n; i++ {
+		setBit(full, i)
 	}
 	for _, nd := range g.Nodes {
 		if nd == g.Entry {
-			row := make([]bool, n+1)
-			row[nd.ID] = true
-			g.doms[nd.ID] = row
+			setBit(row(nd.ID), nd.ID)
 		} else {
-			g.doms[nd.ID] = full()
+			copy(row(nd.ID), full)
 		}
 	}
+	scratch := make([]uint64, w)
 	order := g.RPO()
 	for changed := true; changed; {
 		changed = false
@@ -662,45 +684,44 @@ func (g *Graph) computeDominators() {
 			if nd == g.Entry {
 				continue
 			}
-			row := make([]bool, n+1)
 			first := true
 			for _, p := range nd.Preds {
-				if p == g.Exit && nd == g.Entry {
-					continue
-				}
 				if p == g.Exit {
 					continue // back edge source never reaches body nodes forward
 				}
+				pr := row(p.ID)
 				if first {
-					copy(row, g.doms[p.ID])
+					copy(scratch, pr)
 					first = false
 				} else {
-					for i := 1; i <= n; i++ {
-						row[i] = row[i] && g.doms[p.ID][i]
+					for i := range scratch {
+						scratch[i] &= pr[i]
 					}
 				}
 			}
 			if first {
 				// No body predecessors (only reachable via back edge):
 				// dominated by entry alone.
-				row[g.Entry.ID] = true
+				for i := range scratch {
+					scratch[i] = 0
+				}
+				setBit(scratch, g.Entry.ID)
 			}
-			row[nd.ID] = true
-			if !rowsEqual(row, g.doms[nd.ID]) {
-				g.doms[nd.ID] = row
+			setBit(scratch, nd.ID)
+			dst := row(nd.ID)
+			same := true
+			for i := range scratch {
+				if scratch[i] != dst[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				copy(dst, scratch)
 				changed = true
 			}
 		}
 	}
-}
-
-func rowsEqual(a, b []bool) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Pr is the paper's predecessor predicate: 0 when ref's node strictly

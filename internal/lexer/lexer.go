@@ -22,7 +22,11 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
-// Lexer scans an input buffer and produces tokens one at a time.
+// Lexer scans an input buffer and produces tokens one at a time. It is
+// zero-copy: the buffer is never re-sliced into fresh strings on the hot
+// path — identifiers go through a program-scoped intern table (one canonical
+// string per distinct spelling) and integer literals are parsed in place
+// into Token.Val.
 type Lexer struct {
 	src         []byte
 	off         int // byte offset of the next unread byte
@@ -30,12 +34,25 @@ type Lexer struct {
 	col         int
 	errs        []*Error
 	atLineStart bool
+	in          *token.Interner
 }
 
 // New returns a lexer over src.
-func New(src string) *Lexer {
-	return &Lexer{src: []byte(src), line: 1, col: 1, atLineStart: true}
+func New(src string) *Lexer { return NewBytes([]byte(src), nil) }
+
+// NewBytes returns a lexer over a raw byte buffer, which must not be
+// mutated while the lexer (or any AST derived from it) is in use. If in is
+// nil a fresh intern table is created; passing a shared table lets callers
+// amortize identifier interning across many programs (see driver.AnalyzeBatch).
+func NewBytes(src []byte, in *token.Interner) *Lexer {
+	if in == nil {
+		in = token.NewInterner()
+	}
+	return &Lexer{src: src, line: 1, col: 1, atLineStart: true, in: in}
 }
+
+// Interner returns the identifier intern table the lexer populates.
+func (l *Lexer) Interner() *token.Interner { return l.in }
 
 // Errors returns the lexical errors encountered so far.
 func (l *Lexer) Errors() []*Error { return l.errs }
@@ -122,8 +139,15 @@ func (l *Lexer) Next() token.Token {
 
 	case isDigit(c):
 		start := l.off
+		var val int64
+		overflow := false
 		for isDigit(l.peek()) {
-			l.advance()
+			d := int64(l.advance() - '0')
+			if val > (1<<63-1-d)/10 {
+				overflow = true
+			} else {
+				val = val*10 + d
+			}
 		}
 		if isLetter(l.peek()) {
 			bad := l.pos()
@@ -133,19 +157,24 @@ func (l *Lexer) Next() token.Token {
 			l.errorf(bad, "identifier may not start with a digit")
 			return token.Token{Kind: token.ILLEGAL, Text: string(l.src[start:l.off]), Pos: pos}
 		}
-		return token.Token{Kind: token.INT, Text: string(l.src[start:l.off]), Pos: pos}
+		if overflow {
+			l.errorf(pos, "integer literal %s overflows int64", string(l.src[start:l.off]))
+			return token.Token{Kind: token.INT, Val: 1<<63 - 1, Pos: pos}
+		}
+		return token.Token{Kind: token.INT, Val: val, Pos: pos}
 
 	case isLetter(c):
 		start := l.off
 		for isIdentPart(l.peek()) {
 			l.advance()
 		}
-		text := string(l.src[start:l.off])
-		kind := token.Lookup(lower(text))
+		word := l.src[start:l.off]
+		kind := token.LookupBytes(word)
 		if kind != token.IDENT {
-			return token.Token{Kind: kind, Text: text, Pos: pos}
+			return token.Token{Kind: kind, Text: kind.String(), Pos: pos}
 		}
-		return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+		sym := l.in.Intern(word)
+		return token.Token{Kind: token.IDENT, Text: l.in.Name(sym), Sym: sym, Pos: pos}
 	}
 
 	// Operators and punctuation.
@@ -222,19 +251,4 @@ func (l *Lexer) All() []token.Token {
 			return out
 		}
 	}
-}
-
-func lower(s string) string {
-	b := []byte(s)
-	changed := false
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-			changed = true
-		}
-	}
-	if !changed {
-		return s
-	}
-	return string(b)
 }

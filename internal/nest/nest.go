@@ -169,7 +169,7 @@ func collectRefs(body []ast.Stmt, outerIV, innerIV string) ([]refInfo, error) {
 }
 
 func collectUses(e ast.Expr, f func(*ast.ArrayRef)) {
-	ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(n ast.Node) bool {
+	ast.InspectExpr(e, func(n ast.Node) bool {
 		if r, ok := n.(*ast.ArrayRef); ok {
 			f(r)
 			return false

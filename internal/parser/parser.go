@@ -28,7 +28,6 @@ package parser
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/ast"
@@ -70,13 +69,24 @@ type parser struct {
 // Parse parses source text into a Program. On syntax errors it returns the
 // partial AST together with an ErrorList.
 func Parse(src string) (*ast.Program, error) {
-	lx := lexer.New(src)
+	return parseLexer(lexer.New(src))
+}
+
+// ParseBytes parses a raw source buffer without copying it. The buffer must
+// not be mutated afterwards (identifier spellings are interned, but the
+// lexer reads the buffer in place). If in is non-nil it is used as the
+// identifier intern table, letting callers share one table across programs.
+func ParseBytes(src []byte, in *token.Interner) (*ast.Program, error) {
+	return parseLexer(lexer.NewBytes(src, in))
+}
+
+func parseLexer(lx *lexer.Lexer) (*ast.Program, error) {
 	toks := lx.All()
 	p := &parser{toks: toks, nextDo: 1}
 	for _, le := range lx.Errors() {
 		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
 	}
-	prog := &ast.Program{}
+	prog := &ast.Program{Syms: lx.Interner()}
 	p.skipSeparators()
 	prog.Body = p.parseBlock(token.EOF)
 	if p.cur().Kind != token.EOF {
@@ -206,7 +216,7 @@ func (p *parser) parseDo() ast.Stmt {
 	if p.accept(token.COMMA) {
 		step = p.parseExpr()
 	}
-	loop := &ast.DoLoop{DoPos: doTok.Pos, Var: name.Text, Lo: lo, Hi: hi, Step: step, Label: p.nextDo}
+	loop := &ast.DoLoop{DoPos: doTok.Pos, Var: name.Text, VarSym: name.Sym, Lo: lo, Hi: hi, Step: step, Label: p.nextDo}
 	p.nextDo++
 	if !p.at(token.EOF) {
 		p.expect(token.NEWLINE)
@@ -249,7 +259,7 @@ func (p *parser) parseIf() ast.Stmt {
 func (p *parser) parseDim() ast.Stmt {
 	dimTok := p.expect(token.DIM)
 	name := p.expect(token.IDENT)
-	d := &ast.Dim{DimPos: dimTok.Pos, Name: name.Text, NamePos: name.Pos}
+	d := &ast.Dim{DimPos: dimTok.Pos, Name: name.Text, Sym: name.Sym, NamePos: name.Pos}
 	closeKind := token.RBRACKET
 	switch {
 	case p.accept(token.LBRACKET):
@@ -348,11 +358,7 @@ func (p *parser) parsePrimary() ast.Expr {
 	switch t := p.cur(); t.Kind {
 	case token.INT:
 		p.next()
-		v, err := strconv.ParseInt(t.Text, 10, 64)
-		if err != nil {
-			p.errorf("invalid integer literal %q", t.Text)
-		}
-		return &ast.IntLit{LitPos: t.Pos, Value: v}
+		return &ast.IntLit{LitPos: t.Pos, Value: t.Val}
 
 	case token.IDENT:
 		p.next()
@@ -362,7 +368,7 @@ func (p *parser) parsePrimary() ast.Expr {
 			if open == token.LPAREN {
 				closeKind = token.RPAREN
 			}
-			ref := &ast.ArrayRef{NamePos: t.Pos, Name: t.Text}
+			ref := &ast.ArrayRef{NamePos: t.Pos, Name: t.Text, Sym: t.Sym}
 			ref.Subs = append(ref.Subs, p.parseExpr())
 			for p.accept(token.COMMA) {
 				ref.Subs = append(ref.Subs, p.parseExpr())
@@ -370,7 +376,7 @@ func (p *parser) parsePrimary() ast.Expr {
 			p.expect(closeKind)
 			return ref
 		}
-		return &ast.Ident{NamePos: t.Pos, Name: t.Text}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Text, Sym: t.Sym}
 
 	case token.LPAREN:
 		p.next()

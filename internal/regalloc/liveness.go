@@ -49,7 +49,7 @@ func ScalarLiveness(g *ir.Graph) []*ScalarRange {
 		if e == nil {
 			return
 		}
-		ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(n ast.Node) bool {
+		ast.InspectExpr(e, func(n ast.Node) bool {
 			if id, ok := n.(*ast.Ident); ok && id.Name != "_" && id.Name != g.IV {
 				m[id.Name] = true
 				accesses[id.Name]++

@@ -166,6 +166,19 @@ func DefaultDims(array string, n int) []poly.Poly {
 // LinearAffine linearizes ref and decomposes the result with respect to iv.
 // dims may be nil, in which case DefaultDims is used.
 func LinearAffine(ref *ast.ArrayRef, iv string, dims []poly.Poly) (AffineForm, error) {
+	if len(ref.Subs) == 1 && (dims == nil || len(dims) == 1) {
+		// One subscript: the stride is 1 regardless of dims, so the
+		// linearization is the subscript polynomial itself.
+		p, err := ExprToPoly(ref.Subs[0])
+		if err != nil {
+			return AffineForm{}, err
+		}
+		a, b, ok := p.CoeffOf(iv)
+		if !ok {
+			return AffineForm{}, &ErrNotAffine{Expr: ref, IV: iv, Why: "induction variable occurs with degree > 1 after linearization"}
+		}
+		return AffineForm{IV: iv, A: a, B: b}, nil
+	}
 	if dims == nil {
 		dims = DefaultDims(ref.Name, len(ref.Subs))
 	}

@@ -45,9 +45,46 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
+// Per-symbol classification flags, mirrored from the Info maps so the hot
+// per-node membership tests are dense int-indexed loads instead of string-
+// keyed map lookups.
+const (
+	flagIV = 1 << iota
+	flagScalar
+	flagArray
+)
+
 type checker struct {
-	info *Info
-	errs []error
+	info  *Info
+	errs  []error
+	syms  *token.Interner
+	trust bool    // node Syms index c.syms (program carries its interner)
+	state []uint8 // indexed by token.Sym; flags above
+}
+
+// symOf resolves a node's interned symbol. Node syms are only trusted when
+// the program carries the interner they index; otherwise (sub-programs and
+// hand-built ASTs with a nil Syms table) every spelling is re-interned so
+// symbols from a foreign table can't collide with fresh ones.
+func (c *checker) symOf(name string, s token.Sym) token.Sym {
+	if c.trust && s != 0 {
+		return s
+	}
+	return c.syms.InternString(name)
+}
+
+func (c *checker) flags(s token.Sym) uint8 {
+	if int(s) < len(c.state) {
+		return c.state[s]
+	}
+	return 0
+}
+
+func (c *checker) setFlag(s token.Sym, f uint8) {
+	for int(s) >= len(c.state) {
+		c.state = append(c.state, 0)
+	}
+	c.state[s] |= f
 }
 
 // Check validates a program against the restrictions the framework assumes
@@ -79,7 +116,12 @@ func CheckAll(prog *ast.Program) (*Info, []error) {
 		Bounds:  map[string][]int64{},
 		Dims:    map[string]*ast.Dim{},
 	}
-	c := &checker{info: info}
+	syms := prog.Syms
+	trust := syms != nil
+	if syms == nil {
+		syms = token.NewInterner()
+	}
+	c := &checker{info: info, syms: syms, trust: trust, state: make([]uint8, syms.Len()+1)}
 	c.checkBlock(prog.Body, nil)
 	return info, c.errs
 }
@@ -88,25 +130,27 @@ func (c *checker) errorf(pos token.Pos, format string, args ...any) {
 	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
-func (c *checker) checkBlock(body []ast.Stmt, enclosing []string) {
+func (c *checker) checkBlock(body []ast.Stmt, enclosing []token.Sym) {
 	for _, s := range body {
 		switch st := s.(type) {
 		case *ast.DoLoop:
 			c.info.Loops = append(c.info.Loops, st)
+			vs := c.symOf(st.Var, st.VarSym)
 			c.info.IVs[st.Var] = true
+			c.setFlag(vs, flagIV)
 			for _, iv := range enclosing {
-				if iv == st.Var {
+				if iv == vs {
 					c.errorf(st.Pos(), "loop reuses enclosing induction variable %s", st.Var)
 				}
 			}
-			c.checkExpr(st.Lo, enclosing)
-			c.checkExpr(st.Hi, enclosing)
+			c.checkExpr(st.Lo)
+			c.checkExpr(st.Hi)
 			if st.Step != nil {
-				c.checkExpr(st.Step, enclosing)
+				c.checkExpr(st.Step)
 			}
-			c.checkBlock(st.Body, append(enclosing, st.Var))
+			c.checkBlock(st.Body, append(enclosing, vs))
 		case *ast.If:
-			c.checkExpr(st.Cond, enclosing)
+			c.checkExpr(st.Cond)
 			c.checkBlock(st.Then, enclosing)
 			c.checkBlock(st.Else, enclosing)
 		case *ast.Dim:
@@ -114,51 +158,59 @@ func (c *checker) checkBlock(body []ast.Stmt, enclosing []string) {
 		case *ast.Assign:
 			switch lhs := st.LHS.(type) {
 			case *ast.Ident:
+				ls := c.symOf(lhs.Name, lhs.Sym)
 				for _, iv := range enclosing {
-					if iv == lhs.Name {
-						c.errorf(lhs.Pos(), "assignment to induction variable %s inside its loop", iv)
+					if iv == ls {
+						c.errorf(lhs.Pos(), "assignment to induction variable %s inside its loop", lhs.Name)
 					}
 				}
-				c.noteScalar(lhs.Name, lhs.Pos())
+				c.noteScalar(lhs.Name, ls, lhs.Pos())
 			case *ast.ArrayRef:
 				c.noteArray(lhs)
 				for _, sub := range lhs.Subs {
-					c.checkExpr(sub, enclosing)
+					c.checkExpr(sub)
 				}
 			default:
 				c.errorf(st.Pos(), "invalid assignment target")
 			}
-			c.checkExpr(st.RHS, enclosing)
+			c.checkExpr(st.RHS)
 		}
 	}
 }
 
-func (c *checker) checkExpr(e ast.Expr, enclosing []string) {
-	ast.Inspect([]ast.Stmt{&ast.Assign{LHS: &ast.Ident{Name: "_"}, RHS: e}}, func(n ast.Node) bool {
+func (c *checker) checkExpr(e ast.Expr) {
+	ast.InspectExpr(e, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.ArrayRef:
 			c.noteArray(x)
 		case *ast.Ident:
-			if x.Name != "_" && !c.info.IVs[x.Name] {
-				c.noteScalar(x.Name, x.Pos())
+			s := c.symOf(x.Name, x.Sym)
+			if x.Name != "_" && c.flags(s)&flagIV == 0 {
+				c.noteScalar(x.Name, s, x.Pos())
 			}
 		}
 		return true
 	})
 }
 
-func (c *checker) noteScalar(name string, pos token.Pos) {
-	if _, isArray := c.info.Arrays[name]; isArray {
+func (c *checker) noteScalar(name string, sym token.Sym, pos token.Pos) {
+	f := c.flags(sym)
+	if f&flagArray != 0 {
 		c.errorf(pos, "%s used both as scalar and as array", name)
 		return
 	}
-	if !c.info.IVs[name] {
-		c.info.Scalars[name] = true
+	if f&flagIV == 0 {
+		if f&flagScalar == 0 {
+			c.info.Scalars[name] = true
+			c.setFlag(sym, flagScalar)
+		}
 	}
 }
 
 func (c *checker) noteArray(ref *ast.ArrayRef) {
-	if c.info.Scalars[ref.Name] || c.info.IVs[ref.Name] {
+	s := c.symOf(ref.Name, ref.Sym)
+	f := c.flags(s)
+	if f&(flagScalar|flagIV) != 0 {
 		c.errorf(ref.Pos(), "%s used both as array and as scalar", ref.Name)
 		return
 	}
@@ -169,13 +221,15 @@ func (c *checker) noteArray(ref *ast.ArrayRef) {
 		return
 	}
 	c.info.Arrays[ref.Name] = len(ref.Subs)
+	c.setFlag(s, flagArray)
 }
 
 // noteDim records a dim declaration: sizes must be positive integer
 // constants, redeclarations must agree, and the dimension count must match
 // every subscripted use of the array.
 func (c *checker) noteDim(d *ast.Dim) {
-	if c.info.Scalars[d.Name] || c.info.IVs[d.Name] {
+	ds := c.symOf(d.Name, d.Sym)
+	if c.flags(ds)&(flagScalar|flagIV) != 0 {
 		c.errorf(d.NamePos, "%s declared as array (dim) but used as scalar", d.Name)
 		return
 	}
@@ -201,6 +255,7 @@ func (c *checker) noteDim(d *ast.Dim) {
 		return
 	}
 	c.info.Arrays[d.Name] = len(sizes)
+	c.setFlag(ds, flagArray)
 	c.info.Bounds[d.Name] = sizes
 	c.info.Dims[d.Name] = d
 }

@@ -123,6 +123,82 @@ func Lookup(ident string) Kind {
 	return IDENT
 }
 
+// maxKeywordLen is the length of the longest keyword ("enddo"/"endif").
+const maxKeywordLen = 5
+
+// LookupBytes is Lookup for a raw identifier byte slice. It lower-cases into
+// a stack buffer, so it never allocates.
+func LookupBytes(ident []byte) Kind {
+	if len(ident) > maxKeywordLen {
+		return IDENT
+	}
+	var buf [maxKeywordLen]byte
+	for i, c := range ident {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	if k, ok := keywords[string(buf[:len(ident)])]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Sym is a compact identifier symbol: a 1-based index into a program-scoped
+// Interner. The zero Sym means "no symbol" (e.g. on hand-built AST nodes),
+// in which case consumers fall back to the spelling.
+type Sym int32
+
+// Interner maps identifier spellings to dense Syms so that hot identifier
+// comparisons downstream are int equality instead of string compares, and so
+// a zero-copy lexer can hand out one canonical string per distinct spelling
+// instead of allocating a fresh substring per token.
+type Interner struct {
+	byName map[string]Sym
+	names  []string // names[s-1] is the spelling of Sym s
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]Sym, 16)}
+}
+
+// Intern returns the Sym for the given spelling, allocating a canonical
+// string only the first time a spelling is seen.
+func (in *Interner) Intern(name []byte) Sym {
+	if s, ok := in.byName[string(name)]; ok {
+		return s
+	}
+	canon := string(name)
+	in.names = append(in.names, canon)
+	s := Sym(len(in.names))
+	in.byName[canon] = s
+	return s
+}
+
+// InternString is Intern for a string spelling.
+func (in *Interner) InternString(name string) Sym {
+	if s, ok := in.byName[name]; ok {
+		return s
+	}
+	in.names = append(in.names, name)
+	s := Sym(len(in.names))
+	in.byName[name] = s
+	return s
+}
+
+// Name returns the canonical spelling of s ("" for the zero Sym).
+func (in *Interner) Name(s Sym) string {
+	if s <= 0 || int(s) > len(in.names) {
+		return ""
+	}
+	return in.names[s-1]
+}
+
+// Len returns the number of distinct spellings interned.
+func (in *Interner) Len() int { return len(in.names) }
+
 // Pos is a source position: 1-based line and column.
 type Pos struct {
 	Line int `json:"line"`
@@ -135,17 +211,26 @@ func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 // IsValid reports whether the position has been set.
 func (p Pos) IsValid() bool { return p.Line > 0 }
 
-// Token is a single lexical token with its source text and position.
+// Token is a single lexical token with its source text and position. For
+// IDENT tokens, Text is the interner's canonical spelling and Sym its
+// symbol; for INT tokens the parsed value lives in Val and Text is empty.
 type Token struct {
 	Kind Kind
 	Text string
+	Sym  Sym   // identifier symbol (IDENT only; 0 otherwise)
+	Val  int64 // literal value (INT only)
 	Pos  Pos
 }
 
 // String renders the token for diagnostics.
 func (t Token) String() string {
 	switch t.Kind {
-	case IDENT, INT, ILLEGAL:
+	case INT:
+		if t.Text == "" {
+			return fmt.Sprintf("%s(\"%d\")", t.Kind, t.Val)
+		}
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	case IDENT, ILLEGAL:
 		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
 	default:
 		return t.Kind.String()

@@ -1,25 +1,37 @@
 #!/usr/bin/env bash
 # Runs the solver/driver benchmark suite with -benchmem and records the
 # results as JSON at the repo root (benchmark name → ns/op, B/op,
-# allocs/op), seeding the perf trajectory that future changes are compared
-# against.
+# allocs/op), extending the perf trajectory (BENCH_PR3.json →
+# BENCH_PR4.json) that future changes are compared against.
+#
+# After recording, the snapshot is diffed against the previous trajectory
+# point: any benchmark present in both that regressed by more than 10%
+# ns/op fails the run (cmd/benchjson -diff).
 #
 # Usage: scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN   benchmark regexp (default: the solver engine suite)
-#   BENCH_TIME      go test -benchtime value (default 1s; CI may lower it)
+#   BENCH_PATTERN    benchmark regexp (default: the solver engine suite)
+#   BENCH_TIME       go test -benchtime value (default 1s; CI may lower it)
+#   BENCH_BASELINE   baseline snapshot to diff against (default
+#                    BENCH_PR3.json; set empty to skip the diff)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1InitPass|BenchmarkTable1FixedPoint|BenchmarkTable1FusedSolve|BenchmarkScalingLinear|BenchmarkDriverMemoization}"
+OUT="${1:-BENCH_PR4.json}"
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1InitPass|BenchmarkTable1FixedPoint|BenchmarkTable1FusedSolve|BenchmarkScalingLinear|BenchmarkDriverMemoization|BenchmarkFrontEnd|BenchmarkAnalyzeBatch}"
 TIME="${BENCH_TIME:-1s}"
+BASELINE="${BENCH_BASELINE-BENCH_PR3.json}"
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . | tee "$TMP"
-go run ./cmd/benchjson -o "$OUT" < "$TMP"
-echo "wrote $OUT"
+if [ -n "$BASELINE" ] && [ -f "$BASELINE" ]; then
+  go run ./cmd/benchjson -o "$OUT" -diff "$BASELINE" < "$TMP"
+  echo "wrote $OUT (diffed against $BASELINE)"
+else
+  go run ./cmd/benchjson -o "$OUT" < "$TMP"
+  echo "wrote $OUT"
+fi
