@@ -8,10 +8,18 @@
 //	arrayflow [-analysis reach|avail|busy|deps] [-trace] [-metrics] [-loop n] [file]
 //
 // The vet mode runs every static analyzer (internal/lint) over every loop
-// and prints source-positioned findings, exiting 1 when an error-severity
-// finding (including parse and semantic errors) is present:
+// and prints source-positioned findings:
 //
-//	arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [file]
+//	arrayflow vet [-format text|json|sarif] [-fix] [-werror] [-baseline file]
+//	              [-updatebaseline] [-workers n] [-nocache] [-metrics] [file]
+//
+// Vet's exit status contract: 0 when the analysis ran and no (unsuppressed)
+// error finding remains, 1 when error findings exist (warnings too under
+// -werror), and 2 when the front end or the analysis itself failed.
+// -format sarif emits a SARIF 2.1.0 log for code-scanning upload; -fix
+// applies the analyzers' suggested fixes to the file in place, re-analyzing
+// until none apply, so a second -fix run is a no-op; //lint:ignore
+// directives and -baseline files suppress accepted findings.
 //
 // The batch mode analyzes many programs — files and/or directories of
 // .loop files — through one shared worker pool, one identifier intern
@@ -334,11 +342,19 @@ func expandBatchPaths(args []string) ([]string, error) {
 	return files, nil
 }
 
-// runVet implements the `arrayflow vet` subcommand. Exit status: 0 clean,
-// 1 when error-severity findings exist, 2 on usage or I/O failure.
+// runVet implements the `arrayflow vet` subcommand. Exit status contract:
+// 0 when the analysis ran and reported no unsuppressed error findings
+// (warnings too count under -werror), 1 when such findings exist, and 2
+// when the front end or the analysis itself failed (including usage and
+// I/O errors) — findings are then incomplete and must not be trusted as
+// "clean".
 func runVet(args []string) {
 	fs := flag.NewFlagSet("arrayflow vet", flag.ExitOnError)
-	format := fs.String("format", "text", "output format: text or json")
+	format := fs.String("format", "text", "output format: text, json, or sarif (SARIF 2.1.0)")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the file in place, re-analyzing until none apply")
+	werror := fs.Bool("werror", false, "treat warning findings as errors for the exit status")
+	baselinePath := fs.String("baseline", "", "suppress the findings accepted by this baseline file")
+	updateBaseline := fs.Bool("updatebaseline", false, "rewrite the -baseline file from the current findings and report none")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
 	metrics := fs.Bool("metrics", false, "print analysis metrics to stderr")
@@ -346,12 +362,12 @@ func runVet(args []string) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -format %q (want text or json)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -format %q (want text, json, or sarif)\n", *format)
 		os.Exit(2)
 	}
 	engine := parseEngine(*engineFlag)
@@ -360,15 +376,74 @@ func runVet(args []string) {
 		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
 		os.Exit(2)
 	}
+	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine, Werror: *werror}
+	if *baselinePath != "" && !*updateBaseline {
+		b, err := lint.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+			os.Exit(2)
+		}
+		opts.Baseline = b
+	}
 	// Profiles start here so they cover the analysis, and are flushed
 	// explicitly on every exit path (os.Exit skips defers).
 	startProfiles(*cpuprofile, *memprofile)
 
-	res := lint.Vet(file, src, &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine})
+	var res *lint.VetResult
+	if *fix {
+		if fs.Arg(0) == "" {
+			fmt.Fprintln(os.Stderr, "arrayflow vet: -fix needs a named file to rewrite")
+			stopProfiles()
+			os.Exit(2)
+		}
+		out, err := lint.Fix(file, src, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		if out.Src != src {
+			if err := os.WriteFile(file, []byte(out.Src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+				stopProfiles()
+				os.Exit(2)
+			}
+		}
+		if out.Applied > 0 {
+			fmt.Fprintf(os.Stderr, "arrayflow vet: applied %d fix(es) in %d round(s)\n", out.Applied, out.Rounds)
+		}
+		res = out.Result
+	} else {
+		res = lint.Vet(file, src, opts)
+	}
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "arrayflow vet: -updatebaseline needs -baseline file")
+			stopProfiles()
+			os.Exit(2)
+		}
+		if res.FrontEndFailed {
+			fmt.Fprintln(os.Stderr, "arrayflow vet: refusing to baseline a source that does not analyze")
+			stopProfiles()
+			os.Exit(2)
+		}
+		b := lint.NewBaseline(res.Findings)
+		if err := b.WriteBaselineFile(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "arrayflow vet: wrote %d baseline entrie(s) to %s\n", len(b.Entries), *baselinePath)
+		stopProfiles()
+		os.Exit(0)
+	}
 
 	switch *format {
 	case "json":
 		err = diag.WriteJSON(os.Stdout, file, res.Findings)
+	case "sarif":
+		err = diag.WriteSARIF(os.Stdout, file, lint.RuleMetas(), res.Findings)
 	default:
 		err = diag.WriteText(os.Stdout, file, res.Findings)
 	}

@@ -32,6 +32,11 @@ type Expr interface {
 type Program struct {
 	Body []Stmt
 	Syms *token.Interner
+	// Directives are the lint control comments the lexer collected
+	// (suppressions such as //lint:ignore), in source order. They ride on
+	// the program because comments have no home in the statement tree;
+	// sema.Normalize preserves them across normalization.
+	Directives []token.Directive
 }
 
 // Pos returns the position of the first statement, if any.

@@ -61,6 +61,25 @@ type Related struct {
 	Message string    `json:"message"`
 }
 
+// TextEdit is one replacement of a source range by new text. The range is
+// [Pos, End) in line/column terms; an invalid End means a pure insertion at
+// Pos. Edits never span a change that the positions cannot express (they
+// are computed against the exact source the analyzers saw).
+type TextEdit struct {
+	Pos     token.Pos `json:"pos"`
+	End     token.Pos `json:"end"`
+	NewText string    `json:"newText"`
+}
+
+// SuggestedFix is a machine-applicable repair for a finding: a short
+// description plus the text edits realizing it. Fixes must be mechanical —
+// applying one removes the finding without changing intended behavior (or,
+// for uninitialized reads, makes the intended behavior explicit).
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
 // Finding is one diagnostic produced by a static analyzer.
 type Finding struct {
 	// Analyzer is the stable ID of the producing analyzer (e.g.
@@ -80,6 +99,14 @@ type Finding struct {
 	// class forms). A string-keyed map keeps JSON output deterministic:
 	// encoding/json sorts map keys.
 	Detail map[string]string `json:"detail,omitempty"`
+	// SuggestedFixes lists machine-applicable repairs; ApplyFixes applies
+	// the first fix of each finding when its edits do not conflict.
+	SuggestedFixes []SuggestedFix `json:"suggestedFixes,omitempty"`
+	// Suppressed marks a finding silenced by a //lint:ignore directive (the
+	// reason is kept in Detail["suppressedBy"]). Suppressed findings are
+	// excluded from text output and exit codes but surface in SARIF with a
+	// suppression record, as code-scanning backends expect.
+	Suppressed bool `json:"suppressed,omitempty"`
 }
 
 // String renders "line:col: severity: analyzer: message".
@@ -176,6 +203,10 @@ func MaxSeverity(fs []Finding) (Severity, bool) {
 //
 //	file:3:9: warning: deadstore: store to A[i] is overwritten ...
 //	    file:4:9: overwritten here (distance 1)
+//
+// Suppressed findings (//lint:ignore, baseline) are omitted — text output
+// is the human-facing view of what still needs attention; JSON and SARIF
+// carry the suppressed findings with their justification.
 func WriteText(w io.Writer, file string, fs []Finding) error {
 	// Render into one pre-sized builder and write once: the per-line
 	// Fprintf-to-w pattern cost a write call per finding, which dominated
@@ -190,6 +221,9 @@ func WriteText(w io.Writer, file string, fs []Finding) error {
 	}
 	b.Grow(size)
 	for _, f := range fs {
+		if f.Suppressed {
+			continue
+		}
 		fmt.Fprintf(&b, "%s:%s\n", file, f)
 		for _, r := range f.Related {
 			fmt.Fprintf(&b, "    %s:%s: %s\n", file, r.Pos, r.Message)

@@ -1,0 +1,288 @@
+// SARIF 2.1.0 rendering: findings become a Static Analysis Results
+// Interchange Format log that GitHub code scanning (and any other SARIF
+// consumer) ingests directly. The emitted subset sticks to the required
+// properties plus the optional ones this toolchain can fill faithfully:
+// rule metadata, region-positioned results, related locations, suggested
+// fixes as fix objects, stable partial fingerprints, and in-source
+// suppressions.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/token"
+)
+
+// SARIFSchemaURI is the canonical 2.1.0 schema location stamped into every
+// log ($schema is what editors and validators key on).
+const SARIFSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIFVersion is the spec version of the emitted logs.
+const SARIFVersion = "2.1.0"
+
+// RuleMeta describes one analyzer for the SARIF rules table. The lint
+// layer supplies these from its registry; the reserved front-end IDs
+// ("parse", "sema") get synthetic entries.
+type RuleMeta struct {
+	ID string
+	// Doc is the one-line rule description.
+	Doc string
+	// HelpURI optionally links the rule's documentation.
+	HelpURI string
+	// Default is the severity the analyzer ordinarily reports at.
+	Default Severity
+}
+
+// The sarif* types mirror the SARIF 2.1.0 object model, restricted to the
+// emitted subset. Field order is emission order (encoding/json preserves
+// struct order), which keeps golden files stable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	SemVer         string      `json:"semanticVersion,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string             `json:"id"`
+	ShortDescription sarifMessage       `json:"shortDescription"`
+	HelpURI          string             `json:"helpUri,omitempty"`
+	DefaultConfig    sarifConfiguration `json:"defaultConfiguration"`
+}
+
+type sarifConfiguration struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string             `json:"ruleId"`
+	RuleIndex           int                `json:"ruleIndex"`
+	Level               string             `json:"level"`
+	Message             sarifMessage       `json:"message"`
+	Locations           []sarifLocation    `json:"locations"`
+	RelatedLocations    []sarifLocation    `json:"relatedLocations,omitempty"`
+	Fixes               []sarifFix         `json:"fixes,omitempty"`
+	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+	PartialFingerprints map[string]string  `json:"partialFingerprints,omitempty"`
+	Properties          map[string]string  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifRegion   `json:"deletedRegion"`
+	InsertedContent *sarifMessage `json:"insertedContent,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// sarifLevel maps a severity to the SARIF reporting level.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders one file's findings as a SARIF 2.1.0 log with a
+// trailing newline. rules lists every analyzer that may appear (findings
+// whose analyzer is absent get an on-the-fly rule entry so the log always
+// validates). Output is deterministic for sorted findings. Suppressed
+// findings are included with an inSource suppression object rather than
+// dropped — that is how code-scanning backends distinguish "fixed" from
+// "silenced".
+func WriteSARIF(w io.Writer, file string, rules []RuleMeta, fs []Finding) error {
+	index := map[string]int{}
+	var sr []sarifRule
+	addRule := func(m RuleMeta) {
+		if _, ok := index[m.ID]; ok {
+			return
+		}
+		index[m.ID] = len(sr)
+		doc := m.Doc
+		if doc == "" {
+			doc = m.ID
+		}
+		sr = append(sr, sarifRule{
+			ID:               m.ID,
+			ShortDescription: sarifMessage{Text: doc},
+			HelpURI:          m.HelpURI,
+			DefaultConfig:    sarifConfiguration{Level: sarifLevel(m.Default)},
+		})
+	}
+	for _, m := range rules {
+		addRule(m)
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		addRule(RuleMeta{ID: f.Analyzer, Default: f.Severity})
+		r := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: physicalLocation(file, f.Pos, f.End),
+			}},
+			PartialFingerprints: map[string]string{
+				"arrayflowFinding/v1": fingerprint(f),
+			},
+		}
+		for _, rel := range f.Related {
+			msg := sarifMessage{Text: rel.Message}
+			r.RelatedLocations = append(r.RelatedLocations, sarifLocation{
+				PhysicalLocation: physicalLocation(file, rel.Pos, token.Pos{}),
+				Message:          &msg,
+			})
+		}
+		for _, fix := range f.SuggestedFixes {
+			r.Fixes = append(r.Fixes, sarifFixOf(file, fix))
+		}
+		if f.Suppressed {
+			kind := f.Detail["suppressionKind"]
+			if kind == "" {
+				kind = "inSource"
+			}
+			r.Suppressions = append(r.Suppressions, sarifSuppression{
+				Kind:          kind,
+				Justification: f.Detail["suppressedBy"],
+			})
+		}
+		if len(f.Detail) > 0 {
+			r.Properties = f.Detail
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: SARIFVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "arrayflow",
+				InformationURI: "https://github.com/arrayflow/arrayflow",
+				SemVer:         "1.0.0",
+				Rules:          sr,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// fingerprint is the stable identity of a finding for baseline matching
+// across runs: analyzer, severity, and message (positions shift as code
+// moves; messages carry the distinguishing facts). The same key feeds the
+// suppression baseline, so SARIF consumers and -baseline agree on what
+// "the same finding" means.
+func fingerprint(f Finding) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", f.Analyzer, f.Severity, f.Message)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BaselineKey is the position-independent identity used by both SARIF
+// partial fingerprints and findings baselines.
+func BaselineKey(f Finding) string {
+	return f.Analyzer + "\x00" + f.Severity.String() + "\x00" + f.Message
+}
+
+func physicalLocation(file string, pos, end token.Pos) sarifPhysicalLocation {
+	reg := sarifRegion{StartLine: pos.Line, StartColumn: pos.Col}
+	if end.IsValid() {
+		reg.EndLine = end.Line
+		reg.EndColumn = end.Col
+	}
+	return sarifPhysicalLocation{
+		ArtifactLocation: sarifArtifactLocation{URI: file},
+		Region:           reg,
+	}
+}
+
+// sarifFixOf converts a SuggestedFix to the SARIF fix object. Insertions
+// (invalid End) become zero-width deleted regions.
+func sarifFixOf(file string, fix SuggestedFix) sarifFix {
+	reps := make([]sarifReplacement, 0, len(fix.Edits))
+	for _, e := range fix.Edits {
+		reg := sarifRegion{StartLine: e.Pos.Line, StartColumn: e.Pos.Col}
+		if e.End.IsValid() {
+			reg.EndLine = e.End.Line
+			reg.EndColumn = e.End.Col
+		} else {
+			reg.EndLine = e.Pos.Line
+			reg.EndColumn = e.Pos.Col
+		}
+		rep := sarifReplacement{DeletedRegion: reg}
+		if e.NewText != "" {
+			rep.InsertedContent = &sarifMessage{Text: e.NewText}
+		}
+		reps = append(reps, rep)
+	}
+	return sarifFix{
+		Description: sarifMessage{Text: fix.Message},
+		ArtifactChanges: []sarifArtifactChange{{
+			ArtifactLocation: sarifArtifactLocation{URI: file},
+			Replacements:     reps,
+		}},
+	}
+}

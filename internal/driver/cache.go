@@ -2,12 +2,14 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
+	"repro/internal/poly"
 	"repro/internal/problems"
 )
 
@@ -118,9 +120,12 @@ func (c *solveCache) setCap(n int) {
 // canonical for the problem instances built by package problems; the
 // engine is included so packed and reference results never alias (both
 // engines produce identical values, but differential tests compare fresh
-// solves). Callers that hand-build a Spec reusing a canned name with
-// different semantics must disable the cache.
-func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) memoKey {
+// solves); the declared dimension sizes of every multi-dimensional array
+// the loop references are included because they determine linearized
+// strides — two textually identical loops under different dim statements
+// must not share a solve. Callers that hand-build a Spec reusing a canned
+// name with different semantics must disable the cache.
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine) memoKey {
 	h := ast.NewHasher()
 	h.Stmt(loop)
 	for _, s := range specs {
@@ -129,13 +134,17 @@ func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) 
 	}
 	h.WriteByte('\x00')
 	h.WriteString(string(engine))
+	for _, sig := range dimSignatures(loop, dims) {
+		h.WriteByte('\x00')
+		h.WriteString(sig)
+	}
 	return memoKey{fp: h.Sum()}
 }
 
 // canonicalKeyString renders the pre-fingerprint string key — the exact
 // byte stream cacheKey hashes — for the collision oracle and for
 // differential tests.
-func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine) string {
+func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine) string {
 	var b strings.Builder
 	b.Grow(256)
 	b.WriteString(ast.StmtString(loop, 0))
@@ -145,7 +154,45 @@ func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflo
 	}
 	b.WriteByte('\x00')
 	b.WriteString(string(engine))
+	for _, sig := range dimSignatures(loop, dims) {
+		b.WriteByte('\x00')
+		b.WriteString(sig)
+	}
 	return b.String()
+}
+
+// dimSignatures renders "name=size1,size2" for each declared array the loop
+// references with two or more subscripts, sorted by name. Only those
+// declarations reach the linearizer (single-subscript references have
+// stride 1 regardless of dims), so restricting the signature to them keeps
+// memo sharing maximal while staying exact.
+func dimSignatures(loop *ast.DoLoop, dims map[string][]poly.Poly) []string {
+	if len(dims) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	ast.Inspect([]ast.Stmt{loop}, func(n ast.Node) bool {
+		if ref, ok := n.(*ast.ArrayRef); ok && len(ref.Subs) > 1 && dims[ref.Name] != nil {
+			seen[ref.Name] = true
+		}
+		return true
+	})
+	if len(seen) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		parts := make([]string, len(dims[name]))
+		for k, d := range dims[name] {
+			parts[k] = d.String()
+		}
+		names[i] = name + "=" + strings.Join(parts, ",")
+	}
+	return names
 }
 
 // claim returns the entry for key, creating it when absent. The second
@@ -212,20 +259,20 @@ func (c *solveCache) evictOldestLocked() {
 // sc is the calling worker's scratch free list; the singleflight cell runs
 // the solve on the claiming worker's goroutine, so the scratch is never
 // shared across solves in flight.
-func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, bool, error) {
+func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, bool, error) {
 	if !useCache {
-		sv, err := solveLoopFresh(loop, specs, engine, sc)
+		sv, err := solveLoopFresh(loop, specs, dims, engine, sc)
 		return sv, false, err
 	}
-	e, hit := globalCache.claim(cacheKey(loop, specs, engine), func() string {
-		return canonicalKeyString(loop, specs, engine)
+	e, hit := globalCache.claim(cacheKey(loop, specs, dims, engine), func() string {
+		return canonicalKeyString(loop, specs, dims, engine)
 	})
-	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, engine, sc) })
+	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, dims, engine, sc) })
 	return e.sv, hit, e.err
 }
 
-func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, error) {
-	g, err := ir.Build(loop, nil)
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, error) {
+	g, err := ir.Build(loop, &ir.Options{Dims: dims})
 	if err != nil {
 		return nil, err
 	}

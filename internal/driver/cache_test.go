@@ -8,6 +8,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/dataflow"
 	"repro/internal/parser"
+	"repro/internal/poly"
 	"repro/internal/problems"
 	"repro/internal/sema"
 	"repro/internal/synth"
@@ -160,6 +161,14 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 		{problems.MustReachingDefs(), problems.BusyStores()},
 	}
 	engines := []dataflow.Engine{dataflow.EngineReference, dataflow.EnginePacked}
+	// Declared-dims variants: none, and a map covering the corpus's usual
+	// array names (dims only reach the key for loops that reference one of
+	// these with two or more subscripts, so for most loops both variants
+	// must produce the same key).
+	dimsets := []map[string][]poly.Poly{
+		nil,
+		{"X": {poly.Const(8), poly.Const(8)}, "Y": {poly.Const(4), poly.Const(16)}},
+	}
 	byFP := map[memoKey]string{}
 	byStr := map[string]memoKey{}
 	n := 0
@@ -167,18 +176,20 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 		for _, loop := range loopsOf(prog) {
 			for _, specs := range specsets {
 				for _, eng := range engines {
-					n++
-					fp := cacheKey(loop, specs, eng)
-					str := canonicalKeyString(loop, specs, eng)
-					if prev, ok := byFP[fp]; ok && prev != str {
-						t.Fatalf("fingerprint collision: %x/%x for %q and %q",
-							fp.fp.Hi, fp.fp.Lo, prev, str)
+					for _, dims := range dimsets {
+						n++
+						fp := cacheKey(loop, specs, dims, eng)
+						str := canonicalKeyString(loop, specs, dims, eng)
+						if prev, ok := byFP[fp]; ok && prev != str {
+							t.Fatalf("fingerprint collision: %x/%x for %q and %q",
+								fp.fp.Hi, fp.fp.Lo, prev, str)
+						}
+						if prev, ok := byStr[str]; ok && prev != fp {
+							t.Fatalf("fingerprint split: same rendering %q hashed twice differently", str)
+						}
+						byFP[fp] = str
+						byStr[str] = fp
 					}
-					if prev, ok := byStr[str]; ok && prev != fp {
-						t.Fatalf("fingerprint split: same rendering %q hashed twice differently", str)
-					}
-					byFP[fp] = str
-					byStr[str] = fp
 				}
 			}
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ir"
 	"repro/internal/nest"
+	"repro/internal/poly"
 	"repro/internal/problems"
 	"repro/internal/sema"
 )
@@ -138,6 +139,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		return nil, err
 	}
 	pa := &ProgramAnalysis{Prog: prog, Info: info, Vectors: map[*ast.DoLoop][]nest.Recurrence{}}
+	dims := declaredDims(info)
 
 	entries := collectEntries(prog)
 
@@ -173,7 +175,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		}
 		if w <= 1 {
 			for _, i := range idxs {
-				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine, serialScratch)
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, serialScratch)
 			}
 			continue
 		}
@@ -188,7 +190,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 				// allocations are bounded by the worker count.
 				sc := dataflow.NewScratch()
 				for i := range work {
-					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, !opts.DisableCache, opts.Engine, sc)
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, sc)
 				}
 			}()
 		}
@@ -300,10 +302,29 @@ func collectEntries(prog *ast.Program) []entry {
 	return entries
 }
 
+// declaredDims converts the checked program's constant dim declarations
+// into the polynomial dimension sizes the linearizer consumes, so declared
+// multi-dimensional arrays get concrete strides instead of the symbolic
+// sema.DefaultDims fallback (which undeclared arrays keep).
+func declaredDims(info *sema.Info) map[string][]poly.Poly {
+	if len(info.Bounds) == 0 {
+		return nil
+	}
+	out := make(map[string][]poly.Poly, len(info.Bounds))
+	for name, sizes := range info.Bounds {
+		ps := make([]poly.Poly, len(sizes))
+		for k, v := range sizes {
+			ps[k] = poly.Const(v)
+		}
+		out[name] = ps
+	}
+	return out
+}
+
 // analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
 // called from worker goroutines: everything it touches is either private to
 // the entry or behind the cache's synchronization.
-func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
+func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
 	t0 := time.Now()
 	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
 	countLookup := func(hit bool) {
@@ -316,7 +337,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.
 			lm.CacheMisses++
 		}
 	}
-	sv, hit, err := solveLoop(e.loop, specs, useCache, engine, sc)
+	sv, hit, err := solveLoop(e.loop, specs, dims, useCache, engine, sc)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
@@ -339,7 +360,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, useCache bool, engine dataflow.
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, useCache, engine, sc)
+			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, dims, useCache, engine, sc)
 			if err != nil {
 				continue
 			}

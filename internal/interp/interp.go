@@ -173,10 +173,28 @@ type RuntimeError struct {
 
 func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime: %s", e.Pos, e.Msg) }
 
-// Options bounds execution.
+// Options bounds execution and exposes the instrumentation hooks the
+// certifying analyzers use (witness replay and parallel permutation checks
+// in internal/lint).
 type Options struct {
 	// MaxSteps caps executed assignments+iterations (default 50 million).
 	MaxSteps int64
+	// TraceRef, when set, observes every array element access: the
+	// syntactic reference being executed, whether it is a store, and the
+	// concrete subscript tuple. The callback must not mutate idx.
+	TraceRef func(ref *ast.ArrayRef, isStore bool, idx []int64)
+	// LoopIter, when set, observes the start of every loop iteration with
+	// the loop being run and the induction value for the iteration.
+	LoopIter func(loop *ast.DoLoop, iter int64)
+	// LoopDone, when set, observes a loop finishing (after its last
+	// iteration, before the induction variable is restored).
+	LoopDone func(loop *ast.DoLoop)
+	// LoopOrder, when set, may permute a loop's iteration schedule: it
+	// receives the loop and the natural induction-value sequence and
+	// returns the order to execute (nil keeps the natural order). The
+	// parallel permutation check runs provably-parallel loops through a
+	// shuffled order and compares final memories.
+	LoopOrder func(loop *ast.DoLoop, iters []int64) []int64
 }
 
 type machine struct {
@@ -184,6 +202,7 @@ type machine struct {
 	stats *Stats
 	steps int64
 	max   int64
+	opts  Options
 }
 
 // Run executes the program on a copy of init (nil = empty) and returns the
@@ -200,6 +219,9 @@ func Run(prog *ast.Program, init *State, opts *Options) (*State, *Stats, error) 
 		st:    init.Clone(),
 		stats: &Stats{ArrayLoads: map[string]int64{}, ArrayStores: map[string]int64{}},
 		max:   maxSteps,
+	}
+	if opts != nil {
+		m.opts = *opts
 	}
 	if err := m.execBlock(prog.Body); err != nil {
 		return m.st, m.stats, err
@@ -243,6 +265,9 @@ func (m *machine) execStmt(s ast.Stmt) error {
 			if err != nil {
 				return err
 			}
+			if m.opts.TraceRef != nil {
+				m.opts.TraceRef(lhs, true, idx)
+			}
 			m.st.SetArrayN(lhs.Name, idx, v)
 			m.stats.ArrayStores[lhs.Name]++
 		default:
@@ -280,15 +305,44 @@ func (m *machine) execStmt(s ast.Stmt) error {
 			}
 		}
 		saved, had := m.st.Scalars[st.Var]
-		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+		runIter := func(i int64) error {
 			if err := m.step(st.Pos()); err != nil {
 				return err
 			}
 			m.stats.Iterations++
-			m.st.Scalars[st.Var] = i
-			if err := m.execBlock(st.Body); err != nil {
-				return err
+			if m.opts.LoopIter != nil {
+				m.opts.LoopIter(st, i)
 			}
+			m.st.Scalars[st.Var] = i
+			return m.execBlock(st.Body)
+		}
+		if m.opts.LoopOrder != nil {
+			// Materialize the natural schedule and let the hook permute it.
+			// The schedule length is already bounded by the step budget.
+			var iters []int64
+			for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+				iters = append(iters, i)
+				if int64(len(iters)) > m.max {
+					return &RuntimeError{Pos: st.Pos(), Msg: "step limit exceeded"}
+				}
+			}
+			if order := m.opts.LoopOrder(st, iters); order != nil {
+				iters = order
+			}
+			for _, i := range iters {
+				if err := runIter(i); err != nil {
+					return err
+				}
+			}
+		} else {
+			for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+				if err := runIter(i); err != nil {
+					return err
+				}
+			}
+		}
+		if m.opts.LoopDone != nil {
+			m.opts.LoopDone(st)
 		}
 		// Restore the induction variable so programs after the loop see the
 		// pre-loop binding (the language gives it loop-local scope).
@@ -329,6 +383,9 @@ func (m *machine) eval(e ast.Expr) (int64, error) {
 		idx, err := m.evalSubs(ex)
 		if err != nil {
 			return 0, err
+		}
+		if m.opts.TraceRef != nil {
+			m.opts.TraceRef(ex, false, idx)
 		}
 		m.stats.ArrayLoads[ex.Name]++
 		return m.st.GetArrayN(ex.Name, idx), nil

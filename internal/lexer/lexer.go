@@ -9,6 +9,7 @@ package lexer
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/token"
 )
@@ -35,6 +36,7 @@ type Lexer struct {
 	errs        []*Error
 	atLineStart bool
 	in          *token.Interner
+	directives  []token.Directive
 }
 
 // New returns a lexer over src.
@@ -56,6 +58,10 @@ func (l *Lexer) Interner() *token.Interner { return l.in }
 
 // Errors returns the lexical errors encountered so far.
 func (l *Lexer) Errors() []*Error { return l.errs }
+
+// Directives returns the lint control comments seen so far, in source
+// order (see token.Directive).
+func (l *Lexer) Directives() []token.Directive { return l.directives }
 
 func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
 	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
@@ -100,19 +106,63 @@ func isLetter(c byte) bool {
 func isIdentPart(c byte) bool { return isLetter(c) || isDigit(c) }
 
 // skipSpaceAndComments consumes blanks and comments but not newlines.
+// Comments whose body begins with "lint:" are control directives: they are
+// parsed and recorded (or reported as lexical errors when malformed)
+// instead of being discarded silently.
 func (l *Lexer) skipSpaceAndComments() {
 	for {
 		for isSpace(l.peek()) {
 			l.advance()
 		}
 		if (l.peek() == '!' && l.peekAt(1) != '=') || (l.peek() == '/' && l.peekAt(1) == '/') {
+			pos := l.pos()
+			if l.peek() == '/' {
+				l.advance() // second '/' consumed below
+			}
+			l.advance()
+			body := l.off
 			for l.peek() != '\n' && l.peek() != 0 {
 				l.advance()
 			}
+			l.scanDirective(pos, string(l.src[body:l.off]))
 			continue
 		}
 		return
 	}
+}
+
+// scanDirective recognizes lint control comments. body is the comment text
+// after the marker; anything not starting with "lint:" is an ordinary
+// comment and ignored.
+func (l *Lexer) scanDirective(pos token.Pos, body string) {
+	trimmed := strings.TrimLeft(body, " \t")
+	if !strings.HasPrefix(trimmed, "lint:") {
+		return
+	}
+	const verb = "lint:ignore"
+	if !strings.HasPrefix(trimmed, verb) {
+		l.errorf(pos, "unknown lint directive %q (only lint:ignore is defined)",
+			strings.Fields(trimmed)[0])
+		return
+	}
+	rest := strings.TrimLeft(trimmed[len(verb):], " \t")
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) < 2 || fields[0] == "" || strings.TrimSpace(fields[1]) == "" {
+		l.errorf(pos, "malformed lint:ignore directive (want //lint:ignore analyzer[,analyzer...] reason)")
+		return
+	}
+	var ids []string
+	for _, id := range strings.Split(fields[0], ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			l.errorf(pos, "malformed lint:ignore directive: empty analyzer ID in %q", fields[0])
+			return
+		}
+		ids = append(ids, id)
+	}
+	l.directives = append(l.directives, token.Directive{
+		Pos: pos, IDs: ids, Reason: strings.TrimSpace(fields[1]),
+	})
 }
 
 // Next returns the next token. At end of input it returns EOF forever.

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/diag"
+)
+
+// BaselineEntry is one accepted pre-existing finding class in a baseline
+// file: the position-independent identity (analyzer, severity, message)
+// plus how many occurrences are accepted. Positions are deliberately
+// absent — baselines must survive unrelated edits that shift lines.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a set of accepted findings. New runs suppress up to Count
+// occurrences of each entry; anything beyond the baseline stays loud.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline captures the current findings (excluding already-suppressed
+// ones and front-end errors, which a baseline must never hide) as a
+// baseline, with entries sorted for stable files.
+func NewBaseline(fs []diag.Finding) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, f := range fs {
+		if f.Suppressed || f.Analyzer == "parse" || f.Analyzer == "sema" {
+			continue
+		}
+		key := diag.BaselineKey(f)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{
+			Analyzer: f.Analyzer,
+			Severity: f.Severity.String(),
+			Message:  f.Message,
+			Count:    1,
+		}
+	}
+	b := &Baseline{}
+	for _, e := range counts {
+		b.Entries = append(b.Entries, *e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.Severity != c.Severity {
+			return a.Severity < c.Severity
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Apply marks up to Count occurrences of each baseline entry as
+// suppressed (in the findings' deterministic sorted order) and returns the
+// number it silenced. Front-end findings are never baselined.
+func (b *Baseline) Apply(fs []diag.Finding) int {
+	if b == nil || len(b.Entries) == 0 {
+		return 0
+	}
+	budget := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[e.Analyzer+"\x00"+e.Severity+"\x00"+e.Message] = e.Count
+	}
+	n := 0
+	for i := range fs {
+		f := &fs[i]
+		if f.Suppressed || f.Analyzer == "parse" || f.Analyzer == "sema" {
+			continue
+		}
+		key := diag.BaselineKey(*f)
+		if budget[key] <= 0 {
+			continue
+		}
+		budget[key]--
+		f.Suppressed = true
+		if f.Detail == nil {
+			f.Detail = map[string]string{}
+		}
+		f.Detail["suppressedBy"] = "baseline"
+		f.Detail["suppressionKind"] = "external"
+		n++
+	}
+	return n
+}
+
+// ReadBaselineFile loads a baseline written by WriteBaselineFile.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: malformed baseline: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaselineFile writes the baseline as indented JSON with a trailing
+// newline.
+func (b *Baseline) WriteBaselineFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

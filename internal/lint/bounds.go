@@ -6,6 +6,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/diag"
 	"repro/internal/sema"
+	"repro/internal/token"
 )
 
 // boundsAnalyzer compares the extreme values of each affine subscript over
@@ -112,6 +113,39 @@ func (c *Context) boundsFinding(ref *ast.ArrayRef, sub ast.Expr, dim int, size, 
 	}
 	if d := c.Info.Dims[ref.Name]; d != nil {
 		f.Related = append(f.Related, diag.Related{Pos: d.Pos(), Message: "bounds declared here"})
+		if !below {
+			if fix, ok := growDimFix(c.Src, d, dim, value); ok {
+				f.SuggestedFixes = append(f.SuggestedFixes, fix)
+			}
+		}
 	}
 	return f
+}
+
+// growDimFix suggests widening the dim declaration's size literal to cover
+// the subscript's proven maximum. Only literal sizes are editable, and the
+// source text is verified before the edit is offered. Underflow (below 1)
+// has no declaration-side fix — arrays are 1-based.
+func growDimFix(src string, d *ast.Dim, dim int, value int64) (diag.SuggestedFix, bool) {
+	if src == "" || dim >= len(d.Sizes) {
+		return diag.SuggestedFix{}, false
+	}
+	lit, ok := d.Sizes[dim].(*ast.IntLit)
+	if !ok {
+		return diag.SuggestedFix{}, false
+	}
+	old := fmt.Sprintf("%d", lit.Value)
+	pos := lit.Pos()
+	text, ok := diag.LineAt(src, pos.Line)
+	if !ok || pos.Col < 1 || pos.Col-1+len(old) > len(text) || text[pos.Col-1:pos.Col-1+len(old)] != old {
+		return diag.SuggestedFix{}, false
+	}
+	return diag.SuggestedFix{
+		Message: fmt.Sprintf("grow dimension %d of %s to %d", dim+1, d.Name, value),
+		Edits: []diag.TextEdit{{
+			Pos:     pos,
+			End:     token.Pos{Line: pos.Line, Col: pos.Col + len(old)},
+			NewText: fmt.Sprintf("%d", value),
+		}},
+	}, true
 }

@@ -2,9 +2,11 @@ package lint
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/diag"
+	"repro/internal/ir"
 	"repro/internal/problems"
 )
 
@@ -48,7 +50,41 @@ func runDeadStore(c *Context) []diag.Finding {
 				Message: fmt.Sprintf("overwritten by this store (%s)", rs.By),
 			})
 		}
+		if fix, ok := deadStoreFix(c.Src, rs.Store); ok {
+			f.SuggestedFixes = append(f.SuggestedFixes, fix)
+		}
 		out = append(out, f)
 	}
 	return out
+}
+
+// deadStoreFix suggests deleting the dead store's source line. The fix is
+// only offered when the line provably holds exactly one assignment to the
+// store's array (the mini-language puts one statement per line), so the
+// deletion removes the dead statement and nothing else.
+func deadStoreFix(src string, store *ir.Ref) (diag.SuggestedFix, bool) {
+	if src == "" {
+		return diag.SuggestedFix{}, false
+	}
+	line := store.Expr.Pos().Line
+	text, ok := diag.LineAt(src, line)
+	if !ok {
+		return diag.SuggestedFix{}, false
+	}
+	trimmed := strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(trimmed, store.Array)
+	if !ok || !strings.Contains(rest, ":=") {
+		return diag.SuggestedFix{}, false
+	}
+	if r := strings.TrimLeft(rest, " \t"); len(r) == 0 || (r[0] != '[' && r[0] != '(') {
+		return diag.SuggestedFix{}, false
+	}
+	edit, ok := diag.DeleteLineEdit(src, line)
+	if !ok {
+		return diag.SuggestedFix{}, false
+	}
+	return diag.SuggestedFix{
+		Message: fmt.Sprintf("delete the dead store to %s", ast.ExprString(store.Expr)),
+		Edits:   []diag.TextEdit{edit},
+	}, true
 }

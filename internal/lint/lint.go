@@ -56,6 +56,12 @@ type Context struct {
 	// position before the loop; reads of those arrays are assumed
 	// initialized by the earlier code.
 	DefinedBefore map[string]bool
+	// Src is the original source text when known ("" otherwise); analyzers
+	// use it to build suggested fixes that splice real lines.
+	Src string
+	// Engine is the solver engine the analysis ran under; the self-check
+	// analyzer re-solves with the opposite engine and compares.
+	Engine dataflow.Engine
 }
 
 // result returns the named problem's solution, or nil when it was not
@@ -67,7 +73,7 @@ func (c *Context) result(name string) *dataflow.Result { return c.Loop.Results[n
 var registry = []*Analyzer{
 	boundsAnalyzer,
 	deadStoreAnalyzer,
-	noParallelAnalyzer,
+	raceAnalyzer,
 	reuseAnalyzer,
 	selfCheckAnalyzer,
 	uninitAnalyzer,
@@ -75,6 +81,19 @@ var registry = []*Analyzer{
 
 // Analyzers returns the full analyzer registry in ID order.
 func Analyzers() []*Analyzer { return registry }
+
+// RuleMetas builds the SARIF rules table for vet output: the reserved
+// front-end IDs ("parse", "sema") followed by every registered analyzer.
+func RuleMetas() []diag.RuleMeta {
+	rules := []diag.RuleMeta{
+		{ID: "parse", Doc: "syntax error reported by the parser", Default: diag.Error},
+		{ID: "sema", Doc: "semantic error reported by the checker or normalizer", Default: diag.Error},
+	}
+	for _, a := range registry {
+		rules = append(rules, diag.RuleMeta{ID: a.ID, Doc: a.Doc, Default: a.Default})
+	}
+	return rules
+}
 
 // Specs returns the data flow problem instances the analyzers consume —
 // the paper's four array problems.
@@ -93,6 +112,14 @@ type Options struct {
 	// Engine selects the solver implementation (zero value = packed),
 	// forwarded to the driver.
 	Engine dataflow.Engine
+	// Src is the source text being analyzed; Vet fills it so analyzers can
+	// suggest concrete text edits. Callers of Run/RunOn may leave it empty
+	// (fixes are then omitted).
+	Src string
+	// Werror makes warning findings fail the exit code like errors.
+	Werror bool
+	// Baseline, when non-nil, suppresses the findings it accepts.
+	Baseline *Baseline
 }
 
 // Run solves the four problems on every loop of a checked, normalized
@@ -130,6 +157,8 @@ func RunOn(file string, pa *driver.ProgramAnalysis, opts *Options) []diag.Findin
 			Info:          pa.Info,
 			Loop:          la,
 			DefinedBefore: before[la.Loop],
+			Src:           opts.Src,
+			Engine:        opts.Engine,
 		}
 		if pa.Metrics != nil && i < len(pa.Metrics.PerLoop) {
 			ctx.Metrics = pa.Metrics.PerLoop[i]

@@ -66,6 +66,91 @@ func TestGoldenJSON(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "fig1.json.golden"), buf.Bytes())
 }
 
+// TestGoldenSARIF pins the SARIF 2.1.0 log for every example program —
+// the exact artifact `arrayflow vet -format sarif` uploads to code
+// scanning, including rule metadata, fingerprints, fixes, and details.
+func TestGoldenSARIF(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".loop")
+		t.Run(name, func(t *testing.T) {
+			res := vetExample(t, path, &lint.Options{Parallelism: 1})
+			var buf bytes.Buffer
+			if err := diag.WriteSARIF(&buf, res.File, lint.RuleMetas(), res.Findings); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", name+".sarif.golden"), buf.Bytes())
+		})
+	}
+}
+
+// TestFixIdempotence runs the fix engine on every example and asserts the
+// fixed point: a second Fix over the already-fixed source applies nothing
+// and returns byte-identical text, and the fixed source still analyzes.
+func TestFixIdempotence(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".loop")
+		t.Run(name, func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file := "examples/" + filepath.Base(path)
+			first, err := lint.Fix(file, string(b), nil)
+			if err != nil {
+				t.Fatalf("first fix pass: %v", err)
+			}
+			if first.Result.FrontEndFailed {
+				t.Fatalf("fixed source does not analyze: %v", first.Result.Findings)
+			}
+			second, err := lint.Fix(file, first.Src, nil)
+			if err != nil {
+				t.Fatalf("second fix pass: %v", err)
+			}
+			if second.Applied != 0 {
+				t.Errorf("second pass applied %d fixes; -fix is not idempotent", second.Applied)
+			}
+			if second.Src != first.Src {
+				t.Errorf("second pass changed the source\n-- first --\n%s-- second --\n%s", first.Src, second.Src)
+			}
+		})
+	}
+}
+
+// TestFixesEliminateFindings asserts each applied fix removes the finding
+// that suggested it: no finding in the fixed source carries the same
+// baseline identity as a fixed one from the original run.
+func TestFixesEliminateFindings(t *testing.T) {
+	for _, path := range examplePaths(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".loop")
+		t.Run(name, func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file := "examples/" + filepath.Base(path)
+			before := lint.Vet(file, string(b), nil)
+			fixable := map[string]bool{}
+			for _, f := range before.Findings {
+				if len(f.SuggestedFixes) > 0 && !f.Suppressed {
+					fixable[diag.BaselineKey(f)] = true
+				}
+			}
+			out, err := lint.Fix(file, string(b), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fixable) > 0 && out.Applied == 0 {
+				t.Fatalf("%d fixable findings but no fix applied", len(fixable))
+			}
+			for _, f := range out.Result.Findings {
+				if fixable[diag.BaselineKey(f)] {
+					t.Errorf("finding survived its own fix: %s", f)
+				}
+			}
+		})
+	}
+}
+
 func compareGolden(t *testing.T, golden string, got []byte) {
 	t.Helper()
 	if *update {
@@ -102,7 +187,7 @@ func TestFig1Findings(t *testing.T) {
 			t.Errorf("finding without position: %s", f)
 		}
 	}
-	for _, want := range []string{"bounds", "noparallel", "reuse", "selfcheck", "uninit"} {
+	for _, want := range []string{"bounds", "race", "reuse", "selfcheck", "uninit"} {
 		if !ids[want] {
 			t.Errorf("analyzer %s produced no finding on fig1; got IDs %v", want, ids)
 		}
@@ -167,8 +252,9 @@ func TestVetDeterminism(t *testing.T) {
 }
 
 // TestVetFrontEndFindings verifies parse and semantic failures surface as
-// positioned error findings with the dedicated analyzer IDs and a nonzero
-// exit code.
+// positioned error findings with the dedicated analyzer IDs and exit code
+// 2 — the "could not analyze" status of the documented contract, distinct
+// from exit 1 (analysis ran, findings exist).
 func TestVetFrontEndFindings(t *testing.T) {
 	cases := []struct {
 		name, src, analyzer string
@@ -182,8 +268,11 @@ func TestVetFrontEndFindings(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			res := lint.Vet("<test>", tc.src, nil)
-			if res.ExitCode() != 1 {
-				t.Fatalf("want exit code 1, got %d (findings: %v)", res.ExitCode(), res.Findings)
+			if res.ExitCode() != 2 {
+				t.Fatalf("want exit code 2, got %d (findings: %v)", res.ExitCode(), res.Findings)
+			}
+			if !res.FrontEndFailed {
+				t.Error("FrontEndFailed not set")
 			}
 			if len(res.Findings) == 0 {
 				t.Fatal("no findings")
@@ -213,7 +302,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s is missing Doc, Problem, or Run", a.ID)
 		}
 	}
-	want := []string{"bounds", "deadstore", "noparallel", "reuse", "selfcheck", "uninit"}
+	want := []string{"bounds", "deadstore", "race", "reuse", "selfcheck", "uninit"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Errorf("registry IDs = %v, want %v", ids, want)
 	}

@@ -1,0 +1,686 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/depend"
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/token"
+)
+
+// raceAnalyzer is the certifying parallelism analyzer: every loop gets one
+// of three verdicts, each carrying checkable evidence.
+//
+//   - provably parallel: no pair of references can touch the same array
+//     element in two different iterations (per-pair δ evidence attached),
+//     confirmed by running the loop's iterations in a shuffled order on the
+//     interpreter and comparing final memories.
+//   - provably racy: a concrete witness — two iteration numbers, the
+//     conflicting references, and the colliding element — derived from the
+//     cross-iteration dependence distance and validated by replaying the
+//     witness iterations on the interpreter.
+//   - unknown: the blocking construct is named (non-affine subscript,
+//     symbolic distance, scalar assignment, summarized inner loop, or a
+//     potential conflict guarded by a branch).
+//
+// The static side consumes the δ-reaching-references solution through
+// internal/depend plus an exact pairwise subscript solver; the dynamic
+// side lives in replay.go. A disagreement between the two (a witness that
+// does not replay, a "parallel" loop whose permuted execution diverges, or
+// a carried dependence the certifier missed) is itself reported as an
+// error finding — the analyzer checks its own claims.
+var raceAnalyzer = &Analyzer{
+	ID:      "race",
+	Doc:     "certifying loop parallelism: provably parallel, provably racy (with replayed witness), or unknown",
+	Problem: "δ-reaching references (§4.3) + exact subscript collision solving",
+	Default: diag.Warning,
+	Run:     runRace,
+}
+
+// VerdictClass is the three-way parallelism classification.
+type VerdictClass int
+
+// The verdict classes.
+const (
+	VerdictUnknown VerdictClass = iota
+	VerdictParallel
+	VerdictRacy
+)
+
+// String names the verdict class.
+func (v VerdictClass) String() string {
+	switch v {
+	case VerdictParallel:
+		return "parallel"
+	case VerdictRacy:
+		return "racy"
+	}
+	return "unknown"
+}
+
+// Witness is the concrete evidence behind a provably-racy verdict: in the
+// normalized iteration space, the reference FromText executed at iteration
+// IterEarly and the reference ToText executed at iteration IterLate touch
+// the same element of Array, and at least one of them is a store.
+type Witness struct {
+	IV        string
+	IterEarly int64
+	IterLate  int64
+	// Distance is IterLate − IterEarly (≥ 1).
+	Distance int64
+	// Kind classifies the dependence: flow, anti, or output.
+	Kind  string
+	Array string
+	// FromText / ToText are the rendered source references (early one
+	// first); FromStore / ToStore their access kinds.
+	FromText, ToText   string
+	FromStore, ToStore bool
+	// FromPos / ToPos are the reference positions for diagnostics.
+	FromPos, ToPos token.Pos
+	// Cell is the colliding subscript tuple when it is compile-time
+	// computable (HasCell); symbolic programs leave it to the replay.
+	Cell    []int64
+	HasCell bool
+}
+
+// CellString renders the colliding element, e.g. "A[3]" or "A[2, 7]".
+func (w *Witness) CellString() string {
+	if !w.HasCell {
+		return w.Array + "[?]"
+	}
+	parts := make([]string, len(w.Cell))
+	for i, c := range w.Cell {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return w.Array + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Blocker names one construct preventing certification.
+type Blocker struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// PairEvidence records why one conflicting reference pair cannot carry a
+// dependence — the per-reference δ evidence attached to parallel verdicts.
+type PairEvidence struct {
+	FromText, ToText string
+	Reason           string
+}
+
+// Verdict is the certified classification of one loop.
+type Verdict struct {
+	Class VerdictClass
+	// IV is the loop's induction variable.
+	IV string
+	// Witness backs a racy verdict.
+	Witness *Witness
+	// Blockers back an unknown verdict (sorted by position then reason).
+	Blockers []Blocker
+	// Evidence backs a parallel verdict: one entry per conflicting
+	// reference pair, stating why no carried collision exists.
+	Evidence []PairEvidence
+	// CarriedDeps counts the loop-carried edges of the dependence graph
+	// (internal/depend) within maxBlockingDist, for cross-checking.
+	CarriedDeps int
+}
+
+// pairOutcome is the result of resolving one reference pair.
+type pairOutcome struct {
+	kind    pairKind
+	witness *Witness // kind == pairConflict
+	reason  string   // evidence (pairNone/pairIndependent) or blocker (pairUnknown)
+}
+
+type pairKind int
+
+const (
+	pairNone        pairKind = iota // provably never collide across iterations
+	pairIndependent                 // collide only within one iteration (δ = 0)
+	pairConflict                    // collide at a concrete iteration pair
+	pairUnknown                     // not decidable statically
+)
+
+// differentStrideScan bounds the collision-distance search when the loop
+// bound is symbolic and the strides differ.
+const differentStrideScan = 4096
+
+// maxBlockingDist bounds the dependence-distance search in the carried
+// dependence cross-check (small distances are the ones unrolling and the
+// paper's framework reason about).
+const maxBlockingDist = 8
+
+// runRace certifies the loop and renders the verdict as findings,
+// bridging to the dynamic checks in replay.go.
+func runRace(c *Context) []diag.Finding {
+	v := CertifyLoop(c)
+	loop := c.Loop.Loop
+	pos := loop.Pos()
+	var out []diag.Finding
+
+	switch v.Class {
+	case VerdictRacy:
+		w := v.Witness
+		f := diag.Finding{
+			Analyzer: "race",
+			Pos:      pos,
+			Severity: diag.Warning,
+			Message: fmt.Sprintf("loop over %s is provably racy: %s (iteration %d) and %s (iteration %d) touch %s — %s dependence at distance %d",
+				v.IV, accessText(w.FromText, w.FromStore), w.IterEarly,
+				accessText(w.ToText, w.ToStore), w.IterLate, w.CellString(), w.Kind, w.Distance),
+			Related: []diag.Related{
+				{Pos: w.FromPos, Message: fmt.Sprintf("%s at iteration %d", accessText(w.FromText, w.FromStore), w.IterEarly)},
+				{Pos: w.ToPos, Message: fmt.Sprintf("%s at iteration %d", accessText(w.ToText, w.ToStore), w.IterLate)},
+			},
+			Detail: map[string]string{
+				"verdict":   "racy",
+				"iv":        v.IV,
+				"iterEarly": fmt.Sprintf("%d", w.IterEarly),
+				"iterLate":  fmt.Sprintf("%d", w.IterLate),
+				"distance":  fmt.Sprintf("%d", w.Distance),
+				"kind":      w.Kind,
+				"cell":      w.CellString(),
+				"carried":   fmt.Sprintf("%d", v.CarriedDeps),
+			},
+		}
+		if c.Program != nil {
+			if err := ReplayWitness(c.Program, loop, w); err != nil {
+				out = append(out, diag.Finding{
+					Analyzer: "race",
+					Pos:      pos,
+					Severity: diag.Error,
+					Message: fmt.Sprintf("certification bridge failure: racy witness for the loop over %s did not replay on the interpreter: %v",
+						v.IV, err),
+					Detail: map[string]string{"verdict": "racy", "replay": "failed"},
+				})
+				f.Detail["replay"] = "failed"
+			} else {
+				f.Detail["replay"] = "confirmed"
+			}
+		}
+		out = append(out, f)
+
+	case VerdictParallel:
+		f := diag.Finding{
+			Analyzer: "race",
+			Pos:      pos,
+			Severity: diag.Info,
+			Message: fmt.Sprintf("loop over %s is provably parallel: no loop-carried dependence across %d conflicting reference pair(s)",
+				v.IV, len(v.Evidence)),
+			Detail: map[string]string{
+				"verdict": "parallel",
+				"iv":      v.IV,
+				"pairs":   fmt.Sprintf("%d", len(v.Evidence)),
+			},
+		}
+		if ev := evidenceSummary(v.Evidence); ev != "" {
+			f.Detail["evidence"] = ev
+		}
+		if v.CarriedDeps > 0 {
+			// The dependence graph disagrees with the certification — one of
+			// the two is wrong; surface it loudly instead of guessing.
+			out = append(out, diag.Finding{
+				Analyzer: "race",
+				Pos:      pos,
+				Severity: diag.Error,
+				Message: fmt.Sprintf("certification inconsistency: loop over %s certified parallel but the dependence graph carries %d edge(s)",
+					v.IV, v.CarriedDeps),
+				Detail: map[string]string{"verdict": "parallel", "carried": fmt.Sprintf("%d", v.CarriedDeps)},
+			})
+		}
+		if c.Program != nil {
+			if err := PermutationCheck(c.Program, loop, permutationSeed); err != nil {
+				out = append(out, diag.Finding{
+					Analyzer: "race",
+					Pos:      pos,
+					Severity: diag.Error,
+					Message: fmt.Sprintf("certification bridge failure: loop over %s certified parallel but a shuffled iteration order diverged: %v",
+						v.IV, err),
+					Detail: map[string]string{"verdict": "parallel", "permutation": "diverged"},
+				})
+				f.Detail["permutation"] = "diverged"
+			} else {
+				f.Detail["permutation"] = "verified"
+			}
+		}
+		out = append(out, f)
+
+	default: // VerdictUnknown
+		b := v.Blockers[0]
+		f := diag.Finding{
+			Analyzer: "race",
+			Pos:      pos,
+			Severity: diag.Info,
+			Message:  fmt.Sprintf("parallelism of the loop over %s is unknown: %s", v.IV, b.Reason),
+			Detail: map[string]string{
+				"verdict":  "unknown",
+				"iv":       v.IV,
+				"blockers": fmt.Sprintf("%d", len(v.Blockers)),
+			},
+		}
+		for i, bl := range v.Blockers {
+			if i >= 4 {
+				break
+			}
+			rp := bl.Pos
+			if !rp.IsValid() {
+				rp = pos
+			}
+			f.Related = append(f.Related, diag.Related{Pos: rp, Message: bl.Reason})
+		}
+		out = append(out, f)
+	}
+	diag.Sort(out)
+	return out
+}
+
+func accessText(text string, store bool) string {
+	if store {
+		return "store " + text
+	}
+	return "load " + text
+}
+
+// evidenceSummary folds per-pair evidence into one bounded detail string.
+func evidenceSummary(evs []PairEvidence) string {
+	var parts []string
+	for i, e := range evs {
+		if i >= 6 {
+			parts = append(parts, fmt.Sprintf("(+%d more)", len(evs)-i))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s vs %s: %s", e.FromText, e.ToText, e.Reason))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// CertifyLoop runs the static side of the certification for one analyzed
+// loop. The dynamic bridge (witness replay, permutation check) is separate
+// so tests can exercise both halves independently.
+func CertifyLoop(c *Context) *Verdict {
+	g := c.Loop.Graph
+	v := &Verdict{IV: g.IV}
+
+	// The dependence graph's carried edges, for cross-checking the verdict
+	// against the paper's §4.3 machinery. Edges whose distance cannot fit in
+	// the trip count are dropped: the dependence graph has no trip-count
+	// feasibility pruning, and the certifier correctly classifies a loop as
+	// parallel when every candidate collision lies beyond the last iteration.
+	if res := c.result("delta-reaching-refs"); res != nil {
+		for _, e := range depend.Build(g, res, maxBlockingDist).Carried() {
+			if g.HasUB && e.Distance+1 > g.UBConst {
+				continue
+			}
+			v.CarriedDeps++
+		}
+	}
+
+	// Structural blockers.
+	blockers := structuralBlockers(c)
+
+	// Pairwise exact resolution over the loop's own affine references.
+	exit := exitNode(g)
+	var racy []*Witness
+	var refs []*ir.Ref
+	for _, r := range g.Refs {
+		if !r.FromInner && r.Affine {
+			refs = append(refs, r)
+		}
+	}
+	for i, r1 := range refs {
+		for _, r2 := range refs[i:] {
+			if r1.Array != r2.Array || (r1.Kind != ir.Def && r2.Kind != ir.Def) {
+				continue
+			}
+			o := resolvePair(r1, r2, g.HasUB, g.UBConst, g.IV)
+			switch o.kind {
+			case pairNone, pairIndependent:
+				v.Evidence = append(v.Evidence, PairEvidence{
+					FromText: refText(r1), ToText: refText(r2), Reason: o.reason,
+				})
+			case pairConflict:
+				if exit != nil && g.Dominates(r1.Node, exit) && g.Dominates(r2.Node, exit) {
+					racy = append(racy, o.witness)
+				} else {
+					blockers = append(blockers, Blocker{
+						Pos: r1.Expr.Pos(),
+						Reason: fmt.Sprintf("potential race between %s and %s at distance %d is guarded by a branch — not provable either way",
+							refText(r1), refText(r2), o.witness.Distance),
+					})
+				}
+			case pairUnknown:
+				blockers = append(blockers, Blocker{Pos: r1.Expr.Pos(), Reason: o.reason})
+			}
+		}
+	}
+
+	switch {
+	case len(racy) > 0:
+		sort.Slice(racy, func(i, j int) bool { return witnessLess(racy[i], racy[j]) })
+		v.Class = VerdictRacy
+		v.Witness = racy[0]
+	case len(blockers) > 0:
+		sort.Slice(blockers, func(i, j int) bool {
+			a, b := blockers[i], blockers[j]
+			if a.Pos != b.Pos {
+				return a.Pos.Line < b.Pos.Line || (a.Pos.Line == b.Pos.Line && a.Pos.Col < b.Pos.Col)
+			}
+			return a.Reason < b.Reason
+		})
+		v.Class = VerdictUnknown
+		v.Blockers = blockers
+	default:
+		v.Class = VerdictParallel
+		sort.Slice(v.Evidence, func(i, j int) bool {
+			a, b := v.Evidence[i], v.Evidence[j]
+			if a.FromText != b.FromText {
+				return a.FromText < b.FromText
+			}
+			if a.ToText != b.ToText {
+				return a.ToText < b.ToText
+			}
+			return a.Reason < b.Reason
+		})
+	}
+	return v
+}
+
+// structuralBlockers collects the constructs that keep a loop out of the
+// provably-parallel class regardless of subscript arithmetic.
+func structuralBlockers(c *Context) []Blocker {
+	var out []Blocker
+	g := c.Loop.Graph
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindSummary {
+			out = append(out, Blocker{Pos: nd.SrcPos,
+				Reason: "a nested loop is summarized — its cross-iteration behavior is analyzed separately"})
+		}
+	}
+	for _, r := range g.Refs {
+		if !r.FromInner && !r.Affine {
+			out = append(out, Blocker{Pos: r.Expr.Pos(),
+				Reason: fmt.Sprintf("subscript of %s is not affine in %s", refText(r), g.IV)})
+		}
+	}
+	// Scalar assignments carry values between iterations through a single
+	// memory cell the array framework does not model.
+	ast.Inspect(c.Loop.Loop.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.Assign); ok {
+			if id, ok := as.LHS.(*ast.Ident); ok {
+				out = append(out, Blocker{Pos: id.Pos(),
+					Reason: fmt.Sprintf("scalar assignment to %s may carry a dependence between iterations", id.Name)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func refText(r *ir.Ref) string { return ast.ExprString(r.Expr) }
+
+func exitNode(g *ir.Graph) *ir.Node {
+	for _, nd := range g.Nodes {
+		if nd.Kind == ir.KindExit {
+			return nd
+		}
+	}
+	return nil
+}
+
+// witnessLess orders witnesses deterministically: smallest distance first,
+// then earliest source positions.
+func witnessLess(a, b *Witness) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	if a.FromPos != b.FromPos {
+		return a.FromPos.Line < b.FromPos.Line || (a.FromPos.Line == b.FromPos.Line && a.FromPos.Col < b.FromPos.Col)
+	}
+	if a.ToPos != b.ToPos {
+		return a.ToPos.Line < b.ToPos.Line || (a.ToPos.Line == b.ToPos.Line && a.ToPos.Col < b.ToPos.Col)
+	}
+	return a.Kind < b.Kind
+}
+
+// resolvePair decides whether two references can touch the same element in
+// two different iterations of the loop, exactly where possible. hasUB/ub
+// give the constant trip count when known; iv names the induction variable
+// for witness construction.
+func resolvePair(r1, r2 *ir.Ref, hasUB bool, ub int64, iv string) pairOutcome {
+	a1, b1, ok1 := r1.Form.ConstCoeffs()
+	a2, b2, ok2 := r2.Form.ConstCoeffs()
+	switch {
+	case ok1 && ok2 && a1 == a2 && a1 == 0:
+		if b1 != b2 {
+			return pairOutcome{kind: pairNone, reason: "distinct constant elements"}
+		}
+		if hasUB && ub < 2 {
+			return pairOutcome{kind: pairNone, reason: "single-iteration loop"}
+		}
+		return conflict(r1, r2, 1, 2, iv)
+	case ok1 && ok2 && a1 == a2:
+		diff := b1 - b2
+		if diff%a1 != 0 {
+			return pairOutcome{kind: pairNone,
+				reason: fmt.Sprintf("offset %d is not divisible by stride %d", diff, a1)}
+		}
+		delta := diff / a1
+		if delta == 0 {
+			return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
+		}
+		early, late := r1, r2
+		if delta < 0 {
+			early, late, delta = r2, r1, -delta
+		}
+		if hasUB && delta+1 > ub {
+			return pairOutcome{kind: pairNone,
+				reason: fmt.Sprintf("collision distance %d exceeds the trip count %d", delta, ub)}
+		}
+		return conflict(early, late, 1, 1+delta, iv)
+	case ok1 && ok2: // different constant strides
+		return resolveDifferentStrides(r1, r2, a1, b1, a2, b2, hasUB, ub, iv)
+	case r1.Form.A.Equal(r2.Form.A):
+		// Symbolic but equal linear parts: the distance is (b1−b2)/a when
+		// that quotient is an integer constant.
+		diff := r1.Form.B.Sub(r2.Form.B)
+		if q, ok := diff.DivExact(r1.Form.A); ok {
+			if delta, isConst := q.IsConst(); isConst {
+				if delta == 0 {
+					return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
+				}
+				early, late := r1, r2
+				if delta < 0 {
+					early, late, delta = r2, r1, -delta
+				}
+				if hasUB && delta+1 > ub {
+					return pairOutcome{kind: pairNone,
+						reason: fmt.Sprintf("collision distance %d exceeds the trip count %d", delta, ub)}
+				}
+				return conflict(early, late, 1, 1+delta, iv)
+			}
+		}
+		if _, isConst := diff.IsConst(); isConst {
+			return pairOutcome{kind: pairUnknown,
+				reason: fmt.Sprintf("collision of %s and %s depends on the symbolic stride (%s)",
+					refText(r1), refText(r2), r1.Form.A)}
+		}
+		return pairOutcome{kind: pairUnknown,
+			reason: fmt.Sprintf("collision distance of %s and %s is symbolic (%s)",
+				refText(r1), refText(r2), diff)}
+	default:
+		return pairOutcome{kind: pairUnknown,
+			reason: fmt.Sprintf("subscripts of %s and %s have symbolic coefficients", refText(r1), refText(r2))}
+	}
+}
+
+// resolveDifferentStrides searches for the smallest iteration distance at
+// which a1·i + b1 and a2·j + b2 coincide with i ≠ j, both in range.
+func resolveDifferentStrides(r1, r2 *ir.Ref, a1, b1, a2, b2 int64, hasUB bool, ub int64, iv string) pairOutcome {
+	da := a1 - a2
+	bound := int64(differentStrideScan)
+	if hasUB {
+		bound = ub - 1
+	}
+	for d := int64(1); d <= bound; d++ {
+		// Direction A: r1 runs d iterations before r2 (i2 − i1 = d).
+		if num := a1*d + b2 - b1; num%da == 0 {
+			i2 := num / da
+			i1 := i2 - d
+			if i1 >= 1 && (!hasUB || i2 <= ub) {
+				return conflict(r1, r2, i1, i2, iv)
+			}
+		}
+		// Direction B: r2 runs d iterations before r1 (i1 − i2 = d).
+		if num := b2 - b1 - a2*d; num%da == 0 {
+			i1 := num / da
+			i2 := i1 - d
+			if i2 >= 1 && (!hasUB || i1 <= ub) {
+				return conflict(r2, r1, i2, i1, iv)
+			}
+		}
+	}
+	if hasUB {
+		return pairOutcome{kind: pairNone,
+			reason: fmt.Sprintf("strides %d and %d admit no colliding iteration pair within the trip count %d", a1, a2, ub)}
+	}
+	// Symbolic bound: the scan is a heuristic. When neither direction's
+	// Diophantine equation (da·i − a·d = b2−b1) has integer solutions at
+	// all, the pair provably never collides; otherwise stay conservative.
+	diff := b2 - b1
+	if diff%gcd(abs64(da), abs64(a1)) != 0 && diff%gcd(abs64(da), abs64(a2)) != 0 {
+		return pairOutcome{kind: pairNone,
+			reason: fmt.Sprintf("strides %d and %d never produce the same element (no integer solution)", a1, a2)}
+	}
+	return pairOutcome{kind: pairUnknown,
+		reason: fmt.Sprintf("no collision of %s and %s within %d iterations, but the loop bound is symbolic",
+			refText(r1), refText(r2), differentStrideScan)}
+}
+
+// conflict builds the pairConflict outcome with a fully-populated witness:
+// early executes at iteration iterEarly, late at iterLate, touching the
+// same element.
+func conflict(early, late *ir.Ref, iterEarly, iterLate int64, iv string) pairOutcome {
+	w := &Witness{
+		IV:        iv,
+		IterEarly: iterEarly,
+		IterLate:  iterLate,
+		Distance:  iterLate - iterEarly,
+		Kind:      dependenceKind(early, late),
+		Array:     early.Array,
+		FromText:  refText(early),
+		ToText:    refText(late),
+		FromStore: early.Kind == ir.Def,
+		ToStore:   late.Kind == ir.Def,
+		FromPos:   early.Expr.Pos(),
+		ToPos:     late.Expr.Pos(),
+	}
+	if cell, ok := evalCell(early.Expr, iv, iterEarly); ok {
+		w.Cell = cell
+		w.HasCell = true
+	}
+	return pairOutcome{kind: pairConflict, witness: w}
+}
+
+func dependenceKind(early, late *ir.Ref) string {
+	switch {
+	case early.Kind == ir.Def && late.Kind == ir.Def:
+		return "output"
+	case early.Kind == ir.Def:
+		return "flow"
+	default:
+		return "anti"
+	}
+}
+
+// evalCell evaluates a reference's subscript tuple at a concrete iteration
+// (iv = iter), succeeding only when every subscript is constant under that
+// single binding.
+func evalCell(ref *ast.ArrayRef, iv string, iter int64) ([]int64, bool) {
+	env := map[string]int64{iv: iter}
+	out := make([]int64, len(ref.Subs))
+	for k, sub := range ref.Subs {
+		v, ok := evalConstExpr(sub, env)
+		if !ok {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// evalConstExpr evaluates an expression under env, failing on any symbol
+// outside env, array reference, or division/modulo edge case.
+func evalConstExpr(e ast.Expr, env map[string]int64) (int64, bool) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		return ex.Value, true
+	case *ast.Ident:
+		v, ok := env[ex.Name]
+		return v, ok
+	case *ast.Unary:
+		v, ok := evalConstExpr(ex.X, env)
+		if !ok {
+			return 0, false
+		}
+		switch ex.Op {
+		case token.MINUS:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Binary:
+		l, ok := evalConstExpr(ex.L, env)
+		if !ok {
+			return 0, false
+		}
+		r, ok := evalConstExpr(ex.R, env)
+		if !ok {
+			return 0, false
+		}
+		switch ex.Op {
+		case token.PLUS:
+			return l + r, true
+		case token.MINUS:
+			return l - r, true
+		case token.STAR:
+			return l * r, true
+		case token.SLASH:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case token.MOD:
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dataflow"
 	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/lattice"
@@ -83,23 +84,64 @@ func runSelfCheck(c *Context) []diag.Finding {
 				Detail: map[string]string{"problem": name, "changedPasses": fmt.Sprintf("%d", res.ChangedPasses)},
 			})
 		}
+		out = append(out, crossEngineCheck(c, name, res)...)
 	}
 	if len(out) == 0 {
 		out = append(out, diag.Finding{
 			Analyzer: "selfcheck",
 			Pos:      c.Loop.Loop.Pos(),
 			Severity: diag.Info,
-			Message: fmt.Sprintf("framework self-check passed for the loop over %s: %d flow functions monotone and idempotent over %d lattice samples, %d problem(s) converged within %d changing pass(es)",
+			Message: fmt.Sprintf("framework self-check passed for the loop over %s: %d flow functions monotone and idempotent over %d lattice samples, %d problem(s) converged within %d changing pass(es), both solver engines agree",
 				c.Loop.Loop.Var, checked, len(selfCheckSamples), len(names), maxChanged),
 			Detail: map[string]string{
 				"flowFunctions": fmt.Sprintf("%d", checked),
 				"samples":       fmt.Sprintf("%d", len(selfCheckSamples)),
 				"problems":      fmt.Sprintf("%d", len(names)),
 				"changedPasses": fmt.Sprintf("%d", maxChanged),
+				"engines":       "agree",
 			},
 		})
 	}
 	return out
+}
+
+// crossEngineCheck re-solves the problem with the engine that did NOT
+// produce res and compares the fixed-point tuple tables. The two
+// implementations (packed slabs vs the per-node reference solver) share
+// nothing but the spec, so byte-identical tables are strong evidence
+// neither has drifted. A divergence is an error finding: one of the
+// engines is wrong and every analyzer downstream of it is suspect.
+func crossEngineCheck(c *Context, name string, res *dataflow.Result) []diag.Finding {
+	other := dataflow.EngineReference
+	if c.Engine == dataflow.EngineReference {
+		other = dataflow.EnginePacked
+	}
+	res2 := dataflow.Solve(c.Loop.Graph, res.Spec, &dataflow.Options{Engine: other})
+	want := res.TupleTable(-1)
+	got := res2.TupleTable(-1)
+	if want == got {
+		return nil
+	}
+	return []diag.Finding{{
+		Analyzer: "selfcheck",
+		Pos:      c.Loop.Loop.Pos(),
+		Severity: diag.Error,
+		Message: fmt.Sprintf("solver engines diverge on problem %s for the loop over %s: the %s engine's fixed point differs from the %s engine's",
+			name, c.Loop.Loop.Var, engineName(c.Engine), string(other)),
+		Detail: map[string]string{
+			"problem":      name,
+			"engine":       engineName(c.Engine),
+			"crossChecked": string(other),
+		},
+	}}
+}
+
+// engineName renders the engine, mapping the zero value to its default.
+func engineName(e dataflow.Engine) string {
+	if e == "" {
+		return string(dataflow.EnginePacked)
+	}
+	return string(e)
 }
 
 func selfCheckViolation(c *Context, nd *ir.Node, msg string) diag.Finding {

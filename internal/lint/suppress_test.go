@@ -1,0 +1,271 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/lint"
+)
+
+// racyLoop is a loop with one race warning (anchored on the loop line) and
+// one uninit warning (anchored on the load line).
+const racyLoop = "dim A[10]\ndo i = 1, 5\n  A[i+1] := A[i]\nenddo\n"
+
+func findingsByAnalyzer(res *lint.VetResult) map[string][]diag.Finding {
+	out := map[string][]diag.Finding{}
+	for _, f := range res.Findings {
+		out[f.Analyzer] = append(out[f.Analyzer], f)
+	}
+	return out
+}
+
+// TestSuppressDirectiveAboveLine verifies a //lint:ignore comment on the
+// line above a finding suppresses it: the finding stays in the result,
+// flagged, annotated, excluded from the exit code and from text output.
+func TestSuppressDirectiveAboveLine(t *testing.T) {
+	src := "dim A[10]\n//lint:ignore race,uninit single-threaded by construction\ndo i = 1, 5\n  A[i+1] := A[i]\nenddo\n"
+	res := lint.Vet("<test>", src, &lint.Options{Werror: true})
+	if res.FrontEndFailed {
+		t.Fatalf("front end failed: %v", res.Findings)
+	}
+	by := findingsByAnalyzer(res)
+	if len(by["race"]) == 0 || !by["race"][0].Suppressed {
+		t.Errorf("race finding not suppressed: %v", by["race"])
+	}
+	for _, f := range by["race"] {
+		if f.Suppressed {
+			if got := f.Detail["suppressionKind"]; got != "inSource" {
+				t.Errorf("suppressionKind = %q, want inSource", got)
+			}
+			if !strings.Contains(f.Detail["suppressedBy"], "single-threaded by construction") {
+				t.Errorf("suppressedBy lacks the reason: %q", f.Detail["suppressedBy"])
+			}
+		}
+	}
+	if res.Suppressed == 0 {
+		t.Error("Suppressed count is zero")
+	}
+	// uninit anchors on line 4, two below the directive: must stay loud,
+	// and under -werror an unsuppressed warning fails the run.
+	if got := res.ExitCode(); got != 1 {
+		t.Errorf("exit code = %d, want 1 (uninit warning on line 4 is out of directive range)", got)
+	}
+}
+
+// TestSuppressTrailingDirective verifies a trailing //lint:ignore on the
+// finding's own line suppresses it, and that with every warning silenced
+// the -werror exit code drops to 0.
+func TestSuppressTrailingDirective(t *testing.T) {
+	src := "dim A[10]\n//lint:ignore race,uninit benchmark kernel\ndo i = 1, 5\n  A[i+1] := A[i] //lint:ignore uninit first element seeded elsewhere\nenddo\n"
+	res := lint.Vet("<test>", src, &lint.Options{Werror: true})
+	if res.FrontEndFailed {
+		t.Fatalf("front end failed: %v", res.Findings)
+	}
+	for _, f := range res.Findings {
+		if f.Severity >= diag.Warning && !f.Suppressed {
+			t.Errorf("unsuppressed warning remains: %s", f)
+		}
+	}
+	if got := res.ExitCode(); got != 0 {
+		t.Errorf("exit code = %d, want 0 with all warnings suppressed", got)
+	}
+}
+
+// TestSuppressWildcard verifies the "*" analyzer ID silences every
+// analyzer in the directive's line range.
+func TestSuppressWildcard(t *testing.T) {
+	src := "dim A[10]\n//lint:ignore * vendored example\ndo i = 1, 5\n  A[i+1] := A[i]\nenddo\n"
+	res := lint.Vet("<test>", src, nil)
+	by := findingsByAnalyzer(res)
+	for _, f := range by["race"] {
+		if !f.Suppressed {
+			t.Errorf("wildcard directive did not suppress %s", f)
+		}
+	}
+	for _, f := range by["selfcheck"] {
+		if !f.Suppressed {
+			t.Errorf("wildcard directive did not suppress %s", f)
+		}
+	}
+}
+
+// TestSuppressedExcludedFromText verifies text output omits suppressed
+// findings while JSON-bound results keep them.
+func TestSuppressedExcludedFromText(t *testing.T) {
+	src := "dim A[10]\n//lint:ignore * vendored\ndo i = 1, 5\n  A[i+1] := A[i]\nenddo\n"
+	res := lint.Vet("<test>", src, nil)
+	var b strings.Builder
+	if err := diag.WriteText(&b, res.File, res.Findings); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "provably racy") {
+		t.Errorf("suppressed race finding leaked into text output:\n%s", b.String())
+	}
+	kept := false
+	for _, f := range res.Findings {
+		if f.Analyzer == "race" && f.Suppressed {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("suppressed race finding dropped from the result entirely")
+	}
+}
+
+// TestFrontEndFindingsNotSuppressible verifies parse findings stay loud
+// under a wildcard directive: broken source must never be silenced.
+func TestFrontEndFindingsNotSuppressible(t *testing.T) {
+	src := "//lint:ignore * hush\ndo i = 1,\nenddo\n"
+	res := lint.Vet("<test>", src, nil)
+	if res.ExitCode() != 2 {
+		t.Fatalf("exit code = %d, want 2", res.ExitCode())
+	}
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			t.Errorf("front-end finding was suppressed: %s", f)
+		}
+	}
+}
+
+// TestMalformedDirectivesAreParseErrors verifies malformed and unknown
+// lint control comments surface as front-end errors (exit 2) rather than
+// being dropped silently.
+func TestMalformedDirectivesAreParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown_verb", "//lint:nonsense x\ndo i = 1, 5\n  A[i] := 0\nenddo\n"},
+		{"missing_reason", "//lint:ignore race\ndo i = 1, 5\n  A[i] := 0\nenddo\n"},
+		{"empty_id", "//lint:ignore ,race reason here\ndo i = 1, 5\n  A[i] := 0\nenddo\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := lint.Vet("<test>", tc.src, nil)
+			if res.ExitCode() != 2 {
+				t.Fatalf("exit code = %d, want 2 (findings: %v)", res.ExitCode(), res.Findings)
+			}
+		})
+	}
+}
+
+// TestBaselineRoundTrip captures a baseline from one run, applies it to a
+// fresh identical run, and verifies every baselined finding is suppressed
+// (externally) with exit code 0 even under -werror.
+func TestBaselineRoundTrip(t *testing.T) {
+	res := lint.Vet("<test>", racyLoop, nil)
+	if res.ExitCode() != 0 {
+		t.Fatalf("setup: exit = %d, findings %v", res.ExitCode(), res.Findings)
+	}
+	b := lint.NewBaseline(res.Findings)
+	if len(b.Entries) == 0 {
+		t.Fatal("empty baseline from a finding-bearing run")
+	}
+	res2 := lint.Vet("<test>", racyLoop, &lint.Options{Werror: true, Baseline: b})
+	if res2.Baselined == 0 {
+		t.Fatal("baseline suppressed nothing")
+	}
+	for _, f := range res2.Findings {
+		if !f.Suppressed {
+			t.Errorf("finding outside baseline: %s", f)
+			continue
+		}
+		if got := f.Detail["suppressionKind"]; got != "external" {
+			t.Errorf("suppressionKind = %q, want external", got)
+		}
+	}
+	if got := res2.ExitCode(); got != 0 {
+		t.Errorf("exit code = %d, want 0 under a full baseline", got)
+	}
+}
+
+// TestBaselineCountBudget verifies occurrence budgets: a baseline
+// accepting one occurrence of a twice-occurring finding suppresses
+// exactly one (the first in deterministic order) and leaves the second
+// loud.
+func TestBaselineCountBudget(t *testing.T) {
+	// Two structurally identical loops produce two findings with identical
+	// messages at different positions.
+	src := racyLoop + racyLoop
+	res := lint.Vet("<test>", src, nil)
+	b := lint.NewBaseline(res.Findings)
+	var raceCount int
+	for i := range b.Entries {
+		if b.Entries[i].Analyzer == "race" {
+			raceCount = b.Entries[i].Count
+			b.Entries[i].Count = 1
+		}
+	}
+	if raceCount != 2 {
+		t.Fatalf("baseline race count = %d, want 2 (identical loops)", raceCount)
+	}
+	res2 := lint.Vet("<test>", src, &lint.Options{Baseline: b})
+	var suppressed, loud int
+	for _, f := range res2.Findings {
+		if f.Analyzer != "race" {
+			continue
+		}
+		if f.Suppressed {
+			suppressed++
+		} else {
+			loud++
+		}
+	}
+	if suppressed != 1 || loud != 1 {
+		t.Errorf("race findings suppressed/loud = %d/%d, want 1/1", suppressed, loud)
+	}
+}
+
+// TestBaselineNeverHidesFrontEnd verifies parse findings pass through a
+// baseline untouched.
+func TestBaselineNeverHidesFrontEnd(t *testing.T) {
+	b := &lint.Baseline{Entries: []lint.BaselineEntry{{
+		Analyzer: "parse", Severity: "error", Message: "anything", Count: 99,
+	}}}
+	res := lint.Vet("<test>", "do i = 1,\nenddo", &lint.Options{Baseline: b})
+	if res.ExitCode() != 2 {
+		t.Errorf("exit code = %d, want 2", res.ExitCode())
+	}
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			t.Errorf("front-end finding baselined: %s", f)
+		}
+	}
+}
+
+// TestBaselineFileRoundTrip writes a baseline to disk and reads it back.
+func TestBaselineFileRoundTrip(t *testing.T) {
+	res := lint.Vet("<test>", racyLoop, nil)
+	b := lint.NewBaseline(res.Findings)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteBaselineFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(b.Entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got.Entries), len(b.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != b.Entries[i] {
+			t.Errorf("entry %d differs: %+v != %+v", i, got.Entries[i], b.Entries[i])
+		}
+	}
+}
+
+// TestReadBaselineFileErrors verifies missing and malformed baseline files
+// report errors instead of silently yielding an empty baseline.
+func TestReadBaselineFileErrors(t *testing.T) {
+	if _, err := lint.ReadBaselineFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.ReadBaselineFile(path); err == nil {
+		t.Error("malformed file: want error")
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
@@ -49,11 +50,18 @@ func runUninit(c *Context) []diag.Finding {
 		}
 		if r, ok := guaranteed[u]; ok {
 			if r.Distance >= 1 {
-				out = append(out, uninitGapFinding(u, r))
+				f := uninitGapFinding(u, r)
+				if fix, ok := uninitFix(c, u, fmt.Sprintf("%d", r.Distance)); ok {
+					f.SuggestedFixes = append(f.SuggestedFixes, fix)
+				}
+				out = append(out, f)
 			}
 			continue // distance 0: written earlier in the same iteration on every path
 		}
 		if f, ok := uninitMayFinding(u, res); ok {
+			if fix, ok := uninitFix(c, u, ast.ExprString(c.Loop.Loop.Hi)); ok {
+				f.SuggestedFixes = append(f.SuggestedFixes, fix)
+			}
 			out = append(out, f)
 		}
 	}
@@ -127,4 +135,69 @@ func uninitMayFinding(u *ir.Ref, res *dataflow.Result) (diag.Finding, bool) {
 		})
 	}
 	return f, true
+}
+
+// uninitFix suggests a mechanical initialization prologue: a loop inserted
+// immediately above the analyzed loop that zeroes exactly the elements the
+// read touches during the first `bound` iterations (the boundary gap), or
+// over the full trip count for conditional-store reads. The prologue
+// stores to the array before the loop, which is precisely the condition
+// (DefinedBefore) under which the analyzer accepts the read — so the fix
+// provably eliminates its finding and `vet -fix` converges.
+func uninitFix(c *Context, u *ir.Ref, bound string) (diag.SuggestedFix, bool) {
+	if c.Src == "" {
+		return diag.SuggestedFix{}, false
+	}
+	loop := c.Loop.Loop
+	line := loop.Pos().Line
+	text, ok := diag.LineAt(c.Src, line)
+	if !ok || !strings.HasPrefix(strings.TrimLeft(text, " \t"), "do") {
+		return diag.SuggestedFix{}, false
+	}
+	iv := freshName(c.Program, "ii")
+	subs := make([]string, len(u.Expr.Subs))
+	for k, sub := range u.Expr.Subs {
+		subs[k] = ast.ExprString(ast.SubstituteIdent(sub, c.Loop.Graph.IV, &ast.Ident{Name: iv}))
+	}
+	lines := []string{
+		fmt.Sprintf("do %s = 1, %s", iv, bound),
+		fmt.Sprintf("    %s[%s] := 0", u.Array, strings.Join(subs, ", ")),
+		"enddo",
+	}
+	edit, ok := diag.InsertLinesEdit(c.Src, line, lines)
+	if !ok {
+		return diag.SuggestedFix{}, false
+	}
+	return diag.SuggestedFix{
+		Message: fmt.Sprintf("initialize the elements %s reads before the loop", ast.ExprString(u.Expr)),
+		Edits:   []diag.TextEdit{edit},
+	}, true
+}
+
+// freshName returns base, or base with a numeric suffix, such that the
+// name collides with no identifier in the program.
+func freshName(prog *ast.Program, base string) string {
+	used := map[string]bool{}
+	ast.Inspect(prog.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			used[x.Name] = true
+		case *ast.ArrayRef:
+			used[x.Name] = true
+		case *ast.DoLoop:
+			used[x.Var] = true
+		case *ast.Dim:
+			used[x.Name] = true
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for k := 2; ; k++ {
+		cand := fmt.Sprintf("%s%d", base, k)
+		if !used[cand] {
+			return cand
+		}
+	}
 }

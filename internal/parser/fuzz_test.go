@@ -34,6 +34,25 @@ func FuzzParse(f *testing.F) {
 		"dim A",
 		"dim A[",
 		"dim A[]\ndim B[0]\ndim C[-1]",
+		// Lint control directives: well-formed (line, trailing, bang, multi-ID,
+		// wildcard) and malformed (unknown verb, missing reason, empty ID).
+		"//lint:ignore race benchmark kernel\ndo i = 1, 8\n  A[i+1] := A[i]\nenddo",
+		"A[i] := B[i] //lint:ignore uninit seeded by caller",
+		"!lint:ignore race,uninit,deadstore vetted\ndo i = 1, 4\n A[i] := 0\nenddo",
+		"//lint:ignore * vendored example",
+		"//lint:fixme later",
+		"//lint:ignore race",
+		"//lint:ignore ,race why",
+		"//lint:ignore",
+		// Race-classification shapes: racy (carried flow dep), parallel
+		// (disjoint strided cells), unknown (non-affine, scalar carry),
+		// multi-dimensional and negative-stride variants.
+		"dim A[64]\ndo i = 1, 20\n  A[i+2] := A[i] * 2\nenddo",
+		"dim A[64]\ndo i = 1, 10\n  A[2*i] := A[2*i - 1]\nenddo",
+		"do i = 1, 100\n  A[i*i] := B[i]\nenddo",
+		"do i = 1, 50\n  s := C[i] + s\n  D[i] := s\nenddo",
+		"dim M[64, 64]\ndo i = 1, 40\n  M[i+1, 5] := M[i, 5] * 2\nenddo",
+		"dim A[32]\ndo i = 20, 2, -1\n  A[i-1] := A[i] + 1\nenddo",
 	}
 	for _, s := range seeds {
 		f.Add(s)

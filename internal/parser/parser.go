@@ -86,7 +86,7 @@ func parseLexer(lx *lexer.Lexer) (*ast.Program, error) {
 	for _, le := range lx.Errors() {
 		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
 	}
-	prog := &ast.Program{Syms: lx.Interner()}
+	prog := &ast.Program{Syms: lx.Interner(), Directives: lx.Directives()}
 	p.skipSeparators()
 	prog.Body = p.parseBlock(token.EOF)
 	if p.cur().Kind != token.EOF {

@@ -101,7 +101,7 @@ func SortedSymbols(p poly.Poly) []string {
 // subscript, which strength reduction can then remove entirely.
 // Non-polynomial subscripts are left unchanged.
 func CanonicalizeSubscripts(prog *ast.Program) *ast.Program {
-	out := &ast.Program{Body: ast.CloneStmts(prog.Body)}
+	out := &ast.Program{Body: ast.CloneStmts(prog.Body), Syms: prog.Syms, Directives: prog.Directives}
 	ast.Inspect(out.Body, func(n ast.Node) bool {
 		ref, ok := n.(*ast.ArrayRef)
 		if !ok {

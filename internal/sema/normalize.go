@@ -23,8 +23,10 @@ func Normalize(prog *ast.Program) (*ast.Program, error) {
 		return nil, err
 	}
 	// Substitution leaves residue like "1 + (i-1)*3 + 2" in subscripts;
-	// canonicalization collapses it back to affine form ("3*i").
-	return CanonicalizeSubscripts(&ast.Program{Body: body}), nil
+	// canonicalization collapses it back to affine form ("3*i"). The intern
+	// table and lint directives carry over: normalization rewrites
+	// statements, not identities or comments.
+	return CanonicalizeSubscripts(&ast.Program{Body: body, Syms: prog.Syms, Directives: prog.Directives}), nil
 }
 
 func normalizeBlock(body []ast.Stmt) ([]ast.Stmt, error) {

@@ -251,3 +251,22 @@ func (k Kind) IsAdditive() bool { return k == PLUS || k == MINUS }
 
 // IsMultiplicative reports whether the kind is *, / or %.
 func (k Kind) IsMultiplicative() bool { return k == STAR || k == SLASH || k == MOD }
+
+// Directive is a source-level control comment recognized by the lexer.
+// The only form currently defined is the suppression directive
+//
+//	//lint:ignore id1[,id2,...] reason
+//
+// (the '!' comment marker works too). A directive suppresses matching
+// findings reported on its own line or on the line immediately below it;
+// the static analysis layer (internal/lint) performs the matching.
+type Directive struct {
+	// Pos is the position of the comment marker that introduced the
+	// directive.
+	Pos Pos
+	// IDs are the analyzer IDs the directive names; "*" matches every
+	// analyzer.
+	IDs []string
+	// Reason is the mandatory free-text justification.
+	Reason string
+}
