@@ -25,6 +25,7 @@ package arrayflow
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/ast"
 	"repro/internal/baseline"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/problems"
 	"repro/internal/regalloc"
 	"repro/internal/sema"
+	"repro/internal/service"
 	"repro/internal/tac"
 	"repro/internal/tacopt"
 )
@@ -333,6 +335,51 @@ func WriteFindingsText(w io.Writer, file string, fs []Finding) error {
 func WriteFindingsJSON(w io.Writer, file string, fs []Finding) error {
 	return diag.WriteJSON(w, file, fs)
 }
+
+// Analysis service (internal/service) — the HTTP/JSON daemon behind
+// `arrayflow serve`. docs/API.md is the wire reference, docs/OPERATIONS.md
+// the runbook.
+
+type (
+	// Service is the analysis daemon: admission control, per-request
+	// deadlines, and handlers whose responses are byte-identical to the
+	// CLI's output. Mount Handler() on an http.Server.
+	Service = service.Server
+	// ServiceOptions configures a Service (workers, queue depth, deadline,
+	// body cap, cache, engine). The zero value is usable.
+	ServiceOptions = service.Options
+	// ServiceStats is the /v1/stats snapshot document.
+	ServiceStats = service.Stats
+	// ServiceClient is an HTTP client for the /v1 API.
+	ServiceClient = service.Client
+	// ServiceStatusError is the typed error ServiceClient returns for
+	// non-200 responses (status, machine-readable code, body, Retry-After).
+	ServiceStatusError = service.StatusError
+	// ServiceBatchRequest is the /v1/batch request document.
+	ServiceBatchRequest = service.BatchRequest
+	// ServiceBatchProgram is one named program inside a ServiceBatchRequest.
+	ServiceBatchProgram = service.BatchProgram
+	// ServiceBatchItem is one program's outcome in a batch NDJSON stream.
+	ServiceBatchItem = service.BatchItem
+	// ServiceVetResponse is a ServiceClient.Vet outcome: the rendered body
+	// plus the CLI exit-contract value from X-Arrayflow-Exit.
+	ServiceVetResponse = service.VetResponse
+)
+
+// NewService returns an analysis daemon with opts resolved to documented
+// defaults (nil = all defaults): GOMAXPROCS workers, a 256-deep queue, a
+// 10-second per-request deadline, a 1 MiB body cap, the packed engine, and
+// the process-global sharded memo cache.
+func NewService(opts *ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceHandler is NewService(opts).Handler() — the one-liner for
+// embedding the /v1 API into an existing mux or httptest server.
+func NewServiceHandler(opts *ServiceOptions) http.Handler { return service.New(opts).Handler() }
+
+// NewServiceClient returns a client for a running service (e.g.
+// "http://127.0.0.1:8377"). Its Analyze/Vet bodies are byte-identical to
+// the corresponding CLI stdout.
+func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
 
 // Render helpers.
 

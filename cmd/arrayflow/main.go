@@ -28,6 +28,18 @@
 //
 //	arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] path...
 //
+// The serve mode runs the analyses as a long-lived HTTP/JSON daemon —
+// /v1/analyze, /v1/vet, /v1/batch, and /v1/stats over the shared sharded
+// memo cache, with queue-depth admission control (429 + Retry-After on
+// overload), per-request deadlines, and a graceful SIGTERM drain that
+// exits 0. Responses are byte-identical to the corresponding CLI output;
+// the wire reference lives in docs/API.md and the runbook in
+// docs/OPERATIONS.md:
+//
+//	arrayflow serve [-addr host:port] [-workers n] [-max-queue n]
+//	                [-deadline d] [-cache-cap n] [-max-body n] [-nocache]
+//	                [-drain-timeout d] [-engine packed|reference]
+//
 // With no file the program is read from stdin. With no file and no piped
 // input, the paper's Figure 1 loop is analyzed.
 package main
@@ -118,6 +130,10 @@ func main() {
 	}
 	if len(os.Args) >= 2 && os.Args[1] == "batch" {
 		runBatch(os.Args[2:])
+		return
+	}
+	if len(os.Args) >= 2 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 

@@ -1,0 +1,374 @@
+// Command loadgen replays concurrent mixed analyze/vet/batch traffic
+// against a running `arrayflow serve` and records latency quantiles and
+// throughput as JSON — the service-layer counterpart of scripts/bench.sh's
+// solver benchmarks, and the regression gate for BENCH_PR6.json.
+//
+//	loadgen -url http://127.0.0.1:8377 [-concurrency n] [-duration d]
+//	        [-corpus dir] [-synth n] [-mix analyze:vet:batch]
+//	        [-out BENCH_PR6.json] [-baseline BENCH_PR6.json] [-maxregress f]
+//
+// Each worker loops until the duration elapses: it draws a request kind
+// from the mix and a program from the corpus (examples/*.loop plus
+// synth.MultiLoopProgram renderings), sends it, and records the latency.
+// Responses with status 200 or 422 count as completed (422 is the
+// analyzable-failure contract: the service answered); 429 counts as
+// rejected — the overload posture working as designed, reported but never
+// a failure; anything else (5xx, transport errors) is a failure and fails
+// the run.
+//
+// With -baseline, the snapshot is diffed against a previous one: the run
+// fails when p99 latency grew beyond maxregress× the baseline or
+// throughput fell below 1/maxregress of it. Latency gates are looser than
+// the solver's 10% ns/op gate because wall-clock service latency is noisy
+// across machines; tighten -maxregress on dedicated hardware.
+//
+// Exit status: 0 on success, 1 on request failures or a regression, 2 on
+// usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/service"
+	"repro/internal/synth"
+)
+
+// program is one corpus entry.
+type program struct {
+	name string
+	src  string
+}
+
+// result is one worker's tally.
+type result struct {
+	latencies []time.Duration
+	completed int64
+	rejected  int64
+	failed    int64
+	frontEnd  int64
+	byKind    [3]int64
+}
+
+// request kinds, indexed by the mix draw.
+const (
+	kindAnalyze = iota
+	kindVet
+	kindBatch
+)
+
+// snapshot is the JSON document written to -out and read by -baseline.
+type snapshot struct {
+	Loadgen struct {
+		URL         string  `json:"url"`
+		Concurrency int     `json:"concurrency"`
+		DurationS   float64 `json:"duration_s"`
+		Corpus      int     `json:"corpus_programs"`
+
+		Requests   int64   `json:"requests"`
+		Completed  int64   `json:"completed"`
+		Rejected   int64   `json:"rejected_429"`
+		Failed     int64   `json:"failed"`
+		FrontEnd   int64   `json:"front_end_422"`
+		Throughput float64 `json:"throughput_rps"`
+
+		Mix struct {
+			Analyze int64 `json:"analyze"`
+			Vet     int64 `json:"vet"`
+			Batch   int64 `json:"batch"`
+		} `json:"mix"`
+
+		LatencyMS struct {
+			P50 float64 `json:"p50"`
+			P90 float64 `json:"p90"`
+			P99 float64 `json:"p99"`
+			Max float64 `json:"max"`
+		} `json:"latency_ms"`
+	} `json:"loadgen"`
+}
+
+func main() {
+	urlFlag := flag.String("url", "", "base URL of a running arrayflow serve (required)")
+	concurrency := flag.Int("concurrency", 64, "concurrent request workers")
+	duration := flag.Duration("duration", 10*time.Second, "how long to send traffic")
+	corpusDir := flag.String("corpus", "examples", "directory of .loop programs to replay")
+	synthN := flag.Int("synth", 8, "synthetic multi-loop programs to add to the corpus")
+	mixFlag := flag.String("mix", "5:3:2", "request mix weights analyze:vet:batch")
+	out := flag.String("out", "", "write the JSON snapshot to this file")
+	baseline := flag.String("baseline", "", "diff the snapshot against this previous one")
+	maxRegress := flag.Float64("maxregress", 2.0, "fail when p99 exceeds (or throughput falls below 1/) this factor vs the baseline")
+	flag.Parse()
+	if *urlFlag == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	corpus, err := loadCorpus(*corpusDir, *synthN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if len(corpus) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: empty corpus")
+		os.Exit(2)
+	}
+
+	client := service.NewClient(*urlFlag)
+	ctx := context.Background()
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d workers, %s, %d corpus programs, mix %s against %s\n",
+		*concurrency, *duration, len(corpus), *mixFlag, *urlFlag)
+	results := make([]result, *concurrency)
+	start := time.Now()
+	stop := start.Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker(ctx, client, corpus, mix, stop, int64(w), &results[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := summarize(*urlFlag, *concurrency, elapsed, len(corpus), results)
+	report(os.Stderr, &snap)
+	if *out != "" {
+		raw, _ := json.MarshalIndent(&snap, "", "  ")
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	}
+
+	exit := 0
+	if snap.Loadgen.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d request failures\n", snap.Loadgen.Failed)
+		exit = 1
+	}
+	if snap.Loadgen.Completed == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: no request completed")
+		exit = 1
+	}
+	if *baseline != "" {
+		if err := diffBaseline(&snap, *baseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL:", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// worker sends requests until the stop time, recording into res. The mix
+// and corpus draws come from a per-worker seeded generator so the overall
+// request distribution is reproducible run to run.
+func worker(ctx context.Context, client *service.Client, corpus []program, mix [3]int, stop time.Time, seed int64, res *result) {
+	rng := rand.New(rand.NewSource(1_000_003*seed + 17))
+	total := mix[0] + mix[1] + mix[2]
+	for time.Now().Before(stop) {
+		kind := kindAnalyze
+		switch d := rng.Intn(total); {
+		case d < mix[0]:
+			kind = kindAnalyze
+		case d < mix[0]+mix[1]:
+			kind = kindVet
+		default:
+			kind = kindBatch
+		}
+		res.byKind[kind]++
+		p := corpus[rng.Intn(len(corpus))]
+		t0 := time.Now()
+		var err error
+		switch kind {
+		case kindAnalyze:
+			_, err = client.Analyze(ctx, p.name, p.src)
+		case kindVet:
+			format := [...]string{"text", "json", "sarif"}[rng.Intn(3)]
+			_, err = client.Vet(ctx, p.name, p.src, format, false)
+		case kindBatch:
+			req := &service.BatchRequest{}
+			for n := 2 + rng.Intn(4); n > 0; n-- {
+				q := corpus[rng.Intn(len(corpus))]
+				req.Programs = append(req.Programs, service.BatchProgram{Name: q.name, Src: q.src})
+			}
+			_, err = client.Batch(ctx, req)
+		}
+		lat := time.Since(t0)
+		switch se := err.(type) {
+		case nil:
+			res.completed++
+			res.latencies = append(res.latencies, lat)
+		case *service.StatusError:
+			switch se.Status {
+			case 422:
+				// The service analyzed and answered: an intentionally
+				// invalid corpus program, not a service failure.
+				res.completed++
+				res.frontEnd++
+				res.latencies = append(res.latencies, lat)
+			case 429:
+				res.rejected++
+				if se.RetryAfter > 0 {
+					// Back off a fraction of the hint so the run keeps
+					// pressure on without hammering a refusing server.
+					time.Sleep(time.Duration(se.RetryAfter) * time.Millisecond * 10)
+				}
+			default:
+				res.failed++
+			}
+		default:
+			res.failed++
+		}
+	}
+}
+
+// summarize folds the per-worker results into the JSON snapshot.
+func summarize(url string, concurrency int, elapsed time.Duration, corpus int, results []result) snapshot {
+	var snap snapshot
+	l := &snap.Loadgen
+	l.URL = url
+	l.Concurrency = concurrency
+	l.DurationS = elapsed.Seconds()
+	l.Corpus = corpus
+	var all []time.Duration
+	for i := range results {
+		r := &results[i]
+		l.Completed += r.completed
+		l.Rejected += r.rejected
+		l.Failed += r.failed
+		l.FrontEnd += r.frontEnd
+		l.Mix.Analyze += r.byKind[kindAnalyze]
+		l.Mix.Vet += r.byKind[kindVet]
+		l.Mix.Batch += r.byKind[kindBatch]
+		all = append(all, r.latencies...)
+	}
+	l.Requests = l.Completed + l.Rejected + l.Failed
+	if elapsed > 0 {
+		l.Throughput = float64(l.Completed) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds()) / 1000.0
+	}
+	l.LatencyMS.P50 = q(0.50)
+	l.LatencyMS.P90 = q(0.90)
+	l.LatencyMS.P99 = q(0.99)
+	if len(all) > 0 {
+		l.LatencyMS.Max = float64(all[len(all)-1].Microseconds()) / 1000.0
+	}
+	return snap
+}
+
+// report prints the human-readable summary.
+func report(w *os.File, snap *snapshot) {
+	l := &snap.Loadgen
+	fmt.Fprintf(w, "loadgen: %d requests in %.1fs — %.0f req/s, %d completed (%d front-end 422), %d rejected (429), %d failed\n",
+		l.Requests, l.DurationS, l.Throughput, l.Completed, l.FrontEnd, l.Rejected, l.Failed)
+	fmt.Fprintf(w, "loadgen: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f; mix analyze/vet/batch %d/%d/%d\n",
+		l.LatencyMS.P50, l.LatencyMS.P90, l.LatencyMS.P99, l.LatencyMS.Max,
+		l.Mix.Analyze, l.Mix.Vet, l.Mix.Batch)
+}
+
+// diffBaseline compares the snapshot against a previous one under the
+// regression factor.
+func diffBaseline(snap *snapshot, path string, factor float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	b, l := &base.Loadgen, &snap.Loadgen
+	fmt.Fprintf(os.Stderr, "loadgen: baseline %s: p99 %.2fms -> %.2fms, throughput %.0f -> %.0f req/s\n",
+		path, b.LatencyMS.P99, l.LatencyMS.P99, b.Throughput, l.Throughput)
+	if b.LatencyMS.P99 > 0 && l.LatencyMS.P99 > factor*b.LatencyMS.P99 {
+		return fmt.Errorf("p99 latency regressed %.2fms -> %.2fms (limit %.1fx)",
+			b.LatencyMS.P99, l.LatencyMS.P99, factor)
+	}
+	if b.Throughput > 0 && l.Throughput < b.Throughput/factor {
+		return fmt.Errorf("throughput regressed %.0f -> %.0f req/s (limit 1/%.1fx)",
+			b.Throughput, l.Throughput, factor)
+	}
+	return nil
+}
+
+// parseMix parses "a:v:b" integer weights.
+func parseMix(s string) ([3]int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("bad -mix %q (want analyze:vet:batch weights)", s)
+	}
+	var mix [3]int
+	sum := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return mix, fmt.Errorf("bad -mix weight %q", p)
+		}
+		mix[i] = n
+		sum += n
+	}
+	if sum == 0 {
+		return mix, fmt.Errorf("-mix weights sum to zero")
+	}
+	return mix, nil
+}
+
+// loadCorpus reads every .loop file under dir and appends synthN rendered
+// synth.MultiLoopProgram programs, so the replay mixes real examples
+// (including intentionally-invalid ones) with cache-hostile synthetic
+// many-loop programs.
+func loadCorpus(dir string, synthN int) ([]program, error) {
+	var corpus []program
+	files, err := filepath.Glob(filepath.Join(dir, "*.loop"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, program{name: f, src: string(src)})
+	}
+	for i := 0; i < synthN; i++ {
+		prog := synth.MultiLoopProgram(synth.MultiParams{
+			Seed: int64(100 + i), Loops: 6, StmtsPer: 4,
+			NestEvery: i%3 + 1, DistinctBodies: i%4 + 1, UB: 64,
+		})
+		corpus = append(corpus, program{
+			name: fmt.Sprintf("<synth-%d>", i),
+			src:  ast.ProgramString(prog),
+		})
+	}
+	return corpus, nil
+}

@@ -1,7 +1,9 @@
 package arrayflow_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 
 	arrayflow "repro"
 )
@@ -97,4 +99,27 @@ enddo
 	// register allocation (k=16):
 	//   A[i + 2]       depth=3 access=2 priority=0.6667  allocated pipe.A.1.0,pipe.A.1.1,pipe.A.1.2
 	//   X              depth=1 access=1 priority=0.0000  allocated X
+}
+
+// ExampleNewServiceHandler runs the analysis daemon in-process and drives
+// it with the bundled client: the served report is byte-identical to what
+// `arrayflow -program` prints for the same source.
+func ExampleNewServiceHandler() {
+	ts := httptest.NewServer(arrayflow.NewServiceHandler(nil))
+	defer ts.Close()
+
+	client := arrayflow.NewServiceClient(ts.URL)
+	report, err := client.Analyze(context.Background(), "pipeline.loop", `
+do i = 1, 8
+  A[i+1] := A[i] + 1
+enddo
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(report)
+	// Output:
+	// program analysis: 1 loops (innermost first)
+	// loop i (depth 1, 2 nodes):
+	//   reuse: use A[i]@n1 reuses A[i + 1] @ distance 1
 }

@@ -8,13 +8,25 @@
 # point: any benchmark present in both that regressed by more than 10%
 # ns/op fails the run (cmd/benchjson -diff).
 #
+# A second, service-layer phase then starts `arrayflow serve` on an
+# ephemeral port, replays concurrent mixed analyze/vet/batch traffic with
+# cmd/loadgen, and records p50/p99 latency and throughput into
+# BENCH_PR6.json — diffed against the previous BENCH_PR6.json under
+# loadgen's -maxregress gate. docs/OPERATIONS.md explains how to read the
+# diff.
+#
 # Usage: scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCH_PATTERN    benchmark regexp (default: the solver engine suite)
-#   BENCH_TIME       go test -benchtime value (default 1s; CI may lower it)
-#   BENCH_BASELINE   baseline snapshot to diff against (default
-#                    BENCH_PR3.json; set empty to skip the diff)
+#   BENCH_PATTERN      benchmark regexp (default: the solver engine suite)
+#   BENCH_TIME         go test -benchtime value (default 1s; CI may lower it)
+#   BENCH_BASELINE     baseline snapshot to diff against (default
+#                      BENCH_PR3.json; set empty to skip the diff)
+#   SERVE_BENCH        set to 0 to skip the service load phase
+#   SERVE_OUT          service snapshot path (default BENCH_PR6.json)
+#   SERVE_CONCURRENCY  loadgen workers (default 1000)
+#   SERVE_DURATION     loadgen duration (default 10s)
+#   SERVE_MAXREGRESS   loadgen regression factor (default 2.0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,3 +47,58 @@ else
   go run ./cmd/benchjson -o "$OUT" < "$TMP"
   echo "wrote $OUT"
 fi
+
+# ---- service load phase ----------------------------------------------------
+
+if [ "${SERVE_BENCH:-1}" = "0" ]; then
+  exit 0
+fi
+
+SERVE_OUT="${SERVE_OUT:-BENCH_PR6.json}"
+SERVE_CONCURRENCY="${SERVE_CONCURRENCY:-1000}"
+SERVE_DURATION="${SERVE_DURATION:-10s}"
+SERVE_MAXREGRESS="${SERVE_MAXREGRESS:-2.0}"
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  rm -f "$TMP"
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -TERM "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/arrayflow" ./cmd/arrayflow
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+# Start the daemon on an ephemeral port and scrape the resolved address
+# from its startup line on stderr.
+"$WORK/arrayflow" serve -addr 127.0.0.1:0 2> "$WORK/serve.log" &
+SERVE_PID=$!
+URL=""
+for _ in $(seq 1 100); do
+  URL="$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$WORK/serve.log" | head -1)"
+  [ -n "$URL" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; echo "arrayflow serve died"; exit 1; }
+  sleep 0.1
+done
+[ -n "$URL" ] || { echo "could not scrape serve address"; exit 1; }
+
+# loadgen writes -out before it reads -baseline, so preserve the previous
+# snapshot for the diff.
+LOADGEN_ARGS=(-url "$URL" -concurrency "$SERVE_CONCURRENCY" -duration "$SERVE_DURATION" -out "$SERVE_OUT" -maxregress "$SERVE_MAXREGRESS")
+if [ -f "$SERVE_OUT" ]; then
+  cp "$SERVE_OUT" "$WORK/serve-baseline.json"
+  LOADGEN_ARGS+=(-baseline "$WORK/serve-baseline.json")
+fi
+"$WORK/loadgen" "${LOADGEN_ARGS[@]}"
+echo "wrote $SERVE_OUT"
+
+# A clean SIGTERM drain is part of the bench contract: the daemon must
+# exit 0 after the load.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
