@@ -60,6 +60,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/goimport"
 	"repro/internal/ir"
 	"repro/internal/lint"
 	"repro/internal/parser"
@@ -367,6 +368,8 @@ func expandBatchPaths(args []string) ([]string, error) {
 func runVet(args []string) {
 	fs := flag.NewFlagSet("arrayflow vet", flag.ExitOnError)
 	format := fs.String("format", "text", "output format: text, json, or sarif (SARIF 2.1.0)")
+	lang := fs.String("lang", "loop", "input language: loop (mini-language file) or go (package pattern, e.g. ./...)")
+	includeTests := fs.Bool("include-tests", false, "with -lang go, also analyze _test.go files")
 	fix := fs.Bool("fix", false, "apply suggested fixes to the file in place, re-analyzing until none apply")
 	werror := fs.Bool("werror", false, "treat warning findings as errors for the exit status")
 	baselinePath := fs.String("baseline", "", "suppress the findings accepted by this baseline file")
@@ -378,7 +381,7 @@ func runVet(args []string) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file|pattern]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -386,12 +389,11 @@ func runVet(args []string) {
 		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -format %q (want text, json, or sarif)\n", *format)
 		os.Exit(2)
 	}
-	engine := parseEngine(*engineFlag)
-	src, file, err := readSource(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+	if *lang != "loop" && *lang != "go" {
+		fmt.Fprintf(os.Stderr, "arrayflow vet: unknown -lang %q (want loop or go)\n", *lang)
 		os.Exit(2)
 	}
+	engine := parseEngine(*engineFlag)
 	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine, Werror: *werror}
 	if *baselinePath != "" && !*updateBaseline {
 		b, err := lint.ReadBaselineFile(*baselinePath)
@@ -400,6 +402,17 @@ func runVet(args []string) {
 			os.Exit(2)
 		}
 		opts.Baseline = b
+	}
+
+	if *lang == "go" {
+		runVetGo(fs.Arg(0), opts, *format, *fix, *includeTests, *baselinePath, *updateBaseline, *metrics, *cpuprofile, *memprofile)
+		return
+	}
+
+	src, file, err := readSource(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		os.Exit(2)
 	}
 	// Profiles start here so they cover the analysis, and are flushed
 	// explicitly on every exit path (os.Exit skips defers).
@@ -471,6 +484,73 @@ func runVet(args []string) {
 	if *metrics && res.Analysis != nil {
 		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
 		fmt.Fprint(os.Stderr, res.Analysis.Metrics.Report())
+	}
+	stopProfiles()
+	os.Exit(res.ExitCode())
+}
+
+// runVetGo implements `arrayflow vet -lang go`: the pattern (a package
+// directory, dir/..., or a single .go file; default ./...) is imported
+// through internal/goimport, every lowered loop nest is analyzed with the
+// full analyzer set, and findings — including the importer's positioned
+// blocker findings — print against the real .go files. The exit contract
+// matches the mini-language path; -fix is rejected (suggested fixes splice
+// mini-language text, not Go).
+func runVetGo(pattern string, opts *lint.Options, format string, fix, includeTests bool, baselinePath string, updateBaseline, metrics bool, cpuprofile, memprofile string) {
+	if fix {
+		fmt.Fprintln(os.Stderr, "arrayflow vet: -fix is not supported with -lang go")
+		os.Exit(2)
+	}
+	if pattern == "" {
+		pattern = "./..."
+	}
+	startProfiles(cpuprofile, memprofile)
+	res, err := goimport.Vet(pattern, includeTests, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		stopProfiles()
+		os.Exit(2)
+	}
+
+	if updateBaseline {
+		if baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "arrayflow vet: -updatebaseline needs -baseline file")
+			stopProfiles()
+			os.Exit(2)
+		}
+		if res.FrontEndFailed {
+			fmt.Fprintln(os.Stderr, "arrayflow vet: refusing to baseline a source that does not analyze")
+			stopProfiles()
+			os.Exit(2)
+		}
+		b := lint.NewBaseline(res.Findings)
+		if err := b.WriteBaselineFile(baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "arrayflow vet: wrote %d baseline entrie(s) to %s\n", len(b.Entries), baselinePath)
+		stopProfiles()
+		os.Exit(0)
+	}
+
+	switch format {
+	case "json":
+		err = diag.WriteJSON(os.Stdout, pattern, res.Findings)
+	case "sarif":
+		err = diag.WriteSARIF(os.Stdout, pattern, goimport.RuleMetas(), res.Findings)
+	default:
+		err = diag.WriteText(os.Stdout, pattern, res.Findings)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arrayflow vet:", err)
+		stopProfiles()
+		os.Exit(2)
+	}
+	if metrics {
+		entries, hits, misses := driver.CacheStats()
+		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
+		fmt.Fprintf(os.Stderr, "  cache: %d entries, hits/misses %d/%d\n", entries, hits, misses)
 	}
 	stopProfiles()
 	os.Exit(res.ExitCode())

@@ -1,0 +1,238 @@
+// Package kernels collects canonical array loop nests in plain Go. They
+// are the Go-front-end counterparts of the mini-language programs under
+// examples/: `arrayflow vet -lang go ./examples/go` lowers every loop here
+// through internal/goimport, and the corpus and differential tests use
+// them as a known-shape extraction baseline (each function lowers fully —
+// no blockers).
+package kernels
+
+// Saxpy is the classic a[i] += s*b[i] single-loop kernel: every iteration
+// touches disjoint elements, so the loop is parallel.
+func Saxpy(a, b []int, s int) {
+	for i := 0; i < len(a); i++ {
+		a[i] = a[i] + s*b[i]
+	}
+}
+
+// Copy writes b into a index-aligned; with distinct (non-aliasing)
+// slices, the loop is parallel.
+func Copy(a, b []int) {
+	for i := range a {
+		a[i] = b[i]
+	}
+}
+
+// ShiftLeft reads the right neighbor: a loop-carried anti-dependence with
+// distance 1.
+func ShiftLeft(a []int, n int) {
+	for i := 0; i < n-1; i++ {
+		a[i] = a[i+1]
+	}
+}
+
+// Recurrence is the true loop-carried flow dependence a[i] = a[i-1]+b[i]:
+// distance 1, not parallelizable.
+func Recurrence(a, b []int, n int) {
+	for i := 1; i < n; i++ {
+		a[i] = a[i-1] + b[i]
+	}
+}
+
+// SumReduce accumulates into a scalar: the array reads are independent,
+// the scalar carries the dependence.
+func SumReduce(a []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+	}
+	return s
+}
+
+// RangeSum is SumReduce in value-binding range form: the element copy v
+// lowers as a body-leading v := a[i+1] assignment.
+func RangeSum(a []int) int {
+	s := 0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// DotProduct reads two arrays index-aligned into a scalar accumulator.
+func DotProduct(a, b []int) int {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Downward walks the loop backward with a negative step.
+func Downward(a []int, n int) {
+	for i := n - 1; i >= 0; i-- {
+		a[i] = a[i] + 1
+	}
+}
+
+// Strided touches every second element: constant step 2.
+func Strided(a []int, n int) {
+	for i := 0; i < n; i += 2 {
+		a[i] = 2 * a[i]
+	}
+}
+
+// DeadStore overwrites each element written by the first statement before
+// any read: the first store is dead at distance 0.
+func DeadStore(a, b []int, n int) {
+	for i := 0; i < n; i++ {
+		a[i] = b[i]
+		a[i] = b[i] + 1
+	}
+}
+
+// Reuse reads the element stored one iteration earlier: a guaranteed
+// reuse at distance 1 the scalar-replacement optimization targets.
+func Reuse(a, b []int, n int) {
+	for i := 1; i < n; i++ {
+		a[i] = b[i]
+		b[i] = a[i-1]
+	}
+}
+
+// Stencil3 is a three-point read stencil into a separate output.
+func Stencil3(out, in []int, n int) {
+	for i := 1; i < n-1; i++ {
+		out[i] = in[i-1] + in[i] + in[i+1]
+	}
+}
+
+// MatMul4 is a fully-constant 4x4 matrix multiply over true 2-D arrays:
+// the dim declarations come from the go/types array lengths.
+func MatMul4(c, a, b *[4][4]int) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c[i][j] = 0
+			for k := 0; k < 4; k++ {
+				c[i][j] = c[i][j] + a[i][k]*b[k][j]
+			}
+		}
+	}
+}
+
+// Transpose8 swaps a constant 8x8 array into a second one.
+func Transpose8(dst, src *[8][8]int) {
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			dst[j][i] = src[i][j]
+		}
+	}
+}
+
+// Triangular visits the lower triangle: the inner bound reads the outer
+// induction variable.
+func Triangular(m *[8][8]int) {
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			m[i][j] = i + j
+		}
+	}
+}
+
+// PrefixSum carries a scalar accumulator across iterations.
+func PrefixSum(a []int) {
+	s := 0
+	for i := 0; i < len(a); i++ {
+		s += a[i]
+		a[i] = s
+	}
+}
+
+// Fill is range-over-int (Go 1.22): for i := range n.
+func Fill(a []int, n, v int) {
+	for i := range n {
+		a[i] = v
+	}
+}
+
+// Interleave writes even and odd halves from two sources in one body.
+func Interleave(out, lo, hi []int, n int) {
+	for i := 0; i < n; i++ {
+		out[2*i] = lo[i]
+		out[2*i+1] = hi[i]
+	}
+}
+
+// Conditional guards the store: control dependence inside the body.
+func Conditional(a, b []int, n, t int) {
+	for i := 0; i < n; i++ {
+		if b[i] > t {
+			a[i] = b[i]
+		} else {
+			a[i] = t
+		}
+	}
+}
+
+// MaxScan tracks a running maximum through a conditional.
+func MaxScan(a []int) int {
+	m := 0
+	for i := 0; i < len(a); i++ {
+		if a[i] > m {
+			m = a[i]
+		}
+	}
+	return m
+}
+
+// Gather reads through an index expression with a multiplied offset.
+func Gather(out, in []int, n, k int) {
+	for i := 0; i < n; i++ {
+		out[i] = in[k*i]
+	}
+}
+
+// Wavefront is the 2-D recurrence m[i][j] = m[i-1][j] + m[i][j-1].
+func Wavefront(m *[6][6]int) {
+	for i := 1; i < 6; i++ {
+		for j := 1; j < 6; j++ {
+			m[i][j] = m[i-1][j] + m[i][j-1]
+		}
+	}
+}
+
+// EvenOdd splits one pass into two sequential loops in the same function.
+func EvenOdd(a []int, n int) {
+	for i := 0; i < n; i += 2 {
+		a[i] = 0
+	}
+	for i := 1; i < n; i += 2 {
+		a[i] = 1
+	}
+}
+
+// ScaleInPlace multiplies every element through a range loop with an
+// explicit index read-modify-write.
+func ScaleInPlace(a []int, s int) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Histogram8 counts values into a constant-size table through a computed
+// subscript (non-affine in the paper's sense: the verdict is unknown).
+func Histogram8(h *[8]int, a []int) {
+	for i := 0; i < len(a); i++ {
+		h[a[i]%8]++
+	}
+}
+
+// Smooth applies a second pass over the first pass's output: two loops
+// with a cross-loop dependence.
+func Smooth(a, tmp []int, n int) {
+	for i := 1; i < n-1; i++ {
+		tmp[i] = a[i-1] + a[i] + a[i+1]
+	}
+	for i := 1; i < n-1; i++ {
+		a[i] = tmp[i] / 3
+	}
+}

@@ -55,8 +55,11 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 
 // Related points at a secondary position that explains a finding (the
 // overwriting store of a dead store, the blocking reference pair of a
-// non-parallelizable loop).
+// non-parallelizable loop). File, when non-empty, names the source file the
+// position belongs to; empty means "same file as the run" (single-file
+// mini-language inputs never set it).
 type Related struct {
+	File    string    `json:"file,omitempty"`
 	Pos     token.Pos `json:"pos"`
 	Message string    `json:"message"`
 }
@@ -85,6 +88,11 @@ type Finding struct {
 	// Analyzer is the stable ID of the producing analyzer (e.g.
 	// "deadstore"); parse and semantic errors use "parse" and "sema".
 	Analyzer string `json:"analyzer"`
+	// File names the source file the finding points into, relative to the
+	// module root, for multi-file front ends (the Go importer). Empty means
+	// the single source of the run: renderers then fall back to the run's
+	// display name, which keeps single-file mini-language output unchanged.
+	File string `json:"file,omitempty"`
 	// Pos is the primary source position; End, when valid, closes a range
 	// (an invalid End means the finding covers a single point).
 	Pos token.Pos `json:"pos"`
@@ -114,10 +122,15 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s: %s", f.Pos, f.Severity, f.Analyzer, f.Message)
 }
 
-// Less is the total deterministic order over findings: by position first
-// (source order is what a reader scans by), then analyzer ID, severity,
-// message, and finally the detail rendering as an ultimate tie-break.
+// Less is the total deterministic order over findings: by file first
+// (multi-file runs group per artifact; the empty file of single-source
+// runs sorts before any named one), then position (source order is what a
+// reader scans by), then analyzer ID, severity, message, and finally the
+// detail rendering as an ultimate tie-break.
 func Less(a, b Finding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
 	if a.Pos.Line != b.Pos.Line {
 		return a.Pos.Line < b.Pos.Line
 	}
@@ -170,6 +183,9 @@ func Dedup(fs []Finding) []Finding {
 }
 
 func equal(a, b Finding) bool {
+	if a.File != b.File {
+		return false
+	}
 	if a.Analyzer != b.Analyzer || a.Pos != b.Pos || a.End != b.End ||
 		a.Severity != b.Severity || a.Message != b.Message ||
 		len(a.Related) != len(b.Related) {
@@ -207,6 +223,10 @@ func MaxSeverity(fs []Finding) (Severity, bool) {
 // Suppressed findings (//lint:ignore, baseline) are omitted — text output
 // is the human-facing view of what still needs attention; JSON and SARIF
 // carry the suppressed findings with their justification.
+//
+// file is the run's display name, used for findings that do not carry
+// their own File (single-source front ends); findings with File set (the
+// Go importer's module-root-relative paths) print it instead.
 func WriteText(w io.Writer, file string, fs []Finding) error {
 	// Render into one pre-sized builder and write once: the per-line
 	// Fprintf-to-w pattern cost a write call per finding, which dominated
@@ -214,7 +234,7 @@ func WriteText(w io.Writer, file string, fs []Finding) error {
 	var b strings.Builder
 	size := 0
 	for _, f := range fs {
-		size += len(file) + len(f.Message) + 48
+		size += len(file) + len(f.File) + len(f.Message) + 48
 		for _, r := range f.Related {
 			size += len(file) + len(r.Message) + 24
 		}
@@ -224,13 +244,22 @@ func WriteText(w io.Writer, file string, fs []Finding) error {
 		if f.Suppressed {
 			continue
 		}
-		fmt.Fprintf(&b, "%s:%s\n", file, f)
+		fmt.Fprintf(&b, "%s:%s\n", artifactName(file, f.File), f)
 		for _, r := range f.Related {
-			fmt.Fprintf(&b, "    %s:%s: %s\n", file, r.Pos, r.Message)
+			fmt.Fprintf(&b, "    %s:%s: %s\n", artifactName(artifactName(file, f.File), r.File), r.Pos, r.Message)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// artifactName resolves a finding-level file against the run-level display
+// name: per-finding files win, the run name is the single-source fallback.
+func artifactName(runFile, findingFile string) string {
+	if findingFile != "" {
+		return findingFile
+	}
+	return runFile
 }
 
 // File groups the findings of one source file for JSON output.

@@ -175,13 +175,18 @@ func WriteSARIF(w io.Writer, file string, rules []RuleMeta, fs []Finding) error 
 	results := make([]sarifResult, 0, len(fs))
 	for _, f := range fs {
 		addRule(RuleMeta{ID: f.Analyzer, Default: f.Severity})
+		// Multi-file front ends stamp each finding with its own
+		// module-root-relative artifact; the run-level name is only the
+		// single-source fallback, so `-lang go` results resolve against the
+		// real .go files in code scanning instead of a synthetic name.
+		artifact := artifactName(file, f.File)
 		r := sarifResult{
 			RuleID:    f.Analyzer,
 			RuleIndex: index[f.Analyzer],
 			Level:     sarifLevel(f.Severity),
 			Message:   sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
-				PhysicalLocation: physicalLocation(file, f.Pos, f.End),
+				PhysicalLocation: physicalLocation(artifact, f.Pos, f.End),
 			}},
 			PartialFingerprints: map[string]string{
 				"arrayflowFinding/v1": fingerprint(f),
@@ -190,12 +195,12 @@ func WriteSARIF(w io.Writer, file string, rules []RuleMeta, fs []Finding) error 
 		for _, rel := range f.Related {
 			msg := sarifMessage{Text: rel.Message}
 			r.RelatedLocations = append(r.RelatedLocations, sarifLocation{
-				PhysicalLocation: physicalLocation(file, rel.Pos, token.Pos{}),
+				PhysicalLocation: physicalLocation(artifactName(artifact, rel.File), rel.Pos, token.Pos{}),
 				Message:          &msg,
 			})
 		}
 		for _, fix := range f.SuggestedFixes {
-			r.Fixes = append(r.Fixes, sarifFixOf(file, fix))
+			r.Fixes = append(r.Fixes, sarifFixOf(artifact, fix))
 		}
 		if f.Suppressed {
 			kind := f.Detail["suppressionKind"]
@@ -231,20 +236,32 @@ func WriteSARIF(w io.Writer, file string, rules []RuleMeta, fs []Finding) error 
 }
 
 // fingerprint is the stable identity of a finding for baseline matching
-// across runs: analyzer, severity, and message (positions shift as code
-// moves; messages carry the distinguishing facts). The same key feeds the
-// suppression baseline, so SARIF consumers and -baseline agree on what
-// "the same finding" means.
+// across runs: the owning file (when the front end is multi-file), the
+// analyzer, severity, and message (positions shift as code moves; messages
+// carry the distinguishing facts). The same key feeds the suppression
+// baseline, so SARIF consumers and -baseline agree on what "the same
+// finding" means. Findings without a File hash exactly the bytes they
+// always did, so single-source fingerprints are unchanged.
 func fingerprint(f Finding) string {
 	h := fnv.New64a()
+	if f.File != "" {
+		fmt.Fprintf(h, "%s\x00", f.File)
+	}
 	fmt.Fprintf(h, "%s\x00%s\x00%s", f.Analyzer, f.Severity, f.Message)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // BaselineKey is the position-independent identity used by both SARIF
-// partial fingerprints and findings baselines.
+// partial fingerprints and findings baselines. Multi-file findings fold in
+// their file so the same verdict text in two different .go files is two
+// distinct baseline classes; single-source findings keep the historical
+// file-less key.
 func BaselineKey(f Finding) string {
-	return f.Analyzer + "\x00" + f.Severity.String() + "\x00" + f.Message
+	key := f.Analyzer + "\x00" + f.Severity.String() + "\x00" + f.Message
+	if f.File != "" {
+		key = f.File + "\x00" + key
+	}
+	return key
 }
 
 func physicalLocation(file string, pos, end token.Pos) sarifPhysicalLocation {

@@ -1,0 +1,141 @@
+package goimport
+
+import (
+	goast "go/ast"
+	gotoken "go/token"
+	"go/types"
+)
+
+// aliasSets is a union-find over the slice-typed objects of one function.
+// Two slices land in the same class when an assignment, declaration, or
+// append inside the function derives one from the other (b := a,
+// b := a[lo:hi], b = append(a, x)); such pairs provably may share a
+// backing array, which violates the front end's Fortran-style distinct-
+// names-don't-alias lowering. Slices with no derivation link (e.g. two
+// formal parameters) stay in distinct classes — that residual no-alias
+// assumption is documented, not checked, exactly as the paper treats
+// formal array parameters.
+type aliasSets struct {
+	parent map[types.Object]types.Object
+}
+
+func (a *aliasSets) find(o types.Object) types.Object {
+	p, ok := a.parent[o]
+	if !ok {
+		a.parent[o] = o
+		return o
+	}
+	if p == o {
+		return o
+	}
+	root := a.find(p)
+	a.parent[o] = root
+	return root
+}
+
+func (a *aliasSets) union(x, y types.Object) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		a.parent[rx] = ry
+	}
+}
+
+// same reports whether two objects were linked by a derivation chain.
+func (a *aliasSets) same(x, y types.Object) bool {
+	if _, ok := a.parent[x]; !ok {
+		return false
+	}
+	if _, ok := a.parent[y]; !ok {
+		return false
+	}
+	return a.find(x) == a.find(y)
+}
+
+// buildAliasSets scans a function body once and links every slice-typed
+// assignment target with the slice-typed identifiers its right-hand side
+// mentions.
+func buildAliasSets(fn *goast.FuncDecl, info *types.Info) *aliasSets {
+	a := &aliasSets{parent: map[types.Object]types.Object{}}
+	sliceObjs := func(e goast.Expr) []types.Object {
+		var out []types.Object
+		goast.Inspect(e, func(n goast.Node) bool {
+			id, ok := n.(*goast.Ident)
+			if !ok || info == nil {
+				return true
+			}
+			obj := info.ObjectOf(id)
+			if obj == nil || obj.Type() == nil {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				out = append(out, obj)
+			}
+			return true
+		})
+		return out
+	}
+	link := func(lhs goast.Expr, rhs goast.Expr) {
+		// Only an assignment whose target is itself slice-typed copies a
+		// slice header; element assignments (a[i] = b[j]) move values, not
+		// backing arrays.
+		if info == nil {
+			return
+		}
+		lt := info.TypeOf(lhs)
+		if lt == nil {
+			return
+		}
+		if _, isSlice := lt.Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		targets := sliceObjs(lhs)
+		if len(targets) == 0 {
+			return
+		}
+		sources := sliceObjs(rhs)
+		for _, t := range targets {
+			for _, s := range sources {
+				if t != s {
+					a.union(t, s)
+				}
+			}
+		}
+	}
+	goast.Inspect(fn.Body, func(n goast.Node) bool {
+		switch st := n.(type) {
+		case *goast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					link(st.Lhs[i], st.Rhs[i])
+				}
+			} else {
+				// n := m form (multi-value rhs): link every target with
+				// every source, conservatively.
+				for _, lhs := range st.Lhs {
+					for _, rhs := range st.Rhs {
+						link(lhs, rhs)
+					}
+				}
+			}
+		case *goast.GenDecl:
+			if st.Tok != gotoken.VAR {
+				return true
+			}
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*goast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						link(name, vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						link(name, vs.Values[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return a
+}

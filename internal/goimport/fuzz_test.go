@@ -1,0 +1,146 @@
+package goimport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// FuzzGoImportLower feeds arbitrary Go source through the importer and
+// enforces the front-end contract: it never panics, every lowered unit
+// renders to mini-language text that re-parses, and every loop that does
+// not lower is accounted for by a positioned finding — no loop is silently
+// dropped.
+func FuzzGoImportLower(f *testing.F) {
+	seeds := []string{
+		`package p
+func Saxpy(a, b []int, s int) {
+	for i := 0; i < len(a); i++ {
+		a[i] = a[i] + s*b[i]
+	}
+}`,
+		`package p
+func Down(a []int, n int) {
+	for i := n - 1; i >= 0; i-- {
+		a[i] = 0
+	}
+}`,
+		`package p
+func Nest(m *[4][4]int) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j <= i; j++ {
+			m[i][j] = i + j
+		}
+	}
+}`,
+		`package p
+func Range(a []int) int {
+	s := 0
+	for _, v := range a {
+		s = s + v
+	}
+	return s
+}`,
+		`package p
+func Blocked(a []int, n int) {
+	for i := 0; i < n; i++ {
+		if a[i] > 0 {
+			break
+		}
+	}
+}`,
+		`package p
+func Headless() {
+	for {
+	}
+}`,
+		`package p
+func Map(m map[int]int) {
+	for k := range m {
+		_ = k
+	}
+}`,
+		`package p; func F(do []int) { for i := range do { do[i] = i } }`,
+		`package p; func F(a []int, n int) { for i := 0; i < n; i += 0 { a[i] = 0 } }`,
+		`package p; func F() { x := unresolved; _ = x }`,
+		`package p; var x = `,
+		`not go at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := ImportSource("fuzz.go", []byte(src))
+		if err != nil {
+			// Unparseable input: the only error path, and it must carry a
+			// renderable message.
+			if err.Error() == "" {
+				t.Fatal("parse error with empty message")
+			}
+			return
+		}
+		for _, fr := range res.Files {
+			for _, f := range fr.Findings {
+				if f.Message == "" {
+					t.Fatalf("finding with empty message: %+v", f)
+				}
+				if f.Pos.Line < 0 || f.Pos.Col < 0 {
+					t.Fatalf("finding with negative position: %+v", f)
+				}
+			}
+		}
+		for _, u := range res.Units() {
+			if u.Loops < 1 {
+				t.Fatalf("unit %s reports %d loops", u.Func, u.Loops)
+			}
+			text := ast.ProgramString(u.Program)
+			prog, err := parser.Parse(text)
+			if err != nil {
+				t.Fatalf("lowered unit %s does not re-parse: %v\n%s", u.Func, err, text)
+			}
+			// The re-parsed program must contain the same loop count.
+			loops := 0
+			var walk func(ss []ast.Stmt)
+			walk = func(ss []ast.Stmt) {
+				for _, s := range ss {
+					if dl, ok := s.(*ast.DoLoop); ok {
+						loops++
+						walk(dl.Body)
+					} else if ifs, ok := s.(*ast.If); ok {
+						walk(ifs.Then)
+						walk(ifs.Else)
+					}
+				}
+			}
+			walk(prog.Body)
+			if loops != u.Loops {
+				t.Fatalf("unit %s: %d loops lowered, %d after round-trip\n%s", u.Func, u.Loops, loops, text)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsDirect replays the seed corpus as a plain test so the
+// contract is exercised on every `go test` run, not just under -fuzz.
+func TestFuzzSeedsDirect(t *testing.T) {
+	srcs := []string{
+		"package p\nfunc F(a []int) {\n\tfor i := range a {\n\t\ta[i] = i\n\t}\n}\n",
+		"package p\nfunc F() {\n\tfor {\n\t}\n}\n",
+		"package p\nvar broken = \n",
+		strings.Repeat("for", 100),
+	}
+	for _, src := range srcs {
+		res, err := ImportSource("t.go", []byte(src))
+		if err != nil {
+			continue
+		}
+		for _, u := range res.Units() {
+			if _, err := parser.Parse(ast.ProgramString(u.Program)); err != nil {
+				t.Errorf("unit does not re-parse: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package goimport is the Go front end of the framework: it walks real Go
+// source with go/ast and go/types, recognizes canonical counted loops
+//
+//	for i := lo; i < hi; i++ { ... a[i+k] ... }
+//
+// (including <=, >, >=, constant += / -= steps, index-only range loops, and
+// nested canonical loops), and lowers each loop nest into the mini-language
+// AST the PLDI'93 solver consumes. Dim declarations come from constant
+// go/types array lengths; slices stay undeclared (unknown bounds). Every
+// lowered node carries the original go/token position translated to the
+// mini token.Pos, so diagnostics and SARIF output point at the real .go
+// file and line.
+//
+// The importer is deliberately partial, and loudly so: a loop it cannot
+// lower — calls with side effects, subslice aliasing, non-affine
+// subscripts, break/continue/goto, shadowed identifiers, and the rest of
+// the table in ARCHITECTURE.md — is never silently dropped. It yields a
+// positioned "goimport" finding naming the first blocking construct, which
+// makes the extraction rate itself a measurable quantity (cmd/corpus
+// reports the blocker histogram next to the verdict distribution).
+//
+// Go slices are lowered under the paper's Fortran-style no-alias
+// assumption for distinct names; the importer refutes the easy violations
+// (a subslice or slice-header copy of another slice used in the same loop
+// is a blocker) and documents the rest as an assumption, matching how the
+// original framework treats formal array parameters.
+//
+// Index mapping: the mini-language is 1-based (dim A[n] declares 1..n)
+// while Go is 0-based, so every lowered subscript is shifted by +1. The
+// shift is affine, so distances, dependence classes, and verdicts are
+// unaffected; the differential harness (exec.go) applies the inverse shift
+// when comparing interpreter memories against direct Go-side evaluation.
+package goimport
+
+import (
+	"fmt"
+	goast "go/ast"
+	gotoken "go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/diag"
+	"repro/internal/token"
+)
+
+// Analyzer is the reserved diagnostic ID for importer findings (blocked
+// loops, unreadable files).
+const Analyzer = "goimport"
+
+// Unit is one successfully lowered loop nest: a self-contained
+// mini-language program (dim declarations followed by a single top-level
+// DO loop) plus the bookkeeping needed to point back at — and re-execute —
+// the original Go code.
+type Unit struct {
+	// File is the module-root-relative path of the source file.
+	File string
+	// Func is the enclosing function (or method) name.
+	Func string
+	// Pos is the mini-language position of the loop header, i.e. the real
+	// go/token line and column of the `for`.
+	Pos token.Pos
+	// Program is the lowered program: dims, then the loop nest. It has
+	// passed sema.CheckAll but is NOT normalized (callers normalize before
+	// analysis so positions survive the canonical pipeline).
+	Program *ast.Program
+	// Loop is the top-level lowered loop inside Program.
+	Loop *ast.DoLoop
+	// Loops counts the DO loops in the nest (1 for a flat loop).
+	Loops int
+	// GoLoop is the original Go loop statement, retained for the
+	// differential evaluator.
+	GoLoop goast.Stmt
+	// Arrays maps mini array names to their lowering facts; Scalars maps
+	// mini scalar names (bound lengths included) to theirs.
+	Arrays  map[string]*ArrayInfo
+	Scalars map[string]*ScalarInfo
+	// fset resolves go positions for the evaluator's error messages.
+	fset *gotoken.FileSet
+	// info and names let the differential evaluator (exec.go) resolve the
+	// original Go identifiers to the same mini names the lowering chose.
+	info  *types.Info
+	names map[types.Object]string
+}
+
+// ArrayInfo records how one Go slice/array lowered.
+type ArrayInfo struct {
+	// GoName is the original identifier spelling.
+	GoName string
+	// Dims holds the constant per-dimension lengths for true arrays
+	// ([4][8]int and friends); nil for slices (unknown bounds).
+	Dims []int64
+	// Shape is the full per-dimension structure: the constant length for
+	// array levels, -1 for the (outermost) slice level. Equal to Dims for
+	// true arrays; present even when Dims is nil.
+	Shape []int64
+	// Rank is the subscript count used in the loop.
+	Rank int
+}
+
+// ScalarInfo records how one Go integer scalar lowered.
+type ScalarInfo struct {
+	GoName string
+	// LenOf, when non-empty, marks a synthesized loop-bound scalar standing
+	// for len(<mini array name>) of a slice; the differential harness binds
+	// it to the synthesized slice length.
+	LenOf string
+}
+
+// Blocked is the structured "why this loop did not lower" error. It
+// converts to a positioned goimport finding.
+type Blocked struct {
+	Pos       token.Pos
+	Construct string // short machine-usable name, e.g. "call", "range-over-map"
+	Detail    string // human sentence naming the construct
+}
+
+func (b *Blocked) Error() string { return fmt.Sprintf("%s: %s", b.Construct, b.Detail) }
+
+// FileResult is the import outcome for one source file.
+type FileResult struct {
+	// File is the module-root-relative path.
+	File string
+	// Units are the lowered loop nests in source order.
+	Units []*Unit
+	// Findings are the positioned blocker findings (analyzer "goimport"),
+	// one per unextractable top-level loop, in source order.
+	Findings []diag.Finding
+	// Funcs counts the function declarations visited; LoopsSeen counts the
+	// candidate loop statements considered (top-level loops plus the inner
+	// loops of blocked ones).
+	Funcs     int
+	LoopsSeen int
+}
+
+// Result aggregates FileResults across an import tree.
+type Result struct {
+	// Root is the directory the import started from; Module is the module
+	// root every File path is relative to.
+	Root   string
+	Module string
+	Files  []*FileResult
+}
+
+// Units flattens the per-file units in deterministic (file, position)
+// order.
+func (r *Result) Units() []*Unit {
+	var out []*Unit
+	for _, f := range r.Files {
+		out = append(out, f.Units...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Col < out[j].Pos.Col
+	})
+	return out
+}
+
+// Findings flattens the per-file blocker findings, sorted.
+func (r *Result) Findings() []diag.Finding {
+	var out []diag.Finding
+	for _, f := range r.Files {
+		out = append(out, f.Findings...)
+	}
+	diag.Sort(out)
+	return out
+}
+
+// miniPos converts a resolved go/token position to the mini-language Pos.
+func miniPos(fset *gotoken.FileSet, p gotoken.Pos) token.Pos {
+	if !p.IsValid() {
+		return token.Pos{}
+	}
+	pp := fset.Position(p)
+	return token.Pos{Line: pp.Line, Col: pp.Column}
+}
+
+// blockf builds a Blocked error at a go position.
+func blockf(fset *gotoken.FileSet, p gotoken.Pos, construct, format string, args ...any) *Blocked {
+	return &Blocked{Pos: miniPos(fset, p), Construct: construct, Detail: fmt.Sprintf(format, args...)}
+}
+
+// typeOf is info.TypeOf with a nil guard (lenient type checking can leave
+// gaps for expressions mentioning unresolved imports).
+func typeOf(info *types.Info, e goast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}
+
+// isInteger reports whether t is (an alias of) a basic integer type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// elemStructure decomposes an indexable type into the constant dimension
+// lengths of its array prefix and the scalar element reached after rank
+// subscripts. dims[k] < 0 marks a slice level (unknown bound).
+func elemStructure(t types.Type, rank int) (dims []int64, elem types.Type, ok bool) {
+	cur := t
+	for k := 0; k < rank; k++ {
+		switch u := cur.Underlying().(type) {
+		case *types.Array:
+			dims = append(dims, u.Len())
+			cur = u.Elem()
+		case *types.Slice:
+			dims = append(dims, -1)
+			cur = u.Elem()
+		case *types.Pointer:
+			// *[N]T indexes like the array it points at.
+			if arr, isArr := u.Elem().Underlying().(*types.Array); isArr {
+				dims = append(dims, arr.Len())
+				cur = arr.Elem()
+				continue
+			}
+			return nil, nil, false
+		default:
+			return nil, nil, false
+		}
+	}
+	return dims, cur, true
+}

@@ -1,0 +1,241 @@
+package goimport
+
+import (
+	"fmt"
+	goast "go/ast"
+	"go/parser"
+	"go/scanner"
+	gotoken "go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/token"
+)
+
+// stubImporter satisfies go/types without resolving anything: every import
+// fails softly, so type checking stays lenient — identifiers rooted in
+// unresolved imports simply have no type and block the loops that touch
+// them, instead of aborting the whole file. This keeps the front end free
+// of build-system dependencies (no go list, no export data).
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("goimport: imports are not resolved (%s)", path)
+}
+
+// checkFiles runs the lenient type check over one package's files and
+// returns the populated Info. Type errors are expected and swallowed; the
+// lowering works from whatever resolved.
+func checkFiles(fset *gotoken.FileSet, dir string, files []*goast.File) *types.Info {
+	info := &types.Info{
+		Types: map[goast.Expr]types.TypeAndValue{},
+		Defs:  map[*goast.Ident]types.Object{},
+		Uses:  map[*goast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Error:            func(error) {},
+		Importer:         stubImporter{},
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	// The returned error only repeats what conf.Error swallowed.
+	_, _ = conf.Check(dir, fset, files, info)
+	return info
+}
+
+// ImportTree imports every Go file under pattern. pattern is a directory,
+// a `dir/...` recursive pattern (`./...` covers the whole module), or a
+// single .go file. includeTests controls whether _test.go files are
+// considered.
+func ImportTree(pattern string, includeTests bool) (*Result, error) {
+	root, recursive := splitPattern(pattern)
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(abs)
+	if err != nil {
+		return nil, err
+	}
+
+	var goFiles []string
+	switch {
+	case !st.IsDir():
+		if !strings.HasSuffix(abs, ".go") {
+			return nil, fmt.Errorf("goimport: %s is not a .go file", root)
+		}
+		goFiles = []string{abs}
+		abs = filepath.Dir(abs)
+	case recursive:
+		err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if wantGoFile(d.Name(), includeTests) {
+				goFiles = append(goFiles, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && wantGoFile(e.Name(), includeTests) {
+				goFiles = append(goFiles, filepath.Join(abs, e.Name()))
+			}
+		}
+	}
+	sort.Strings(goFiles)
+
+	module := findModuleRoot(abs)
+	res := &Result{Root: abs, Module: module}
+
+	// Group parsed files by (directory, package clause) so each package is
+	// type-checked as a unit; parse failures become Error-severity findings
+	// on a synthetic per-file result rather than aborting the tree.
+	fset := gotoken.NewFileSet()
+	type pkgKey struct{ dir, name string }
+	pkgs := map[pkgKey][]*goast.File{}
+	fileOf := map[*goast.File]string{}
+	var keys []pkgKey
+	for _, path := range goFiles {
+		display := displayPath(module, path)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			res.Files = append(res.Files, readFailure(display, err))
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			res.Files = append(res.Files, parseFailure(display, err))
+			continue
+		}
+		key := pkgKey{dir: filepath.Dir(path), name: f.Name.Name}
+		if _, ok := pkgs[key]; !ok {
+			keys = append(keys, key)
+		}
+		pkgs[key] = append(pkgs[key], f)
+		fileOf[f] = display
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dir != keys[j].dir {
+			return keys[i].dir < keys[j].dir
+		}
+		return keys[i].name < keys[j].name
+	})
+	for _, key := range keys {
+		files := pkgs[key]
+		info := checkFiles(fset, key.dir, files)
+		for _, f := range files {
+			res.Files = append(res.Files, LowerFile(fset, f, info, fileOf[f]))
+		}
+	}
+	sort.SliceStable(res.Files, func(i, j int) bool { return res.Files[i].File < res.Files[j].File })
+	return res, nil
+}
+
+// ImportSource imports one in-memory Go file (the HTTP service path). name
+// is the display name stamped on units and findings.
+func ImportSource(name string, src []byte) (*Result, error) {
+	fset := gotoken.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	info := checkFiles(fset, ".", []*goast.File{f})
+	return &Result{Files: []*FileResult{LowerFile(fset, f, info, name)}}, nil
+}
+
+func wantGoFile(name string, includeTests bool) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	if !includeTests && strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	return true
+}
+
+// splitPattern peels a trailing /... recursive marker.
+func splitPattern(pattern string) (root string, recursive bool) {
+	if pattern == "..." {
+		return ".", true
+	}
+	if strings.HasSuffix(pattern, "/...") {
+		root = strings.TrimSuffix(pattern, "/...")
+		if root == "" {
+			root = "/"
+		}
+		return root, true
+	}
+	return pattern, false
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod; dir itself is the
+// fallback, so display paths are always relative to something sensible.
+func findModuleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// displayPath renders path relative to the module root with forward
+// slashes (the form SARIF artifact URIs want).
+func displayPath(module, path string) string {
+	rel, err := filepath.Rel(module, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+func readFailure(display string, err error) *FileResult {
+	return &FileResult{File: display, Findings: []diag.Finding{{
+		Analyzer: Analyzer,
+		File:     display,
+		Pos:      token.Pos{Line: 1, Col: 1},
+		Severity: diag.Error,
+		Message:  fmt.Sprintf("cannot read file: %v", err),
+		Detail:   map[string]string{"construct": "read-error"},
+	}}}
+}
+
+func parseFailure(display string, err error) *FileResult {
+	pos := token.Pos{Line: 1, Col: 1}
+	if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+		pos = token.Pos{Line: list[0].Pos.Line, Col: list[0].Pos.Column}
+		err = fmt.Errorf("%s", list[0].Msg)
+	}
+	return &FileResult{File: display, Findings: []diag.Finding{{
+		Analyzer: Analyzer,
+		File:     display,
+		Pos:      pos,
+		Severity: diag.Error,
+		Message:  fmt.Sprintf("cannot parse file: %v", err),
+		Detail:   map[string]string{"construct": "goparse"},
+	}}}
+}

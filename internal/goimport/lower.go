@@ -1,0 +1,1194 @@
+package goimport
+
+import (
+	"fmt"
+	goast "go/ast"
+	"go/constant"
+	gotoken "go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/diag"
+	"repro/internal/sema"
+	"repro/internal/token"
+)
+
+// LowerFile lowers every candidate loop of one parsed, (leniently)
+// type-checked file. display is the module-root-relative path stamped on
+// units and findings.
+func LowerFile(fset *gotoken.FileSet, file *goast.File, info *types.Info, display string) *FileResult {
+	fr := &FileResult{File: display}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*goast.FuncDecl)
+		if ok && fn.Body != nil {
+			fr.Funcs++
+			lowerFunc(fset, fn, info, display, fr)
+		}
+	}
+	return fr
+}
+
+// lowerFunc walks one function body, attempting to lower every outermost
+// loop statement. A blocked loop contributes a finding and is then
+// re-entered so its inner loops still get their chance.
+func lowerFunc(fset *gotoken.FileSet, fn *goast.FuncDecl, info *types.Info, display string, fr *FileResult) {
+	aliases := buildAliasSets(fn, info)
+	var visit func(stmts []goast.Stmt)
+	visitLoop := func(s goast.Stmt, body *goast.BlockStmt) {
+		fr.LoopsSeen++
+		l := newLowerer(fset, info, aliases)
+		unit, blocked := l.lowerNest(s)
+		if blocked == nil {
+			unit.File = display
+			unit.Func = fn.Name.Name
+			fr.Units = append(fr.Units, unit)
+			return
+		}
+		fr.Findings = append(fr.Findings, blockedFinding(display, fn.Name.Name, miniPos(fset, s.Pos()), blocked))
+		if body != nil {
+			visit(body.List)
+		}
+	}
+	visit = func(stmts []goast.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *goast.ForStmt:
+				visitLoop(st, st.Body)
+			case *goast.RangeStmt:
+				visitLoop(st, st.Body)
+			case *goast.BlockStmt:
+				visit(st.List)
+			case *goast.IfStmt:
+				visit(st.Body.List)
+				if st.Else != nil {
+					visit([]goast.Stmt{st.Else})
+				}
+			case *goast.SwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*goast.CaseClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *goast.TypeSwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*goast.CaseClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *goast.SelectStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*goast.CommClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *goast.LabeledStmt:
+				visit([]goast.Stmt{st.Stmt})
+			case *goast.GoStmt, *goast.DeferStmt:
+				if fl, ok := funcLitOf(st); ok {
+					visit(fl.Body.List)
+				}
+			case *goast.ExprStmt:
+				if fl, ok := funcLitOf(st); ok {
+					visit(fl.Body.List)
+				}
+			case *goast.AssignStmt:
+				for _, rhs := range st.Rhs {
+					if fl, ok := rhs.(*goast.FuncLit); ok {
+						visit(fl.Body.List)
+					}
+				}
+			}
+		}
+	}
+	visit(fn.Body.List)
+}
+
+// funcLitOf digs a function literal out of go/defer/expression statements
+// so loops inside closures are still visited.
+func funcLitOf(s goast.Stmt) (*goast.FuncLit, bool) {
+	var call *goast.CallExpr
+	switch st := s.(type) {
+	case *goast.GoStmt:
+		call = st.Call
+	case *goast.DeferStmt:
+		call = st.Call
+	case *goast.ExprStmt:
+		c, ok := st.X.(*goast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		call = c
+	}
+	if call == nil {
+		return nil, false
+	}
+	fl, ok := call.Fun.(*goast.FuncLit)
+	return fl, ok
+}
+
+// blockedFinding renders a Blocked error as the positioned goimport
+// finding the corpus histograms consume.
+func blockedFinding(display, fn string, loopPos token.Pos, b *Blocked) diag.Finding {
+	pos := b.Pos
+	if !pos.IsValid() {
+		pos = loopPos
+	}
+	f := diag.Finding{
+		Analyzer: Analyzer,
+		File:     display,
+		Pos:      loopPos,
+		Severity: diag.Info,
+		Message:  fmt.Sprintf("loop in %s not lowered: %s", fn, b.Detail),
+		Detail: map[string]string{
+			"construct": b.Construct,
+			"func":      fn,
+		},
+	}
+	if pos != loopPos {
+		f.Related = []diag.Related{{File: display, Pos: pos, Message: "blocking construct"}}
+	}
+	return f
+}
+
+// miniKeywords are the mini-language spellings an imported identifier must
+// not collide with (the lexer matches keywords case-insensitively).
+var miniKeywords = map[string]bool{
+	"do": true, "enddo": true, "endo": true, "if": true, "then": true,
+	"else": true, "endif": true, "and": true, "or": true, "not": true,
+	"dim": true,
+}
+
+// lowerer lowers one loop nest. It owns the per-unit name tables; the
+// alias sets are shared across the function.
+type lowerer struct {
+	fset    *gotoken.FileSet
+	info    *types.Info
+	aliases *aliasSets
+
+	names   map[types.Object]string // go object -> mini name
+	taken   map[string]bool         // mini names in use (incl. mangled)
+	arrays  map[string]*ArrayInfo
+	arrObj  map[string]types.Object // mini array name -> object
+	arrPos  map[string]token.Pos    // first use, for the dim position
+	scalars map[string]*ScalarInfo
+	lenOf   map[string]string // mini array name -> its len scalar name
+
+	ivs      map[types.Object]bool
+	boundIDs map[string]bool // mini scalar names used in loop bounds
+	assigned map[string]bool // mini scalar names assigned in the nest
+}
+
+func newLowerer(fset *gotoken.FileSet, info *types.Info, aliases *aliasSets) *lowerer {
+	return &lowerer{
+		fset: fset, info: info, aliases: aliases,
+		names: map[types.Object]string{}, taken: map[string]bool{},
+		arrays: map[string]*ArrayInfo{}, arrObj: map[string]types.Object{},
+		arrPos: map[string]token.Pos{}, scalars: map[string]*ScalarInfo{},
+		lenOf: map[string]string{}, ivs: map[types.Object]bool{},
+		boundIDs: map[string]bool{}, assigned: map[string]bool{},
+	}
+}
+
+// lowerNest lowers a whole loop statement into a Unit, or explains why it
+// cannot.
+func (l *lowerer) lowerNest(s goast.Stmt) (*Unit, *Blocked) {
+	dl, blocked := l.lowerLoop(s)
+	if blocked != nil {
+		return nil, blocked
+	}
+	// Loop bounds must be invariant in the nest: Go re-evaluates the
+	// condition every iteration, the mini-language evaluates Lo/Hi once at
+	// loop entry. Induction variables are not "assigned" (they advance by
+	// the loop construct itself), so triangular nests pass.
+	for name := range l.boundIDs {
+		if l.assigned[name] {
+			return nil, &Blocked{Pos: dl.Pos(), Construct: "bound-modified",
+				Detail: fmt.Sprintf("loop bound scalar %s is assigned inside the loop", name)}
+		}
+	}
+	// Distinct slices that provably share a backing array (subslice or
+	// slice-header copy in this function) violate the front end's no-alias
+	// lowering; true arrays are values and cannot alias by name.
+	if b := l.checkAliases(dl.Pos()); b != nil {
+		return nil, b
+	}
+
+	prog := &ast.Program{}
+	for _, name := range sortedKeys(l.arrays) {
+		ai := l.arrays[name]
+		if ai.Dims == nil {
+			continue
+		}
+		d := &ast.Dim{DimPos: l.arrPos[name], Name: name, NamePos: l.arrPos[name]}
+		for _, sz := range ai.Dims {
+			d.Sizes = append(d.Sizes, &ast.IntLit{LitPos: l.arrPos[name], Value: sz})
+		}
+		prog.Body = append(prog.Body, d)
+	}
+	prog.Body = append(prog.Body, dl)
+
+	// Semantic backstop: anything structurally lowered that still violates
+	// the framework's restrictions (subscript shape, mixed scalar/array
+	// use) becomes a positioned blocker instead of a unit.
+	if _, errs := sema.CheckAll(prog); len(errs) > 0 {
+		first := errs[0]
+		pos := dl.Pos()
+		msg := first.Error()
+		var se *sema.Error
+		if ok := asSemaError(first, &se); ok {
+			pos, msg = se.Pos, se.Msg
+		}
+		return nil, &Blocked{Pos: pos, Construct: "sema", Detail: "lowered form rejected: " + msg}
+	}
+
+	loops := 0
+	ast.Inspect(prog.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DoLoop); ok {
+			loops++
+		}
+		return true
+	})
+	return &Unit{
+		Pos: dl.Pos(), Program: prog, Loop: dl, Loops: loops, GoLoop: s,
+		Arrays: l.arrays, Scalars: l.scalars,
+		fset: l.fset, info: l.info, names: l.names,
+	}, nil
+}
+
+func asSemaError(err error, out **sema.Error) bool {
+	se, ok := err.(*sema.Error)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// checkAliases blocks the nest when two distinct slice-backed arrays fall
+// into one derivation class (b := a, b := a[1:], b = append(a, ...)).
+func (l *lowerer) checkAliases(pos token.Pos) *Blocked {
+	names := sortedKeys(l.arrays)
+	for i, a := range names {
+		oa := l.arrObj[a]
+		if oa == nil || l.arrays[a].Dims != nil {
+			continue
+		}
+		for _, b := range names[i+1:] {
+			ob := l.arrObj[b]
+			if ob == nil || l.arrays[b].Dims != nil {
+				continue
+			}
+			if l.aliases != nil && l.aliases.same(oa, ob) {
+				return &Blocked{Pos: pos, Construct: "subslice-alias",
+					Detail: fmt.Sprintf("slices %s and %s may share a backing array (subslice or copy in this function)", a, b)}
+			}
+		}
+	}
+	return nil
+}
+
+// lowerLoop lowers one for/range statement (and, recursively, the loops in
+// its body) to a DO loop.
+func (l *lowerer) lowerLoop(s goast.Stmt) (*ast.DoLoop, *Blocked) {
+	switch st := s.(type) {
+	case *goast.ForStmt:
+		return l.lowerForStmt(st)
+	case *goast.RangeStmt:
+		return l.lowerRangeStmt(st)
+	}
+	return nil, blockf(l.fset, s.Pos(), "not-a-loop", "statement is not a for loop")
+}
+
+func (l *lowerer) lowerForStmt(st *goast.ForStmt) (*ast.DoLoop, *Blocked) {
+	if st.Init == nil || st.Cond == nil || st.Post == nil {
+		return nil, blockf(l.fset, st.For, "headless-for", "for loop without init/cond/post (not a counted loop)")
+	}
+	init, ok := st.Init.(*goast.AssignStmt)
+	if !ok || init.Tok != gotoken.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, blockf(l.fset, st.Init.Pos(), "init-form", "loop init is not a single `i := lo` declaration")
+	}
+	ivIdent, ok := init.Lhs[0].(*goast.Ident)
+	if !ok || ivIdent.Name == "_" {
+		return nil, blockf(l.fset, init.Lhs[0].Pos(), "init-form", "loop variable is not a plain identifier")
+	}
+	ivObj := l.objectOf(ivIdent)
+	if ivObj == nil || !isInteger(ivObj.Type()) {
+		return nil, blockf(l.fset, ivIdent.Pos(), "iv-type", "loop variable %s is not an integer (or its type did not resolve)", ivIdent.Name)
+	}
+	ivName, b := l.nameFor(ivObj, ivIdent)
+	if b != nil {
+		return nil, b
+	}
+	l.noteScalar(ivName, ivIdent.Name)
+	l.ivs[ivObj] = true
+	defer delete(l.ivs, ivObj)
+
+	lo, b := l.lowerBoundExpr(init.Rhs[0])
+	if b != nil {
+		return nil, b
+	}
+
+	// Step before condition: the comparison direction must match it.
+	step, b := l.lowerPost(st.Post, ivObj)
+	if b != nil {
+		return nil, b
+	}
+
+	cond, ok := st.Cond.(*goast.BinaryExpr)
+	if !ok {
+		return nil, blockf(l.fset, st.Cond.Pos(), "cond-form", "loop condition is not a comparison")
+	}
+	condIV, ok := cond.X.(*goast.Ident)
+	if !ok || l.objectOf(condIV) != ivObj {
+		return nil, blockf(l.fset, cond.X.Pos(), "cond-form", "loop condition does not compare the loop variable %s", ivIdent.Name)
+	}
+	bound, b := l.lowerBoundExpr(cond.Y)
+	if b != nil {
+		return nil, b
+	}
+	var hi ast.Expr
+	switch {
+	case cond.Op == gotoken.LSS && step > 0:
+		hi = sema.Simplify(&ast.Binary{Op: token.MINUS, L: bound, R: intLit(1, bound.Pos())})
+	case cond.Op == gotoken.LEQ && step > 0:
+		hi = bound
+	case cond.Op == gotoken.GTR && step < 0:
+		hi = sema.Simplify(&ast.Binary{Op: token.PLUS, L: bound, R: intLit(1, bound.Pos())})
+	case cond.Op == gotoken.GEQ && step < 0:
+		hi = bound
+	default:
+		return nil, blockf(l.fset, cond.OpPos, "cond-direction",
+			"loop condition %s does not advance toward the bound with step %d", cond.Op, step)
+	}
+	// Go re-evaluates the condition each iteration; a DO loop evaluates its
+	// bound once. A bound that reads its own induction variable diverges.
+	selfRef := false
+	ast.InspectExpr(hi, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == ivName {
+			selfRef = true
+		}
+		return !selfRef
+	})
+	if selfRef {
+		return nil, blockf(l.fset, cond.Y.Pos(), "bound-uses-iv", "loop bound reads the loop variable %s", ivIdent.Name)
+	}
+
+	body, b := l.lowerBlock(st.Body.List)
+	if b != nil {
+		return nil, b
+	}
+	dl := &ast.DoLoop{
+		DoPos: miniPos(l.fset, st.For),
+		Var:   ivName,
+		Lo:    lo, Hi: hi,
+		Body: body,
+	}
+	if step != 1 {
+		dl.Step = intLit(step, dl.DoPos)
+	}
+	return dl, nil
+}
+
+// lowerPost extracts the constant step from the loop post statement.
+func (l *lowerer) lowerPost(post goast.Stmt, ivObj types.Object) (int64, *Blocked) {
+	switch p := post.(type) {
+	case *goast.IncDecStmt:
+		id, ok := p.X.(*goast.Ident)
+		if !ok || l.objectOf(id) != ivObj {
+			return 0, blockf(l.fset, p.Pos(), "post-form", "loop post does not advance the loop variable")
+		}
+		if p.Tok == gotoken.INC {
+			return 1, nil
+		}
+		return -1, nil
+	case *goast.AssignStmt:
+		if len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return 0, blockf(l.fset, p.Pos(), "post-form", "loop post is not a single step assignment")
+		}
+		id, ok := p.Lhs[0].(*goast.Ident)
+		if !ok || l.objectOf(id) != ivObj {
+			return 0, blockf(l.fset, p.Pos(), "post-form", "loop post does not advance the loop variable")
+		}
+		c, ok := l.constIntOf(p.Rhs[0])
+		if !ok || c == 0 {
+			return 0, blockf(l.fset, p.Rhs[0].Pos(), "post-step", "loop step is not a nonzero integer constant")
+		}
+		switch p.Tok {
+		case gotoken.ADD_ASSIGN:
+			return c, nil
+		case gotoken.SUB_ASSIGN:
+			return -c, nil
+		}
+		return 0, blockf(l.fset, p.Pos(), "post-form", "loop post operator %s is not += or -=", p.Tok)
+	}
+	return 0, blockf(l.fset, post.Pos(), "post-form", "loop post is not i++/i--/i+=c/i-=c")
+}
+
+// lowerRangeStmt lowers range loops over slices, arrays, and (Go 1.22)
+// integers: `for i := range s`, and for slices also `for i, v := range s`
+// — the per-iteration element copy v lowers exactly as a body-leading
+// `v := s[i+1]` assignment. Value binding over a true array is blocked
+// (Go copies the whole array operand once at range entry, so v would see
+// pre-loop values if the body writes the array); so are ranges over maps
+// (unordered), strings, channels, and iterator functions.
+func (l *lowerer) lowerRangeStmt(st *goast.RangeStmt) (*ast.DoLoop, *Blocked) {
+	if st.Key == nil {
+		return nil, blockf(l.fset, st.For, "range-form", "range loop without an index variable")
+	}
+	if st.Tok != gotoken.DEFINE {
+		return nil, blockf(l.fset, st.TokPos, "range-form", "range loop does not declare its index with :=")
+	}
+	// Classify the operand before touching the variables so the blocker
+	// names the real obstacle (range over a map is not an "index" problem).
+	rt := typeOf(l.info, st.X)
+	if rt == nil {
+		return nil, blockf(l.fset, st.X.Pos(), "unresolved-type", "type of the range operand did not resolve")
+	}
+	overInt := isInteger(rt)
+	if !overInt {
+		switch rt.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+		case *types.Map:
+			return nil, blockf(l.fset, st.X.Pos(), "range-over-map", "range over a map (iteration order is unspecified)")
+		case *types.Chan:
+			return nil, blockf(l.fset, st.X.Pos(), "range-over-chan", "range over a channel")
+		case *types.Signature:
+			return nil, blockf(l.fset, st.X.Pos(), "range-over-func", "range over an iterator function")
+		case *types.Basic:
+			return nil, blockf(l.fset, st.X.Pos(), "range-over-string", "range over a string (rune decoding)")
+		default:
+			return nil, blockf(l.fset, st.X.Pos(), "range-operand", "range over unsupported type %s", rt)
+		}
+	}
+
+	ivIdent, ok := st.Key.(*goast.Ident)
+	if !ok {
+		return nil, blockf(l.fset, st.Key.Pos(), "range-form", "range index is not a plain identifier")
+	}
+	var ivName string
+	if ivIdent.Name == "_" {
+		// `for _, v := range s`: the mini DO still needs an induction
+		// variable; synthesize one no body expression can mention.
+		ivName = l.freshName("i_range")
+		l.scalars[ivName] = &ScalarInfo{GoName: "_"}
+	} else {
+		ivObj := l.objectOf(ivIdent)
+		if ivObj == nil || !isInteger(ivObj.Type()) {
+			return nil, blockf(l.fset, ivIdent.Pos(), "iv-type", "range index %s is not an integer (or its type did not resolve)", ivIdent.Name)
+		}
+		var b *Blocked
+		ivName, b = l.nameFor(ivObj, ivIdent)
+		if b != nil {
+			return nil, b
+		}
+		l.noteScalar(ivName, ivIdent.Name)
+		l.ivs[ivObj] = true
+		defer delete(l.ivs, ivObj)
+	}
+
+	// The element copy: only over slices, and only integer elements.
+	var valueInit *ast.Assign
+	if st.Value != nil {
+		vIdent, ok := st.Value.(*goast.Ident)
+		if !ok {
+			return nil, blockf(l.fset, st.Value.Pos(), "range-form", "range value is not a plain identifier")
+		}
+		if overInt {
+			return nil, blockf(l.fset, st.Value.Pos(), "range-form", "two-variable range over an integer")
+		}
+		if vIdent.Name != "_" {
+			if _, isSlice := rt.Underlying().(*types.Slice); !isSlice {
+				return nil, blockf(l.fset, st.Value.Pos(), "range-value-array",
+					"value-binding range over a true array (Go copies the operand at range entry)")
+			}
+			opIdent, ok := goast.Unparen(st.X).(*goast.Ident)
+			if !ok {
+				return nil, blockf(l.fset, st.X.Pos(), "range-operand", "range operand %s is not a plain identifier", renderGo(st.X))
+			}
+			vObj := l.objectOf(vIdent)
+			if vObj == nil || !isInteger(vObj.Type()) {
+				return nil, blockf(l.fset, vIdent.Pos(), "range-value",
+					"range value %s is not an integer element (or did not resolve)", vIdent.Name)
+			}
+			vName, b := l.nameFor(vObj, vIdent)
+			if b != nil {
+				return nil, b
+			}
+			l.noteScalar(vName, vIdent.Name)
+			l.assigned[vName] = true
+			opObj := l.objectOf(opIdent)
+			if opObj == nil {
+				return nil, blockf(l.fset, opIdent.Pos(), "unresolved-type", "range operand %s did not resolve", opIdent.Name)
+			}
+			arrName, b := l.registerArray(opIdent, opObj, 1)
+			if b != nil {
+				return nil, b
+			}
+			vPos := miniPos(l.fset, vIdent.Pos())
+			ivRead := &ast.Ident{NamePos: vPos, Name: ivName}
+			valueInit = &ast.Assign{
+				LHS: &ast.Ident{NamePos: vPos, Name: vName},
+				RHS: &ast.ArrayRef{NamePos: vPos, Name: arrName,
+					Subs: []ast.Expr{&ast.Binary{Op: token.PLUS, L: ivRead, R: intLit(1, vPos)}}},
+			}
+		}
+	}
+
+	var hi ast.Expr
+	if overInt {
+		bound, blk := l.lowerBoundExpr(st.X)
+		if blk != nil {
+			return nil, blk
+		}
+		hi = sema.Simplify(&ast.Binary{Op: token.MINUS, L: bound, R: intLit(1, bound.Pos())})
+	} else {
+		ln, blk := l.lowerLen(st.X)
+		if blk != nil {
+			return nil, blk
+		}
+		hi = sema.Simplify(&ast.Binary{Op: token.MINUS, L: ln, R: intLit(1, ln.Pos())})
+	}
+
+	body, b := l.lowerBlock(st.Body.List)
+	if b != nil {
+		return nil, b
+	}
+	if valueInit != nil {
+		body = append([]ast.Stmt{valueInit}, body...)
+	}
+	return &ast.DoLoop{
+		DoPos: miniPos(l.fset, st.For),
+		Var:   ivName,
+		Lo:    intLit(0, miniPos(l.fset, st.For)),
+		Hi:    hi,
+		Body:  body,
+	}, nil
+}
+
+// lowerBlock lowers a statement list.
+func (l *lowerer) lowerBlock(stmts []goast.Stmt) ([]ast.Stmt, *Blocked) {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		lowered, b := l.lowerStmt(s)
+		if b != nil {
+			return nil, b
+		}
+		out = append(out, lowered...)
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerStmt(s goast.Stmt) ([]ast.Stmt, *Blocked) {
+	switch st := s.(type) {
+	case *goast.BlockStmt:
+		return l.lowerBlock(st.List)
+
+	case *goast.AssignStmt:
+		return l.lowerAssign(st)
+
+	case *goast.IncDecStmt:
+		lhs, b := l.lowerLValue(st.X)
+		if b != nil {
+			return nil, b
+		}
+		rhsRead, b := l.lowerValueExpr(st.X)
+		if b != nil {
+			return nil, b
+		}
+		op := token.PLUS
+		if st.Tok == gotoken.DEC {
+			op = token.MINUS
+		}
+		return []ast.Stmt{&ast.Assign{LHS: lhs, RHS: &ast.Binary{Op: op, L: rhsRead, R: intLit(1, miniPos(l.fset, st.TokPos))}}}, nil
+
+	case *goast.IfStmt:
+		if st.Init != nil {
+			return nil, blockf(l.fset, st.Init.Pos(), "if-init", "if statement with an init clause")
+		}
+		cond, b := l.lowerCond(st.Cond)
+		if b != nil {
+			return nil, b
+		}
+		thenB, b := l.lowerBlock(st.Body.List)
+		if b != nil {
+			return nil, b
+		}
+		var elseB []ast.Stmt
+		if st.Else != nil {
+			elseB, b = l.lowerStmt(st.Else)
+			if b != nil {
+				return nil, b
+			}
+		}
+		return []ast.Stmt{&ast.If{IfPos: miniPos(l.fset, st.If), Cond: cond, Then: thenB, Else: elseB}}, nil
+
+	case *goast.ForStmt, *goast.RangeStmt:
+		dl, b := l.lowerLoop(st)
+		if b != nil {
+			return nil, b
+		}
+		return []ast.Stmt{dl}, nil
+
+	case *goast.DeclStmt:
+		return l.lowerDecl(st)
+
+	case *goast.BranchStmt:
+		return nil, blockf(l.fset, st.Pos(), "branch", "%s statement", st.Tok)
+	case *goast.ReturnStmt:
+		return nil, blockf(l.fset, st.Pos(), "return", "return statement")
+	case *goast.ExprStmt:
+		return nil, blockf(l.fset, st.Pos(), "call", "expression statement (call with possible side effects)")
+	case *goast.GoStmt:
+		return nil, blockf(l.fset, st.Pos(), "go", "go statement")
+	case *goast.DeferStmt:
+		return nil, blockf(l.fset, st.Pos(), "defer", "defer statement")
+	case *goast.SwitchStmt, *goast.TypeSwitchStmt:
+		return nil, blockf(l.fset, st.Pos(), "switch", "switch statement")
+	case *goast.SelectStmt:
+		return nil, blockf(l.fset, st.Pos(), "select", "select statement")
+	case *goast.SendStmt:
+		return nil, blockf(l.fset, st.Pos(), "channel", "channel send")
+	case *goast.LabeledStmt:
+		return nil, blockf(l.fset, st.Pos(), "label", "labeled statement")
+	case *goast.EmptyStmt:
+		return nil, nil
+	}
+	return nil, blockf(l.fset, s.Pos(), "statement", "unsupported statement %T", s)
+}
+
+func (l *lowerer) lowerAssign(st *goast.AssignStmt) ([]ast.Stmt, *Blocked) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, blockf(l.fset, st.Pos(), "multi-assign", "multiple assignment")
+	}
+	switch st.Tok {
+	case gotoken.ASSIGN, gotoken.DEFINE:
+		lhs, b := l.lowerLValue(st.Lhs[0])
+		if b != nil {
+			return nil, b
+		}
+		rhs, b := l.lowerValueExpr(st.Rhs[0])
+		if b != nil {
+			return nil, b
+		}
+		return []ast.Stmt{&ast.Assign{LHS: lhs, RHS: rhs}}, nil
+	case gotoken.ADD_ASSIGN, gotoken.SUB_ASSIGN, gotoken.MUL_ASSIGN, gotoken.QUO_ASSIGN, gotoken.REM_ASSIGN:
+		lhs, b := l.lowerLValue(st.Lhs[0])
+		if b != nil {
+			return nil, b
+		}
+		read, b := l.lowerValueExpr(st.Lhs[0])
+		if b != nil {
+			return nil, b
+		}
+		rhs, b := l.lowerValueExpr(st.Rhs[0])
+		if b != nil {
+			return nil, b
+		}
+		var op token.Kind
+		switch st.Tok {
+		case gotoken.ADD_ASSIGN:
+			op = token.PLUS
+		case gotoken.SUB_ASSIGN:
+			op = token.MINUS
+		case gotoken.MUL_ASSIGN:
+			op = token.STAR
+		case gotoken.QUO_ASSIGN:
+			op = token.SLASH
+		default:
+			op = token.MOD
+		}
+		return []ast.Stmt{&ast.Assign{LHS: lhs, RHS: &ast.Binary{Op: op, L: read, R: rhs}}}, nil
+	}
+	return nil, blockf(l.fset, st.TokPos, "assign-op", "unsupported assignment operator %s", st.Tok)
+}
+
+// lowerDecl lowers `var x int = e` / `var x int` declarations of a single
+// integer scalar.
+func (l *lowerer) lowerDecl(st *goast.DeclStmt) ([]ast.Stmt, *Blocked) {
+	gd, ok := st.Decl.(*goast.GenDecl)
+	if !ok || gd.Tok != gotoken.VAR {
+		return nil, blockf(l.fset, st.Pos(), "decl", "non-var declaration")
+	}
+	var out []ast.Stmt
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*goast.ValueSpec)
+		if !ok || len(vs.Names) != 1 || len(vs.Values) > 1 {
+			return nil, blockf(l.fset, spec.Pos(), "decl", "multi-name var declaration")
+		}
+		id := vs.Names[0]
+		obj := l.objectOf(id)
+		if obj == nil || !isInteger(obj.Type()) {
+			return nil, blockf(l.fset, id.Pos(), "decl-type", "declared variable %s is not an integer", id.Name)
+		}
+		name, b := l.nameFor(obj, id)
+		if b != nil {
+			return nil, b
+		}
+		l.noteScalar(name, id.Name)
+		l.assigned[name] = true
+		lhs := &ast.Ident{NamePos: miniPos(l.fset, id.Pos()), Name: name}
+		var rhs ast.Expr = intLit(0, lhs.NamePos)
+		if len(vs.Values) == 1 {
+			var blk *Blocked
+			rhs, blk = l.lowerValueExpr(vs.Values[0])
+			if blk != nil {
+				return nil, blk
+			}
+		}
+		out = append(out, &ast.Assign{LHS: lhs, RHS: rhs})
+	}
+	return out, nil
+}
+
+// lowerLValue lowers an assignment target: an integer scalar identifier or
+// an element reference.
+func (l *lowerer) lowerLValue(e goast.Expr) (ast.Expr, *Blocked) {
+	switch x := goast.Unparen(e).(type) {
+	case *goast.Ident:
+		obj := l.objectOf(x)
+		if obj == nil {
+			return nil, blockf(l.fset, x.Pos(), "unresolved-type", "assignment target %s did not resolve", x.Name)
+		}
+		if l.ivs[obj] {
+			return nil, blockf(l.fset, x.Pos(), "iv-assign", "loop variable %s is assigned inside the loop", x.Name)
+		}
+		if !isInteger(obj.Type()) {
+			return nil, blockf(l.fset, x.Pos(), "lhs-type", "assignment target %s is not an integer scalar", x.Name)
+		}
+		name, b := l.nameFor(obj, x)
+		if b != nil {
+			return nil, b
+		}
+		l.noteScalar(name, x.Name)
+		l.assigned[name] = true
+		return &ast.Ident{NamePos: miniPos(l.fset, x.Pos()), Name: name}, nil
+	case *goast.IndexExpr:
+		return l.lowerRef(x)
+	}
+	return nil, blockf(l.fset, e.Pos(), "lhs-form", "unsupported assignment target %T", e)
+}
+
+// lowerValueExpr lowers an integer-valued expression.
+func (l *lowerer) lowerValueExpr(e goast.Expr) (ast.Expr, *Blocked) {
+	e = goast.Unparen(e)
+	// Compile-time constants (literals, named constants, constant folds)
+	// lower directly to literals when they fit.
+	if v, ok := l.constIntOf(e); ok {
+		return intLit(v, miniPos(l.fset, e.Pos())), nil
+	}
+	switch x := e.(type) {
+	case *goast.Ident:
+		obj := l.objectOf(x)
+		if obj == nil || !isInteger(obj.Type()) {
+			return nil, blockf(l.fset, x.Pos(), "scalar-type", "identifier %s is not an integer scalar (or did not resolve)", x.Name)
+		}
+		name, b := l.nameFor(obj, x)
+		if b != nil {
+			return nil, b
+		}
+		l.noteScalar(name, x.Name)
+		return &ast.Ident{NamePos: miniPos(l.fset, x.Pos()), Name: name}, nil
+	case *goast.BinaryExpr:
+		var op token.Kind
+		switch x.Op {
+		case gotoken.ADD:
+			op = token.PLUS
+		case gotoken.SUB:
+			op = token.MINUS
+		case gotoken.MUL:
+			op = token.STAR
+		case gotoken.QUO:
+			op = token.SLASH
+		case gotoken.REM:
+			op = token.MOD
+		default:
+			return nil, blockf(l.fset, x.OpPos, "operator", "unsupported operator %s", x.Op)
+		}
+		lo, b := l.lowerValueExpr(x.X)
+		if b != nil {
+			return nil, b
+		}
+		ro, b := l.lowerValueExpr(x.Y)
+		if b != nil {
+			return nil, b
+		}
+		return &ast.Binary{Op: op, L: lo, R: ro}, nil
+	case *goast.UnaryExpr:
+		switch x.Op {
+		case gotoken.SUB:
+			in, b := l.lowerValueExpr(x.X)
+			if b != nil {
+				return nil, b
+			}
+			return &ast.Unary{OpPos: miniPos(l.fset, x.OpPos), Op: token.MINUS, X: in}, nil
+		case gotoken.ADD:
+			return l.lowerValueExpr(x.X)
+		}
+		return nil, blockf(l.fset, x.OpPos, "operator", "unsupported unary operator %s", x.Op)
+	case *goast.IndexExpr:
+		return l.lowerRef(x)
+	case *goast.CallExpr:
+		return l.lowerCall(x)
+	case *goast.SelectorExpr:
+		return nil, blockf(l.fset, x.Pos(), "selector", "selector expression %s", renderGo(x))
+	case *goast.StarExpr:
+		return nil, blockf(l.fset, x.Pos(), "pointer", "pointer dereference")
+	case *goast.TypeAssertExpr:
+		return nil, blockf(l.fset, x.Pos(), "type-assert", "type assertion")
+	case *goast.SliceExpr:
+		return nil, blockf(l.fset, x.Pos(), "subslice", "slice expression %s", renderGo(x))
+	}
+	return nil, blockf(l.fset, e.Pos(), "expression", "unsupported expression %T", e)
+}
+
+// lowerBoundExpr lowers a loop bound and records every scalar it reads so
+// the invariance check can veto bodies that write them.
+func (l *lowerer) lowerBoundExpr(e goast.Expr) (ast.Expr, *Blocked) {
+	// len(s) is the canonical Go upper bound; it lowers to a synthesized
+	// invariant scalar for slices and a constant for arrays.
+	if call, ok := goast.Unparen(e).(*goast.CallExpr); ok {
+		ln, b := l.lowerLenCall(call)
+		if b == nil {
+			return ln, nil
+		}
+		return nil, b
+	}
+	ex, b := l.lowerValueExpr(e)
+	if b != nil {
+		return nil, b
+	}
+	ast.InspectExpr(ex, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			l.boundIDs[id.Name] = true
+		}
+		if _, ok := n.(*ast.ArrayRef); ok {
+			b = blockf(l.fset, e.Pos(), "bound-form", "loop bound reads an array element")
+			return false
+		}
+		return true
+	})
+	return ex, b
+}
+
+// lowerLen lowers len(X) semantics for a range operand X (an identifier
+// naming a slice or array).
+func (l *lowerer) lowerLen(x goast.Expr) (ast.Expr, *Blocked) {
+	id, ok := goast.Unparen(x).(*goast.Ident)
+	if !ok {
+		return nil, blockf(l.fset, x.Pos(), "range-operand", "range operand %s is not a plain identifier", renderGo(x))
+	}
+	return l.lenExprFor(id)
+}
+
+// lowerCall lowers the one permitted call form: len(ident).
+func (l *lowerer) lowerCall(call *goast.CallExpr) (ast.Expr, *Blocked) {
+	return l.lowerLenCall(call)
+}
+
+func (l *lowerer) lowerLenCall(call *goast.CallExpr) (ast.Expr, *Blocked) {
+	fn, ok := goast.Unparen(call.Fun).(*goast.Ident)
+	if !ok || fn.Name != "len" || len(call.Args) != 1 {
+		return nil, blockf(l.fset, call.Pos(), "call", "call %s (only len(slice) is lowered)", renderGo(call.Fun))
+	}
+	if obj := l.objectOf(fn); obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return nil, blockf(l.fset, call.Pos(), "call", "call to shadowed len")
+		}
+	}
+	id, ok := goast.Unparen(call.Args[0]).(*goast.Ident)
+	if !ok {
+		return nil, blockf(l.fset, call.Args[0].Pos(), "call", "len of a non-identifier operand")
+	}
+	return l.lenExprFor(id)
+}
+
+// lenExprFor yields the mini expression for len(id): a constant for true
+// arrays, a synthesized invariant scalar for slices.
+func (l *lowerer) lenExprFor(id *goast.Ident) (ast.Expr, *Blocked) {
+	obj := l.objectOf(id)
+	if obj == nil {
+		return nil, blockf(l.fset, id.Pos(), "unresolved-type", "len operand %s did not resolve", id.Name)
+	}
+	t := obj.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return intLit(u.Len(), miniPos(l.fset, id.Pos())), nil
+	case *types.Slice:
+		arrName, b := l.registerArray(id, obj, 0)
+		if b != nil {
+			return nil, b
+		}
+		lenName := l.lenOf[arrName]
+		if lenName == "" {
+			lenName = l.freshName(arrName + "_len")
+			l.lenOf[arrName] = lenName
+			l.scalars[lenName] = &ScalarInfo{GoName: "len(" + id.Name + ")", LenOf: arrName}
+		}
+		l.boundIDs[lenName] = true
+		return &ast.Ident{NamePos: miniPos(l.fset, id.Pos()), Name: lenName}, nil
+	}
+	return nil, blockf(l.fset, id.Pos(), "len-operand", "len of %s (not a slice or array)", id.Name)
+}
+
+// lowerCond lowers a boolean condition: comparisons of integer
+// expressions combined with &&, ||, !.
+func (l *lowerer) lowerCond(e goast.Expr) (ast.Expr, *Blocked) {
+	switch x := goast.Unparen(e).(type) {
+	case *goast.BinaryExpr:
+		switch x.Op {
+		case gotoken.LAND, gotoken.LOR:
+			lo, b := l.lowerCond(x.X)
+			if b != nil {
+				return nil, b
+			}
+			ro, b := l.lowerCond(x.Y)
+			if b != nil {
+				return nil, b
+			}
+			op := token.AND
+			if x.Op == gotoken.LOR {
+				op = token.OR
+			}
+			return &ast.Binary{Op: op, L: lo, R: ro}, nil
+		case gotoken.EQL, gotoken.NEQ, gotoken.LSS, gotoken.LEQ, gotoken.GTR, gotoken.GEQ:
+			lo, b := l.lowerValueExpr(x.X)
+			if b != nil {
+				return nil, b
+			}
+			ro, b := l.lowerValueExpr(x.Y)
+			if b != nil {
+				return nil, b
+			}
+			var op token.Kind
+			switch x.Op {
+			case gotoken.EQL:
+				op = token.EQ
+			case gotoken.NEQ:
+				op = token.NEQ
+			case gotoken.LSS:
+				op = token.LT
+			case gotoken.LEQ:
+				op = token.LEQ
+			case gotoken.GTR:
+				op = token.GT
+			default:
+				op = token.GEQ
+			}
+			return &ast.Binary{Op: op, L: lo, R: ro}, nil
+		}
+		return nil, blockf(l.fset, x.OpPos, "operator", "unsupported condition operator %s", x.Op)
+	case *goast.UnaryExpr:
+		if x.Op == gotoken.NOT {
+			in, b := l.lowerCond(x.X)
+			if b != nil {
+				return nil, b
+			}
+			return &ast.Unary{OpPos: miniPos(l.fset, x.OpPos), Op: token.NOT, X: in}, nil
+		}
+	}
+	return nil, blockf(l.fset, e.Pos(), "cond-form", "unsupported condition %s", renderGo(e))
+}
+
+// lowerRef lowers an (possibly nested) index expression to an ArrayRef,
+// applying the 0-based → 1-based subscript shift.
+func (l *lowerer) lowerRef(e *goast.IndexExpr) (ast.Expr, *Blocked) {
+	var subs []goast.Expr
+	base := goast.Expr(e)
+	for {
+		ix, ok := goast.Unparen(base).(*goast.IndexExpr)
+		if !ok {
+			break
+		}
+		subs = append([]goast.Expr{ix.Index}, subs...)
+		base = ix.X
+	}
+	id, ok := goast.Unparen(base).(*goast.Ident)
+	if !ok {
+		return nil, blockf(l.fset, base.Pos(), "index-base", "indexed expression %s is not a plain identifier", renderGo(base))
+	}
+	obj := l.objectOf(id)
+	if obj == nil {
+		return nil, blockf(l.fset, id.Pos(), "unresolved-type", "array %s did not resolve", id.Name)
+	}
+	dims, elem, ok := elemStructure(obj.Type(), len(subs))
+	if !ok {
+		return nil, blockf(l.fset, id.Pos(), "index-base", "%s is not indexable at rank %d (map, string, or non-array type)", id.Name, len(subs))
+	}
+	for k, d := range dims {
+		if k > 0 && d < 0 {
+			return nil, blockf(l.fset, e.Pos(), "nested-slice", "nested slice indexing on %s (rows may alias)", id.Name)
+		}
+	}
+	if !isInteger(elem) {
+		return nil, blockf(l.fset, e.Pos(), "elem-type", "element type of %s is not an integer", id.Name)
+	}
+	name, b := l.registerArray(id, obj, len(subs))
+	if b != nil {
+		return nil, b
+	}
+	ref := &ast.ArrayRef{NamePos: miniPos(l.fset, id.Pos()), Name: name}
+	for _, sub := range subs {
+		se, b := l.lowerValueExpr(sub)
+		if b != nil {
+			return nil, b
+		}
+		// Shift: Go index k lives at mini subscript k+1 (dim A[n] is 1..n).
+		ref.Subs = append(ref.Subs, sema.Simplify(&ast.Binary{Op: token.PLUS, L: se, R: intLit(1, se.Pos())}))
+	}
+	return ref, nil
+}
+
+// registerArray binds obj to a mini array name, recording rank, constant
+// dims, and the first-use position. rank 0 marks a len-only use (no
+// subscripts yet); the first indexed use fixes the real rank.
+func (l *lowerer) registerArray(id *goast.Ident, obj types.Object, rank int) (string, *Blocked) {
+	name, b := l.nameFor(obj, id)
+	if b != nil {
+		return "", b
+	}
+	ai, known := l.arrays[name]
+	if known && (rank == 0 || ai.Rank == rank) {
+		return name, nil
+	}
+	if known && ai.Rank != 0 {
+		return "", blockf(l.fset, id.Pos(), "rank-mismatch", "%s indexed with %d subscript(s), previously %d", id.Name, rank, ai.Rank)
+	}
+	if !known {
+		ai = &ArrayInfo{GoName: id.Name}
+		l.arrays[name] = ai
+		l.arrObj[name] = obj
+		l.arrPos[name] = miniPos(l.fset, id.Pos())
+	}
+	ai.Rank = rank
+	if rank > 0 {
+		if dims, _, ok := elemStructure(obj.Type(), rank); ok {
+			ai.Shape = dims
+			allConst := true
+			for _, d := range dims {
+				if d < 0 {
+					allConst = false
+					break
+				}
+			}
+			if allConst && len(dims) > 0 {
+				ai.Dims = dims
+			}
+		}
+	}
+	return name, nil
+}
+
+// objectOf resolves an identifier to its types.Object (Uses then Defs).
+func (l *lowerer) objectOf(id *goast.Ident) types.Object {
+	if l.info == nil {
+		return nil
+	}
+	if o := l.info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// constIntOf extracts a compile-time integer constant value (literals,
+// named constants, constant folds) when it fits in int64 exactly.
+func (l *lowerer) constIntOf(e goast.Expr) (int64, bool) {
+	if l.info == nil {
+		return 0, false
+	}
+	tv, ok := l.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// nameFor maps a Go object to its mini-language name, mangling
+// keyword-colliding spellings and keeping distinct objects distinct (Go
+// shadowing becomes renaming, which preserves semantics).
+func (l *lowerer) nameFor(obj types.Object, id *goast.Ident) (string, *Blocked) {
+	if name, ok := l.names[obj]; ok {
+		return name, nil
+	}
+	base := obj.Name()
+	if !asciiIdent(base) {
+		return "", blockf(l.fset, id.Pos(), "non-ascii-ident", "identifier %s is not ASCII", base)
+	}
+	if base == "_" {
+		return "", blockf(l.fset, id.Pos(), "blank-ident", "blank identifier")
+	}
+	name := l.freshName(base)
+	l.names[obj] = name
+	return name, nil
+}
+
+// noteScalar records a scalar use (induction variables included) for the
+// unit's bookkeeping tables.
+func (l *lowerer) noteScalar(name, goName string) {
+	if _, ok := l.scalars[name]; !ok {
+		l.scalars[name] = &ScalarInfo{GoName: goName}
+	}
+}
+
+// freshName returns base, keyword-mangled and uniquified against every
+// name already taken in this unit.
+func (l *lowerer) freshName(base string) string {
+	name := base
+	for miniKeywords[strings.ToLower(name)] || l.taken[name] {
+		name += "_"
+	}
+	l.taken[name] = true
+	return name
+}
+
+func asciiIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || (i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func intLit(v int64, pos token.Pos) ast.Expr {
+	if v < 0 {
+		return &ast.Unary{OpPos: pos, Op: token.MINUS, X: &ast.IntLit{LitPos: pos, Value: -v}}
+	}
+	return &ast.IntLit{LitPos: pos, Value: v}
+}
+
+// renderGo renders a go expression compactly for messages.
+func renderGo(e goast.Expr) string {
+	switch x := e.(type) {
+	case *goast.Ident:
+		return x.Name
+	case *goast.SelectorExpr:
+		return renderGo(x.X) + "." + x.Sel.Name
+	case *goast.CallExpr:
+		return renderGo(x.Fun) + "(...)"
+	case *goast.IndexExpr:
+		return renderGo(x.X) + "[...]"
+	case *goast.SliceExpr:
+		return renderGo(x.X) + "[:]"
+	case *goast.ParenExpr:
+		return "(" + renderGo(x.X) + ")"
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,327 @@
+package goimport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/diag"
+	"repro/internal/lint"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// importSrc lowers one in-memory Go file and fails the test on resolver
+// errors (the pattern itself can't fail for in-memory sources).
+func importSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := ImportSource("t.go", []byte(src))
+	if err != nil {
+		t.Fatalf("ImportSource: %v", err)
+	}
+	return res
+}
+
+// mini renders a unit's lowered program in mini-language source syntax.
+func mini(u *Unit) string { return ast.ProgramString(u.Program) }
+
+// TestCanonicalForms lowers each recognized loop shape and checks the
+// rendered mini program against the expected header and subscript shift.
+func TestCanonicalForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings of the rendered mini program
+	}{
+		{
+			name: "upward exclusive",
+			src:  `package p; func F(a []int) { for i := 0; i < 10; i++ { a[i] = i } }`,
+			want: []string{"do i = 0, 9", "a[i + 1] := i"},
+		},
+		{
+			name: "upward inclusive",
+			src:  `package p; func F(a []int, n int) { for i := 1; i <= n; i++ { a[i] = 0 } }`,
+			want: []string{"do i = 1, n"},
+		},
+		{
+			name: "downward",
+			src:  `package p; func F(a []int, n int) { for i := n - 1; i >= 0; i-- { a[i] = 0 } }`,
+			want: []string{"do i = n - 1, 0, -1"},
+		},
+		{
+			name: "strided",
+			src:  `package p; func F(a []int, n int) { for i := 0; i < n; i += 2 { a[i] = 0 } }`,
+			want: []string{"do i = 0, n - 1, 2"},
+		},
+		{
+			name: "len bound over slice",
+			src:  `package p; func F(a []int) { for i := 0; i < len(a); i++ { a[i] = 0 } }`,
+			want: []string{"do i = 0, a_len - 1"},
+		},
+		{
+			name: "range over slice",
+			src:  `package p; func F(a []int) { for i := range a { a[i] = 1 } }`,
+			want: []string{"do i = 0, a_len - 1", "a[i + 1] := 1"},
+		},
+		{
+			name: "range over int",
+			src:  `package p; func F(a []int, n int) { for i := range n { a[i] = 0 } }`,
+			want: []string{"do i = 0, n - 1"},
+		},
+		{
+			name: "range with value binding",
+			src:  `package p; func F(a []int) int { s := 0; for _, v := range a { s = s + v }; return s }`,
+			want: []string{"do i_range = 0, a_len - 1", "v := a[i_range + 1]", "s := s + v"},
+		},
+		{
+			name: "nested constant dims",
+			src:  `package p; func F(m *[4][4]int) { for i := 0; i < 4; i++ { for j := 0; j < 4; j++ { m[i][j] = 0 } } }`,
+			want: []string{"dim m[4, 4]", "do i = 0, 3", "do j = 0, 3", "m[i + 1, j + 1] := 0"},
+		},
+		{
+			name: "triangular inner bound",
+			src:  `package p; func F(m *[8][8]int) { for i := 0; i < 8; i++ { for j := 0; j <= i; j++ { m[i][j] = i } } }`,
+			want: []string{"do j = 0, i"},
+		},
+		{
+			name: "conditional body",
+			src:  `package p; func F(a, b []int, n int) { for i := 0; i < n; i++ { if b[i] > 0 { a[i] = b[i] } else { a[i] = 0 } } }`,
+			want: []string{"if b[i + 1] > 0 then", "else"},
+		},
+		{
+			name: "keyword collision mangled",
+			src:  `package p; func F(do []int, n int) { for i := 0; i < n; i++ { do[i] = 0 } }`,
+			want: []string{"do_[i + 1] := 0"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := importSrc(t, tc.src)
+			units := res.Units()
+			if len(units) != 1 {
+				t.Fatalf("got %d units, want 1; findings: %v", len(units), res.Findings())
+			}
+			got := mini(units[0])
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("lowered program missing %q:\n%s", w, got)
+				}
+			}
+			// Every lowered program must round-trip through the mini parser
+			// and pass semantic checking.
+			prog, err := parser.Parse(got)
+			if err != nil {
+				t.Fatalf("rendered program does not re-parse: %v\n%s", err, got)
+			}
+			if _, err := sema.Normalize(prog); err != nil {
+				t.Fatalf("re-parsed program does not normalize: %v\n%s", err, got)
+			}
+		})
+	}
+}
+
+// TestBlockers feeds each unsupported construct and checks the loop is
+// rejected with a finding naming the expected first blocking construct.
+func TestBlockers(t *testing.T) {
+	cases := []struct {
+		construct string
+		src       string
+	}{
+		{"headless-for", `package p; func F() { for { break } }`},
+		{"cond-form", `package p; func F(a []int, ok bool, n int) { for i := 0; ok; i++ { a[i] = 0 } }`},
+		{"cond-direction", `package p; func F(a []int, n int) { for i := 0; i != n; i++ { a[i] = 0 } }`},
+		{"post-step", `package p; func F(a []int, n, k int) { for i := 0; i < n; i += k { a[i] = 0 } }`},
+		{"cond-direction", `package p; func F(a []int, n int) { for i := 0; i > n; i++ { a[i] = 0 } }`},
+		{"bound-uses-iv", `package p; func F(a []int, n int) { for i := 0; i < n-i; i++ { a[i] = 0 } }`},
+		{"range-over-map", `package p; func F(m map[int]int) { for k := range m { _ = k } }`},
+		{"range-over-string", `package p; func F(s string) { for i := range s { _ = i } }`},
+		{"range-value-array", `package p; func F(a [4]int) int { s := 0; for _, v := range a { s += v }; return s }`},
+		{"call", `package p; func g() {}; func F(a []int, n int) { for i := 0; i < n; i++ { g() } }`},
+		{"branch", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { if a[i] > 0 { break } } }`},
+		{"return", `package p; func F(a []int, n int) int { for i := 0; i < n; i++ { return a[i] }; return 0 }`},
+		{"multi-assign", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { x, y := 1, 2; a[i] = x + y } }`},
+		{"iv-assign", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { i = i + 1 } }`},
+		{"bound-modified", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { n = n - 1; a[i] = 0 } }`},
+		{"selector", `package p; type S struct{ x int }; func F(s S, a []int, n int) { for i := 0; i < n; i++ { a[i] = s.x } }`},
+		{"index-base", `package p; func F(a, b []int, n int) { for i := 0; i < n; i++ { a[i] = b[1:][0] } }`},
+		{"nested-slice", `package p; func F(a [][]int, n int) { for i := 0; i < n; i++ { a[i][0] = 0 } }`},
+		{"elem-type", `package p; func F(a []string, n int) { for i := 0; i < n; i++ { a[i] = "" } }`},
+		{"scalar-type", `package p; func F(a []int, n int, y float64) { for i := 0; i < n; i++ { a[i] = a[i] + y } }`},
+		{"lhs-type", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { x := 1.5; a[i] = int(x) } }`},
+		{"defer", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { defer func() {}() } }`},
+		{"go", `package p; func F(a []int, n int) { for i := 0; i < n; i++ { go func() {}() } }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.construct, func(t *testing.T) {
+			res := importSrc(t, tc.src)
+			if n := len(res.Units()); n != 0 {
+				t.Fatalf("got %d units, want the loop blocked", n)
+			}
+			var got []string
+			for _, f := range res.Findings() {
+				if f.Analyzer != Analyzer {
+					continue
+				}
+				got = append(got, f.Detail["construct"])
+				if f.Detail["construct"] == tc.construct {
+					if f.Pos.Line <= 0 {
+						t.Errorf("blocker finding has no position: %+v", f)
+					}
+					return
+				}
+			}
+			t.Errorf("no finding with construct %q; got %v", tc.construct, got)
+		})
+	}
+}
+
+// TestAliasBlocking checks that a slice-header copy inside the function
+// blocks the nest (two mini arrays may share a backing array, which the
+// framework's no-alias model cannot express) while ordinary disjoint
+// parameters lower fine.
+func TestAliasBlocking(t *testing.T) {
+	blocked := importSrc(t, `package p
+func F(a []int, n int) {
+	b := a
+	for i := 0; i < n; i++ {
+		a[i] = b[i]
+	}
+}`)
+	if len(blocked.Units()) != 0 {
+		t.Fatalf("aliased slices lowered; want blocked")
+	}
+	found := false
+	for _, f := range blocked.Findings() {
+		if strings.Contains(f.Message, "backing array") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no aliasing finding; got %v", blocked.Findings())
+	}
+
+	ok := importSrc(t, `package p
+func F(a, b []int, n int) {
+	for i := 0; i < n; i++ {
+		a[i] = b[i]
+	}
+}`)
+	if len(ok.Units()) != 1 {
+		t.Fatalf("distinct parameters blocked: %v", ok.Findings())
+	}
+}
+
+// TestBlockedOuterRecoversInner checks a blocked outer loop still yields
+// its canonical inner loop as a unit plus a positioned blocker finding —
+// unsupported loops are never silently dropped.
+func TestBlockedOuterRecoversInner(t *testing.T) {
+	res := importSrc(t, `package p
+func g() bool { return false }
+func F(a []int, n int) {
+	for g() {
+		for i := 0; i < n; i++ {
+			a[i] = i
+		}
+	}
+}`)
+	units := res.Units()
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want the inner loop recovered", len(units))
+	}
+	if units[0].Pos.Line != 5 {
+		t.Errorf("inner unit at line %d, want 5", units[0].Pos.Line)
+	}
+	var blockers int
+	for _, f := range res.Findings() {
+		if f.Analyzer == Analyzer && f.Severity == diag.Info {
+			blockers++
+			if f.Pos.Line != 4 {
+				t.Errorf("blocker at line %d, want 4 (the outer for)", f.Pos.Line)
+			}
+		}
+	}
+	if blockers != 1 {
+		t.Errorf("got %d blocker findings, want 1", blockers)
+	}
+}
+
+// TestFindingsCarryGoPositions is the acceptance golden test: vetting a Go
+// source produces analyzer findings whose File is the .go display name and
+// whose line numbers point at the real Go statements.
+func TestFindingsCarryGoPositions(t *testing.T) {
+	src := `package p
+
+func Recurrence(a, b []int, n int) {
+	for i := 1; i < n; i++ {
+		a[i] = a[i-1] + b[i]
+	}
+}
+
+func Saxpy(a, b []int, s, n int) {
+	for i := 0; i < n; i++ {
+		a[i] = a[i] + s*b[i]
+	}
+}
+`
+	res := VetSource("kern.go", []byte(src), &lint.Options{Parallelism: 1})
+	if res.FrontEndFailed {
+		t.Fatalf("front end failed: %v", res.Findings)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	// Every finding must cite the Go file and a line inside it.
+	lines := strings.Count(src, "\n")
+	for _, f := range res.Findings {
+		if f.File != "kern.go" {
+			t.Errorf("finding File = %q, want kern.go: %+v", f.File, f)
+		}
+		if f.Pos.Line < 1 || f.Pos.Line > lines {
+			t.Errorf("finding line %d outside the file: %+v", f.Pos.Line, f)
+		}
+	}
+	// The race verdicts anchor at the loop headers: line 4 (racy flow
+	// dependence) and line 10 (parallel).
+	verdictAt := map[int]string{}
+	for _, f := range res.Findings {
+		if v := f.Detail["verdict"]; v != "" {
+			verdictAt[f.Pos.Line] = v
+		}
+	}
+	if verdictAt[4] != "racy" {
+		t.Errorf("line 4 verdict = %q, want racy (flow dependence)", verdictAt[4])
+	}
+	if verdictAt[10] != "parallel" {
+		t.Errorf("line 10 verdict = %q, want parallel", verdictAt[10])
+	}
+}
+
+// TestKernelsGolden lowers the checked-in examples/go corpus and pins the
+// extraction profile: every kernel lowers (no blockers), and the unit set
+// is stable by (file, line).
+func TestKernelsGolden(t *testing.T) {
+	res, err := ImportTree("../../examples/go", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings() {
+		if f.Analyzer == Analyzer {
+			t.Errorf("unexpected blocker in kernels corpus: %s:%d %s", f.File, f.Pos.Line, f.Message)
+		}
+	}
+	units := res.Units()
+	if len(units) < 25 {
+		t.Fatalf("kernels corpus yields %d units, want >= 25", len(units))
+	}
+	for _, u := range units {
+		if u.File != "examples/go/kernels.go" {
+			t.Errorf("unit File = %q, want module-relative examples/go/kernels.go", u.File)
+		}
+		if u.Pos.Line <= 0 {
+			t.Errorf("unit %s has no line", u.Func)
+		}
+		if _, err := parser.Parse(mini(u)); err != nil {
+			t.Errorf("%s does not re-parse: %v", u.Func, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package goimport
+
+import (
+	"repro/internal/diag"
+	"repro/internal/lint"
+	"repro/internal/sema"
+)
+
+// RuleMetas extends the standard analyzer rules table with the importer's
+// blocker rule, so -lang go SARIF logs document every analyzer they cite.
+func RuleMetas() []diag.RuleMeta {
+	return append(lint.RuleMetas(), diag.RuleMeta{
+		ID:      Analyzer,
+		Doc:     "Go loop the importer could not lower into the framework (the finding names the first blocking construct)",
+		Default: diag.Info,
+	})
+}
+
+// Vet runs the full Go-front-end pipeline over pattern: import every file,
+// lower every canonical loop nest, normalize and analyze each lowered unit
+// with the standard analyzer set, and merge the analyzer findings with the
+// importer's blocker findings. Every finding carries its module-root-
+// relative File, so text, JSON, and SARIF output all point at real .go
+// lines.
+//
+// The pattern itself failing to resolve is the only hard error; per-file
+// parse failures become Error findings and mark the front end failed
+// (exit 2), matching the mini-language contract that findings from a
+// partially analyzed input are never silently presented as complete.
+func Vet(pattern string, includeTests bool, opts *lint.Options) (*lint.VetResult, error) {
+	res, err := ImportTree(pattern, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	return vetResult(pattern, res, opts), nil
+}
+
+// VetSource is the single-file in-memory variant (the HTTP service path).
+func VetSource(name string, src []byte, opts *lint.Options) *lint.VetResult {
+	res, err := ImportSource(name, src)
+	if err != nil {
+		vr := &lint.VetResult{File: name, Src: string(src), FrontEndFailed: true}
+		if opts != nil {
+			vr.Werror = opts.Werror
+		}
+		fr := parseFailure(name, err)
+		vr.Findings = fr.Findings
+		diag.Sort(vr.Findings)
+		return vr
+	}
+	return vetResult(name, res, opts)
+}
+
+// vetResult analyzes every lowered unit and folds the results into one
+// lint.VetResult.
+func vetResult(display string, res *Result, opts *lint.Options) *lint.VetResult {
+	if opts == nil {
+		opts = &lint.Options{}
+	}
+	o := *opts
+	// Suggested fixes splice source text; the text the analyzers see is the
+	// lowered mini form, not the .go file, so fixes must stay off.
+	o.Src = ""
+	vr := &lint.VetResult{File: display, Werror: o.Werror}
+
+	findings := res.Findings()
+	for _, f := range findings {
+		if f.Severity == diag.Error {
+			// Unreadable or unparseable file: the import is incomplete.
+			vr.FrontEndFailed = true
+		}
+	}
+	for _, u := range res.Units() {
+		norm, err := sema.Normalize(u.Program)
+		if err != nil {
+			findings = append(findings, diag.Finding{
+				Analyzer: Analyzer,
+				File:     u.File,
+				Pos:      u.Pos,
+				Severity: diag.Error,
+				Message:  "lowered loop failed to normalize: " + err.Error(),
+				Detail:   map[string]string{"construct": "normalize", "func": u.Func},
+			})
+			vr.FrontEndFailed = true
+			continue
+		}
+		unitFindings, _, err := lint.Run(u.File, norm, &o)
+		if err != nil {
+			findings = append(findings, diag.Finding{
+				Analyzer: Analyzer,
+				File:     u.File,
+				Pos:      u.Pos,
+				Severity: diag.Error,
+				Message:  "analysis failed: " + err.Error(),
+				Detail:   map[string]string{"construct": "analysis", "func": u.Func},
+			})
+			vr.FrontEndFailed = true
+			continue
+		}
+		for i := range unitFindings {
+			unitFindings[i].File = u.File
+		}
+		findings = append(findings, unitFindings...)
+	}
+	diag.Sort(findings)
+	findings = diag.Dedup(findings)
+	vr.Baselined = o.Baseline.Apply(findings)
+	vr.Findings = findings
+	return vr
+}

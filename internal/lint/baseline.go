@@ -10,10 +10,13 @@ import (
 )
 
 // BaselineEntry is one accepted pre-existing finding class in a baseline
-// file: the position-independent identity (analyzer, severity, message)
-// plus how many occurrences are accepted. Positions are deliberately
-// absent — baselines must survive unrelated edits that shift lines.
+// file: the position-independent identity (owning file for multi-file
+// front ends, analyzer, severity, message) plus how many occurrences are
+// accepted. Positions are deliberately absent — baselines must survive
+// unrelated edits that shift lines. File is empty for single-source runs
+// (the mini-language), keeping their baseline files byte-compatible.
 type BaselineEntry struct {
+	File     string `json:"file,omitempty"`
 	Analyzer string `json:"analyzer"`
 	Severity string `json:"severity"`
 	Message  string `json:"message"`
@@ -41,6 +44,7 @@ func NewBaseline(fs []diag.Finding) *Baseline {
 			continue
 		}
 		counts[key] = &BaselineEntry{
+			File:     f.File,
 			Analyzer: f.Analyzer,
 			Severity: f.Severity.String(),
 			Message:  f.Message,
@@ -53,6 +57,9 @@ func NewBaseline(fs []diag.Finding) *Baseline {
 	}
 	sort.Slice(b.Entries, func(i, j int) bool {
 		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
 		if a.Analyzer != c.Analyzer {
 			return a.Analyzer < c.Analyzer
 		}
@@ -73,7 +80,13 @@ func (b *Baseline) Apply(fs []diag.Finding) int {
 	}
 	budget := make(map[string]int, len(b.Entries))
 	for _, e := range b.Entries {
-		budget[e.Analyzer+"\x00"+e.Severity+"\x00"+e.Message] = e.Count
+		key := e.Analyzer + "\x00" + e.Severity + "\x00" + e.Message
+		if e.File != "" {
+			// Mirrors diag.BaselineKey: multi-file entries are scoped to
+			// their artifact.
+			key = e.File + "\x00" + key
+		}
+		budget[key] = e.Count
 	}
 	n := 0
 	for i := range fs {

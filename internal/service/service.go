@@ -49,6 +49,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/diag"
 	"repro/internal/driver"
+	"repro/internal/goimport"
 	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/sema"
@@ -323,12 +324,14 @@ const exitHeader = "X-Arrayflow-Exit"
 
 // handleVet implements POST /v1/vet: the request body is source; the
 // response body is byte-identical to the stdout of
-// `arrayflow vet -format <format> <file>` for the same source. Query
-// parameters: format (text|json|sarif, default text), werror (default
-// false), name (display name used in findings, default "<request>").
-// Status: 200 for exit 0 and 1 (X-Arrayflow-Exit distinguishes), 422 for
-// exit 2 (front-end failure; the body still carries the findings exactly
-// as the CLI prints them).
+// `arrayflow vet -lang <lang> -format <format> <file>` for the same
+// source. Query parameters: lang (loop|go, default loop — go treats the
+// body as a single Go source file and lowers it through the goimport
+// front end first), format (text|json|sarif, default text), werror
+// (default false), name (display name used in findings, default
+// "<request>"). Status: 200 for exit 0 and 1 (X-Arrayflow-Exit
+// distinguishes), 422 for exit 2 (front-end failure; the body still
+// carries the findings exactly as the CLI prints them).
 func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	s.counters.vet.Add(1)
 	done := s.admit(w, r)
@@ -346,6 +349,15 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown format %q (want text, json, or sarif)", format), 0)
 		return
 	}
+	lang := r.URL.Query().Get("lang")
+	if lang == "" {
+		lang = "loop"
+	}
+	if lang != "loop" && lang != "go" {
+		writeError(w, http.StatusBadRequest, "bad_lang",
+			fmt.Sprintf("unknown lang %q (want loop or go)", lang), 0)
+		return
+	}
 	src, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -357,7 +369,14 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		Engine:       s.opts.Engine,
 		Werror:       queryBool(r, "werror", false),
 	}
-	res := lint.Vet(name, src, opts)
+	var res *lint.VetResult
+	rules := lint.RuleMetas()
+	if lang == "go" {
+		res = goimport.VetSource(name, []byte(src), opts)
+		rules = goimport.RuleMetas()
+	} else {
+		res = lint.Vet(name, src, opts)
+	}
 	exit := res.ExitCode()
 	if res.FrontEndFailed {
 		s.counters.frontEndErrors.Add(1)
@@ -369,7 +388,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	case "json":
 		err = diag.WriteJSON(&body, name, res.Findings)
 	case "sarif":
-		err = diag.WriteSARIF(&body, name, lint.RuleMetas(), res.Findings)
+		err = diag.WriteSARIF(&body, name, rules, res.Findings)
 	default:
 		err = diag.WriteText(&body, name, res.Findings)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/diag"
 	"repro/internal/driver"
+	"repro/internal/goimport"
 	"repro/internal/lint"
 	"repro/internal/synth"
 )
@@ -334,6 +336,100 @@ func TestMethodNotAllowed(t *testing.T) {
 		if resp.Header.Get("Allow") != http.MethodPost {
 			t.Fatalf("%s GET: Allow %q, want POST", ep, resp.Header.Get("Allow"))
 		}
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestVetGoLang posts a Go source file with lang=go and asserts the body
+// is byte-identical to the CLI's `vet -lang go` render, that the findings
+// cite the request's display name (a real .go path) with real line
+// numbers, and that the exit header carries the front-end exit contract.
+func TestVetGoLang(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	goSrc := `package k
+
+func Recurrence(a, b []int, n int) {
+	for i := 1; i < n; i++ {
+		a[i] = a[i-1] + b[i]
+	}
+}
+`
+	for _, format := range []string{"text", "json", "sarif"} {
+		resp, err := http.Post(ts.URL+"/v1/vet?lang=go&format="+format+"&name=k.go",
+			"text/plain", strings.NewReader(goSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", format, resp.StatusCode, body)
+		}
+		res := goimport.VetSource("k.go", []byte(goSrc), &lint.Options{Parallelism: 1})
+		var want strings.Builder
+		switch format {
+		case "json":
+			err = diag.WriteJSON(&want, "k.go", res.Findings)
+		case "sarif":
+			err = diag.WriteSARIF(&want, "k.go", goimport.RuleMetas(), res.Findings)
+		default:
+			err = diag.WriteText(&want, "k.go", res.Findings)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != want.String() {
+			t.Errorf("%s: HTTP body diverges from CLI render\nHTTP:\n%s\nCLI:\n%s", format, body, want.String())
+		}
+		if got := resp.Header.Get(exitHeader); got != fmt.Sprint(res.ExitCode()) {
+			t.Errorf("%s: exit header %q, CLI exit %d", format, got, res.ExitCode())
+		}
+	}
+	// The findings must anchor at the Go source: the flow dependence in
+	// Recurrence sits on the assignment at line 5 of the posted file.
+	resp, err := http.Post(ts.URL+"/v1/vet?lang=go&name=k.go", "text/plain", strings.NewReader(goSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, "k.go:4:") && !strings.Contains(body, "k.go:5:") {
+		t.Errorf("text findings do not cite the Go file:line:\n%s", body)
+	}
+
+	// A body that is not Go source is a front-end failure: 422 + exit 2.
+	resp, err = http.Post(ts.URL+"/v1/vet?lang=go&name=bad.go", "text/plain", strings.NewReader("do i = 1, 10\nenddo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusUnprocessableEntity || resp.Header.Get(exitHeader) != "2" {
+		t.Errorf("non-Go body: status %d exit %q, want 422 exit 2", resp.StatusCode, resp.Header.Get(exitHeader))
+	}
+}
+
+// TestBadVetLang asserts an unknown lang is a 400 with the stable code.
+func TestBadVetLang(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Post(ts.URL+"/v1/vet?lang=fortran", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || env.Error != "bad_lang" {
+		t.Fatalf("want 400 bad_lang, got %d %q", resp.StatusCode, env.Error)
 	}
 }
 
