@@ -42,7 +42,7 @@ func BenchmarkTable1InitPass(b *testing.B) {
 	g := mustGraph(b, experiments.Fig1Source)
 	// Shape check: init pass rows match the paper.
 	res := dataflow.Solve(g, problems.MustReachingDefs(), &dataflow.Options{CollectTrace: true})
-	if got := res.InitOut[1].String(); got != "(T,_,_,_)" {
+	if got := res.InitOut()[1].String(); got != "(T,_,_,_)" {
 		b.Fatalf("Table 1 (i) OUT[1] = %s, want (T,_,_,_)", got)
 	}
 	b.ResetTimer()
@@ -325,7 +325,7 @@ func BenchmarkScalingLinear(b *testing.B) {
 	// Classes growing with N (every statement its own array): total work is
 	// O(N·m) = O(N²), matching the paper's O(N²) space statement for the
 	// IN/OUT sets.
-	for _, n := range []int{32, 128, 512} {
+	for _, n := range []int{32, 128, 512, 2048} {
 		prog := synth.WideLoop(n, 0)
 		loop := prog.Body[0].(*ast.DoLoop)
 		g, err := ir.Build(loop, nil)

@@ -147,6 +147,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for -program (0 = GOMAXPROCS, 1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the memoizing solve cache for -program")
 	engineFlag := flag.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	fuel := flag.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted solves degrade to claim-nothing facts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -160,7 +161,7 @@ func main() {
 	if *whole {
 		pa, err := driver.Analyze(prog, &driver.Options{
 			NestVectors: true, Parallelism: *workers, DisableCache: *nocache,
-			Engine: engine})
+			Engine: engine, Fuel: *fuel})
 		if err != nil {
 			fatal(err)
 		}
@@ -195,7 +196,10 @@ func main() {
 		fatal(fmt.Errorf("unknown analysis %q", *analysis))
 	}
 
-	res := dataflow.Solve(g, spec, &dataflow.Options{CollectTrace: *trace, Engine: engine})
+	res := dataflow.Solve(g, spec, &dataflow.Options{CollectTrace: *trace, Engine: engine, Fuel: *fuel})
+	if res.FuelExhausted {
+		fmt.Printf("-- fuel budget %d exhausted: facts degraded to claim nothing --\n", res.FuelBudget)
+	}
 
 	fmt.Println(g.Dump())
 	if *trace {
@@ -246,10 +250,11 @@ func runBatch(args []string) {
 	vectors := fs.Bool("vectors", false, "run the §6 distance-vector extension on tight nests")
 	metrics := fs.Bool("metrics", false, "print batch totals and cache stats to stderr")
 	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	fuel := fs.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] [-engine packed|reference] path...")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] [-engine packed|reference] [-fuel n] path...")
 		fmt.Fprintln(os.Stderr, "each path is a .loop file or a directory of .loop files")
 		fs.PrintDefaults()
 	}
@@ -302,7 +307,7 @@ func runBatch(args []string) {
 	startProfiles(*cpuprofile, *memprofile)
 	results := driver.AnalyzeBatch(progs, &driver.Options{
 		NestVectors: *vectors, Parallelism: *workers,
-		DisableCache: *nocache, CacheCap: *cachecap, Engine: engine})
+		DisableCache: *nocache, CacheCap: *cachecap, Engine: engine, Fuel: *fuel})
 
 	exit := 0
 	var totalLoops, totalSolves, totalHits, totalMisses int
@@ -378,10 +383,11 @@ func runVet(args []string) {
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
 	metrics := fs.Bool("metrics", false, "print analysis metrics to stderr")
 	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	fuel := fs.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted loops report unknown verdicts)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-cpuprofile file] [-memprofile file] [file|pattern]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-fuel n] [-cpuprofile file] [-memprofile file] [file|pattern]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -394,7 +400,7 @@ func runVet(args []string) {
 		os.Exit(2)
 	}
 	engine := parseEngine(*engineFlag)
-	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine, Werror: *werror}
+	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine, Werror: *werror, Fuel: *fuel}
 	if *baselinePath != "" && !*updateBaseline {
 		b, err := lint.ReadBaselineFile(*baselinePath)
 		if err != nil {

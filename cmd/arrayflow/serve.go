@@ -33,8 +33,9 @@ func runServe(args []string) {
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
+	fuel := fs.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted solves degrade to claim-nothing facts instead of blowing the deadline)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow serve [-addr host:port] [-workers n] [-max-queue n] [-deadline d] [-cache-cap n] [-max-body n] [-nocache] [-drain-timeout d] [-engine packed|reference]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow serve [-addr host:port] [-workers n] [-max-queue n] [-deadline d] [-cache-cap n] [-max-body n] [-nocache] [-drain-timeout d] [-engine packed|reference] [-fuel n]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -52,6 +53,7 @@ func runServe(args []string) {
 		CacheCap:     *cacheCap,
 		DisableCache: *nocache,
 		Engine:       engine,
+		Fuel:         *fuel,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 

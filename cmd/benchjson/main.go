@@ -9,6 +9,14 @@
 // against the baseline snapshot and exits 1 if any benchmark present in
 // both regressed by more than -tol percent ns/op (default 10). Benchmarks
 // only one side knows about are reported but never fail the run.
+//
+// With -gate BASELINE.json:PATTERN:FACTOR (repeatable) it enforces a hard
+// per-benchmark ceiling: every baseline benchmark whose name matches the
+// regexp PATTERN must be present in the new measurements at no more than
+// FACTOR × its baseline ns/op. Unlike -diff, a gated benchmark that is
+// missing from the new run fails the gate — a gate names benchmarks that
+// must exist. scripts/bench.sh uses it to hold the packed-engine
+// ScalingLinear points of BENCH_PR8.json to within 1.25× of BENCH_PR4.json.
 package main
 
 import (
@@ -35,10 +43,35 @@ type Row struct {
 // appends to benchmark names, so keys stay stable across machines.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
+// gateSpec is one parsed -gate flag: every baseline benchmark matching
+// pattern must appear in the current run at ≤ factor × baseline ns/op.
+type gateSpec struct {
+	baseline string
+	pattern  *regexp.Regexp
+	factor   float64
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.String("diff", "", "baseline JSON snapshot to compare against")
 	tol := flag.Float64("tol", 10, "ns/op regression tolerance in percent for -diff")
+	var gates []gateSpec
+	flag.Func("gate", "repeatable BASELINE.json:PATTERN:FACTOR — fail unless every baseline benchmark matching PATTERN is measured at ≤ FACTOR × its baseline ns/op", func(s string) error {
+		parts := strings.SplitN(s, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("want BASELINE.json:PATTERN:FACTOR, got %q", s)
+		}
+		re, err := regexp.Compile(parts[1])
+		if err != nil {
+			return fmt.Errorf("pattern %q: %v", parts[1], err)
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			return fmt.Errorf("factor %q: want a positive number", parts[2])
+		}
+		gates = append(gates, gateSpec{baseline: parts[0], pattern: re, factor: factor})
+		return nil
+	})
 	flag.Parse()
 
 	var rows map[string]Row
@@ -97,6 +130,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	exit := 0
 	if *diff != "" {
 		base, err := loadSnapshot(*diff)
 		if err != nil {
@@ -104,9 +138,62 @@ func main() {
 			os.Exit(1)
 		}
 		if !compare(base, rows, *tol) {
-			os.Exit(1)
+			exit = 1
 		}
 	}
+	for _, g := range gates {
+		base, err := loadSnapshot(g.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !gate(g, base, rows) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// gate enforces one -gate spec: every baseline benchmark matching the
+// pattern must be measured at ≤ factor × its baseline ns/op. A matching
+// benchmark missing from the current run fails, as does a pattern that
+// matches nothing in the baseline (a misspelled gate must not pass
+// silently).
+func gate(g gateSpec, base, cur map[string]Row) bool {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		if g.pattern.MatchString(n) {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s: pattern %q matches no baseline benchmark\n",
+			g.baseline, g.pattern)
+		return false
+	}
+	sort.Strings(names)
+	ok := true
+	for _, n := range names {
+		b := base[n]
+		c, shared := cur[n]
+		limit := b.NsPerOp * g.factor
+		switch {
+		case !shared:
+			fmt.Fprintf(os.Stderr, "  GATE MISSING %s (baseline %.0f ns/op, not measured)\n", n, b.NsPerOp)
+			ok = false
+		case c.NsPerOp > limit:
+			fmt.Fprintf(os.Stderr, "  GATE FAILED  %s: %.0f ns/op exceeds %.2fx baseline %.0f (limit %.0f)\n",
+				n, c.NsPerOp, g.factor, b.NsPerOp, limit)
+			ok = false
+		default:
+			fmt.Fprintf(os.Stderr, "  gate ok      %s: %.0f ns/op ≤ %.2fx baseline %.0f\n",
+				n, c.NsPerOp, g.factor, b.NsPerOp)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: gate against %s failed (factor %.2f)\n", g.baseline, g.factor)
+	}
+	return ok
 }
 
 // parseBenchOutput scans `go test -bench` text and collects one Row per

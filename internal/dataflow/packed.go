@@ -1,17 +1,30 @@
 // The packed solver engine: the same three-pass framework as the reference
-// implementation in solve.go, rebuilt around flat storage so the constant
-// factor is bounded by lattice arithmetic rather than allocator traffic.
+// implementation in solve.go, rebuilt around flat storage and word-level
+// parallelism so the constant factor is bounded by lattice arithmetic rather
+// than allocator traffic.
 //
-//   - IN/OUT tuples live in two flat slabs (lattice.Slab) indexed by node ID:
-//     two backing allocations per solve instead of one tuple per node.
+//   - IN/OUT state lives in word-packed rows (lattice.Packing): one uint64
+//     holds 8 or 16 class cells, so meets, flow applications, and the
+//     changed-check run whole words at a time with SWAR min/max kernels.
 //   - Flow functions compile into one flowOp arena addressed by
 //     starts[nodeID·m + classIndex]; membership tests go through a dense
-//     ref-ID → class-index array, never a map[*ir.Ref].
-//   - pr(class, node) is a per-class bitset built by OR-ing the graph's
-//     packed precedes rows over the class members.
-//   - applyFlow writes into a single scratch tuple reused across every node
-//     and pass, making the steady-state iteration passes allocation-free
-//     (pinned by an AllocsPerRun test).
+//     ref-ID → class-index array, never a map[*ir.Ref]. Over the chain
+//     lattice every such op sequence collapses to x ↦ min(max(x, lo), hi),
+//     so the iteration applies a whole node's flow across all classes as
+//     two packed rows (LO/HI) per node — one ApplyBounds sweep per word.
+//   - pr(class, node) is a per-class bitset built by straight-line word ORs
+//     over the graph's packed precedes rows, one pass over the references.
+//   - When even 16-bit lanes cannot hold the finite distances a solve may
+//     produce, the engine falls back to the scalar op-walk over the same
+//     arena (identical results, pinned by the differential suites).
+//
+// Every solve carries a fuel budget (Options.Fuel): iteration passes debit
+// one unit per flow application, and exhaustion terminates the solve by
+// degrading every tuple to the claim-nothing value for the problem's
+// polarity (must → ⊥ "no instance", may → ⊤ "all instances"), so downstream
+// consumers can only lose precision, never soundness. The default budget is
+// derived from MaxPasses·nodes·classes and can never bind; an explicit
+// budget bounds worst-case solve latency.
 //
 // A solveCtx is shareable across problem instances on the same graph:
 // SolveAll reuses class discovery (per generate-predicate signature), node
@@ -23,7 +36,12 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/lattice"
+	"repro/internal/sema"
 )
+
+// debugForceScalar disables the word-packed fast path so tests can drive
+// the scalar fallback over the full differential corpus.
+var debugForceScalar = false
 
 // solveCtx carries everything derivable from the graph alone, shared by all
 // specs solved through one SolveAll call.
@@ -100,8 +118,11 @@ func (ctx *solveCtx) tableFor(spec *Spec, sc *Scratch) *classTable {
 
 // prZeroFor returns, per class, the bitset of node IDs with pr = 0: nodes
 // that some member precedes (forward) or that precede some member
-// (backward). One word-wide OR per member replaces a Precedes call per
-// member per node per class.
+// (backward). The construction is one linear pass over the graph's
+// references: each generating reference ORs its node's packed precedes row
+// into its class's bitset, straight-line word ORs with no per-node Precedes
+// calls. Consecutive members in the same node OR the same row, so the pass
+// skips the duplicate.
 func (ctx *solveCtx) prZeroFor(ct *classTable, backward bool) [][]uint64 {
 	k := prKey{ct, backward}
 	if ctx.shared {
@@ -113,20 +134,33 @@ func (ctx *solveCtx) prZeroFor(ct *classTable, backward bool) [][]uint64 {
 	words := g.BitWords()
 	backing := make([]uint64, len(ct.classes)*words)
 	pz := make([][]uint64, len(ct.classes))
-	for i, c := range ct.classes {
-		row := backing[i*words : (i+1)*words]
-		for _, mem := range c.Members {
-			var src []uint64
-			if backward {
-				src = g.PrecededByRow(mem.Node.ID)
-			} else {
-				src = g.PrecedesRow(mem.Node.ID)
-			}
-			for w := range row {
-				row[w] |= src[w]
-			}
+	for i := range pz {
+		pz[i] = backing[i*words : (i+1)*words]
+	}
+	lastNode := make([]int32, len(ct.classes))
+	for i := range lastNode {
+		lastNode[i] = -1
+	}
+	for _, r := range g.Refs {
+		ci := ct.refClass[r.ID]
+		if ci < 0 {
+			continue
 		}
-		pz[i] = row
+		id := int32(r.Node.ID)
+		if lastNode[ci] == id {
+			continue // same node already OR-ed for this class
+		}
+		lastNode[ci] = id
+		var src []uint64
+		if backward {
+			src = g.PrecededByRow(int(id))
+		} else {
+			src = g.PrecedesRow(int(id))
+		}
+		row := pz[ci]
+		for w := range row {
+			row[w] |= src[w]
+		}
 	}
 	if ctx.shared {
 		if ctx.prZero == nil {
@@ -159,8 +193,27 @@ func (p *packedProgram) ops(idx int) []flowOp {
 	return p.arena[p.starts[idx]:p.starts[idx+1]]
 }
 
+// boundsOf collapses a compiled op sequence to its clamp form
+// f(x) = min(max(x, lo), hi). Over a chain lattice the composition of
+// generates (max with 0) and preserve caps (min with p) always has this
+// shape: a generate raises both bounds to at least 0 (distributivity of max
+// over min on a chain), a cap lowers hi and renormalizes lo ≤ hi.
+func boundsOf(ops []flowOp) (lo, hi lattice.Dist) {
+	lo, hi = lattice.None(), lattice.All()
+	for _, op := range ops {
+		if op.gen {
+			lo = lattice.Max(lo, lattice.D(0))
+			hi = lattice.Max(hi, lattice.D(0))
+		} else {
+			hi = lattice.Min(hi, op.pres)
+			lo = lattice.Min(lo, hi)
+		}
+	}
+	return lo, hi
+}
+
 // solver is the per-spec iteration state; its pass methods are allocation-
-// free once constructed.
+// free once prepared.
 type solver struct {
 	res     *Result
 	g       *ir.Graph
@@ -172,6 +225,23 @@ type solver struct {
 	m       int
 	may     bool
 	back    bool
+
+	fuel      int64
+	exhausted bool
+
+	// Word-packed fast path: active when every finite distance the solve
+	// can produce fits an 8- or 16-bit lane.
+	wide  bool
+	pk    lattice.Packing
+	words int
+	inW   []uint64 // packed IN rows, (n+1)·words
+	outW  []uint64 // packed OUT rows
+	loW   []uint64 // per-node batch lower bounds
+	hiW   []uint64 // per-node batch upper bounds
+	genW  []uint64 // per-node generate lanes (All in generating cells)
+	scrW  []uint64 // one-row scratch
+	ubE   uint64   // encoded exit clamp threshold
+	clamp bool
 }
 
 // preds returns the meet inputs of nd for the solve direction.
@@ -182,12 +252,30 @@ func (st *solver) preds(nd *ir.Node) []*ir.Node {
 	return nd.Preds
 }
 
-// solve runs one problem instance through the packed engine.
-func (ctx *solveCtx) solve(spec *Spec, opts *Options, sc *Scratch) *Result {
-	start := time.Now()
-	res := &Result{Graph: ctx.g, Spec: spec}
-	defer func() { res.Elapsed = time.Since(start) }()
+// rowW returns packed row id of a flat backing.
+func (st *solver) rowW(flat []uint64, id int) []uint64 {
+	return flat[id*st.words : (id+1)*st.words]
+}
 
+// resolveFuel returns the solve's fuel budget: the explicit option when set,
+// otherwise a derived default of MaxPasses·nodes·classes plus slack — an
+// upper bound on the iteration's total flow applications, so the default
+// can never bind and fuel changes nothing unless a caller asks for it.
+func resolveFuel(opts *Options, maxPasses, n, m int) int64 {
+	if opts.Fuel > 0 {
+		return opts.Fuel
+	}
+	if m < 1 {
+		m = 1
+	}
+	return int64(maxPasses)*int64(n)*int64(m) + 64
+}
+
+// prepare builds the per-spec iteration state: class table, compiled
+// program, packed batch rows (when the lane bound allows), and the fuel
+// budget. After prepare, initStage and iteratePass allocate nothing.
+func (ctx *solveCtx) prepare(spec *Spec, opts *Options, sc *Scratch) *solver {
+	res := &Result{Graph: ctx.g, Spec: spec}
 	ct := ctx.tableFor(spec, sc)
 	res.adoptClasses(ct)
 	m := len(ct.classes)
@@ -200,6 +288,10 @@ func (ctx *solveCtx) solve(spec *Spec, opts *Options, sc *Scratch) *Result {
 	prog := ctx.compile(spec, ct, res.prZero)
 	res.prog = prog // ApplyFlow serves views into the arena on demand
 
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
 	st := &solver{
 		res:     res,
 		g:       ctx.g,
@@ -211,60 +303,189 @@ func (ctx *solveCtx) solve(spec *Spec, opts *Options, sc *Scratch) *Result {
 		m:       m,
 		may:     spec.May,
 		back:    spec.Backward,
+		fuel:    resolveFuel(opts, maxPasses, n, m),
 	}
+	res.FuelBudget = st.fuel
 	if spec.Backward {
 		st.entry = ctx.g.Exit
 	}
+	st.prepareWide(opts, maxPasses)
+	return st
+}
 
-	// --- Initialization (paper §3.2 for must, §3.3 for may) -------------
-	switch {
-	case spec.May:
-		startVal := lattice.All()
-		if opts.MayTopStart {
-			startVal = lattice.None()
-		}
-		for id := 1; id <= n; id++ {
-			res.In[id].Fill(startVal)
-			res.Out[id].Fill(startVal)
-		}
-	case opts.SkipInitPass:
-		for id := 1; id <= n; id++ {
-			res.In[id].Fill(lattice.All())
-			res.Out[id].Fill(lattice.All())
-		}
-	default:
-		st.initPass()
-		res.InitIn = lattice.CloneSlab(res.In)
-		res.InitOut = lattice.CloneSlab(res.Out)
+// prepareWide selects the lane width and builds the packed batch rows. The
+// finite distances a solve can produce are bounded by the largest finite
+// preserve constant in the program plus one increment per iteration pass
+// (meets and clamps introduce no new finite values), so a lane that holds
+// maxCap + maxPasses with slack holds every intermediate value.
+func (st *solver) prepareWide(opts *Options, maxPasses int) {
+	if st.m == 0 || debugForceScalar {
+		return
 	}
+	var maxCap int64
+	for _, op := range st.prog.arena {
+		if !op.gen {
+			if v, ok := op.pres.Finite(); ok && v > maxCap {
+				maxCap = v
+			}
+		}
+	}
+	bound := maxCap + int64(maxPasses) + 2
+	var lane uint
+	switch {
+	case bound <= lattice.MaxFiniteForLane(lattice.Lane8):
+		lane = lattice.Lane8
+	case bound <= lattice.MaxFiniteForLane(lattice.Lane16):
+		lane = lattice.Lane16
+	default:
+		return // scalar fallback: distances exceed 16-bit lanes
+	}
+	st.wide = true
+	st.pk = lattice.NewPacking(st.m, lane)
+	st.words = st.pk.Words
+	n := len(st.g.Nodes)
+	rows := (n + 1) * st.words
+	st.inW = st.sc.u64Row(0, rows)
+	st.outW = st.sc.u64Row(1, rows)
+	st.loW = st.sc.u64Row(2, rows)
+	st.hiW = st.sc.u64Row(3, rows)
+	st.genW = st.sc.u64Row(4, rows)
+	st.scrW = st.sc.u64Row(5, st.words)
+	// Default bounds are the identity clamp lo = ⊥, hi = ⊤; only slots with
+	// compiled ops deviate, and the arena holds at most one op per
+	// reference, so the sparse pass below touches O(refs) cells, not O(n·m).
+	// hi's tail lanes may hold ⊤ safely: ApplyBounds computes
+	// min(max(0, 0), hi) = 0 on tails regardless.
+	clear(st.loW)
+	for i := range st.hiW {
+		st.hiW[i] = ^uint64(0)
+	}
+	clear(st.genW)
 
-	// --- Fixed point iteration ------------------------------------------
+	pk := &st.pk
+	starts := st.prog.starts
+	for _, nd := range st.g.Nodes {
+		base := nd.ID * st.m
+		for ci := 0; ci < st.m; ci++ {
+			idx := base + ci
+			if starts[idx] == starts[idx+1] {
+				continue
+			}
+			l, h := boundsOf(st.prog.ops(idx))
+			pk.SetCell(st.rowW(st.loW, nd.ID), ci, pk.Encode(l))
+			pk.SetCell(st.rowW(st.hiW, nd.ID), ci, pk.Encode(h))
+			if bitGet(st.prog.gen, idx) {
+				pk.SetCell(st.rowW(st.genW, nd.ID), ci, pk.All)
+			}
+		}
+	}
+	if st.g.HasUB && st.g.UBConst > 0 && uint64(st.g.UBConst) < pk.All {
+		// Encoded e = d+1, so the scalar clamp condition d ≥ ub−1 becomes
+		// e ≥ ub. Thresholds at or beyond the lane's All can never fire
+		// (finite lanes stay below them), matching the scalar engine.
+		st.clamp = true
+		st.ubE = uint64(st.g.UBConst)
+	}
+}
+
+// solve runs one problem instance through the packed engine.
+func (ctx *solveCtx) solve(spec *Spec, opts *Options, sc *Scratch) *Result {
+	start := time.Now()
+	st := ctx.prepare(spec, opts, sc)
+	res := st.res
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	st.initStage(opts)
+
 	maxPasses := opts.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 64
 	}
 	for pass := 1; pass <= maxPasses; pass++ {
 		changed := st.iteratePass()
+		if st.exhausted {
+			break
+		}
 		res.Passes = pass
 		if changed {
 			res.ChangedPasses++
 		}
 		if opts.CollectTrace {
-			res.Trace = append(res.Trace, TraceEntry{
-				In:  lattice.CloneSlab(res.In),
-				Out: lattice.CloneSlab(res.Out),
-			})
+			var e TraceEntry
+			if st.wide {
+				e.In, e.Out = st.decodeSnapshot()
+			} else {
+				e.In = lattice.CloneSlab(res.In)
+				e.Out = lattice.CloneSlab(res.Out)
+			}
+			res.Trace = append(res.Trace, e)
 		}
 		if !changed {
 			break
 		}
 	}
+	st.finish()
 	return res
 }
 
-// initPass runs the paper's initialization pass for must-problems: meet
-// over already-visited predecessors (back-edge inputs excluded), then the
-// generate overestimate from the compiled program's gen bits.
+// initStage runs the paper's initialization (§3.2 for must, §3.3 for may)
+// on whichever representation the solver iterates over.
+func (st *solver) initStage(opts *Options) {
+	res := st.res
+	n := len(st.g.Nodes)
+	switch {
+	case st.may:
+		startVal := lattice.All()
+		if opts.MayTopStart {
+			startVal = lattice.None()
+		}
+		if st.wide {
+			e := st.pk.Encode(startVal)
+			for id := 1; id <= n; id++ {
+				st.pk.Fill(st.rowW(st.inW, id), e)
+				st.pk.Fill(st.rowW(st.outW, id), e)
+			}
+		} else {
+			for id := 1; id <= n; id++ {
+				res.In[id].Fill(startVal)
+				res.Out[id].Fill(startVal)
+			}
+		}
+	case opts.SkipInitPass:
+		if st.wide {
+			for id := 1; id <= n; id++ {
+				st.pk.Fill(st.rowW(st.inW, id), st.pk.All)
+				st.pk.Fill(st.rowW(st.outW, id), st.pk.All)
+			}
+		} else {
+			for id := 1; id <= n; id++ {
+				res.In[id].Fill(lattice.All())
+				res.Out[id].Fill(lattice.All())
+			}
+		}
+	default:
+		if st.wide {
+			st.initWide()
+			// Defer the snapshot: copy the packed words (cheap — tens of
+			// bytes per node) and let Result.InitIn/InitOut decode them on
+			// first access. The pooled buffer is returned by Release.
+			rows := (n + 1) * st.words
+			buf := u64Pool.get(2 * rows)
+			copy(buf[:rows], st.inW)
+			copy(buf[rows:], st.outW)
+			res.initW = buf
+			res.initPk = st.pk
+		} else {
+			st.initPass()
+			res.initIn = lattice.CloneSlab(res.In)
+			res.initOut = lattice.CloneSlab(res.Out)
+		}
+	}
+}
+
+// initPass runs the initialization pass for must-problems on scalar tuples:
+// meet over already-visited predecessors (back-edge inputs excluded), then
+// the generate overestimate from the compiled program's gen bits.
 func (st *solver) initPass() {
 	res := st.res
 	visited := st.sc.boolRow(len(st.g.Nodes) + 1)
@@ -299,16 +520,124 @@ func (st *solver) initPass() {
 	}
 }
 
+// initWide is initPass over packed rows: the generate overestimate is one
+// OR with the node's gen row (All is the all-ones lane).
+func (st *solver) initWide() {
+	res := st.res
+	pk := &st.pk
+	visited := st.sc.boolRow(len(st.g.Nodes) + 1)
+	for _, nd := range st.order {
+		res.NodeVisits++
+		in := st.rowW(st.inW, nd.ID)
+		if nd == st.entry {
+			clear(in)
+		} else {
+			pk.Fill(in, pk.All)
+			any := false
+			for _, p := range st.preds(nd) {
+				if !visited[p.ID] {
+					continue // back-edge predecessor: excluded from init
+				}
+				pk.MinInto(in, st.rowW(st.outW, p.ID))
+				any = true
+			}
+			if !any {
+				clear(in)
+			}
+		}
+		out := st.rowW(st.outW, nd.ID)
+		gen := st.rowW(st.genW, nd.ID)
+		for w := range out {
+			out[w] = in[w] | gen[w]
+		}
+		visited[nd.ID] = true
+	}
+}
+
 // iteratePass runs one fixed-point pass over every node, reporting whether
-// any OUT tuple changed. It allocates nothing: the meet writes into the
-// slab-backed IN row and the flow functions write into the shared scratch
-// tuple, which is copied over OUT only on change.
+// any OUT row changed. It allocates nothing. Every node visit debits m
+// units of fuel first; when the budget cannot cover the visit the pass
+// stops and marks the solve exhausted (finish degrades the tuples).
 func (st *solver) iteratePass() bool {
+	if st.wide {
+		return st.iterateWide()
+	}
+	return st.iterateScalar()
+}
+
+// iterateWide is the word-packed pass: meets are SWAR min/max sweeps over
+// predecessor OUT rows, and a node's whole flow function across all classes
+// is two packed rows applied per word (min(max(in, lo), hi)); the exit node
+// applies the increment-and-clamp kernel instead.
+func (st *solver) iterateWide() bool {
+	res := st.res
+	pk := &st.pk
+	mFuel := int64(st.m)
+	changed := false
+	for _, nd := range st.order {
+		if st.fuel < mFuel {
+			st.exhausted = true
+			break
+		}
+		res.NodeVisits++
+		in := st.rowW(st.inW, nd.ID)
+		ps := st.preds(nd)
+		switch {
+		case len(ps) == 1:
+			// Meet over one input is that input, whichever the polarity.
+			copy(in, st.rowW(st.outW, ps[0].ID))
+		case len(ps) > 1:
+			if st.may {
+				clear(in)
+				for _, p := range ps {
+					pk.MaxInto(in, st.rowW(st.outW, p.ID))
+				}
+			} else {
+				pk.Fill(in, pk.All)
+				for _, p := range ps {
+					pk.MinInto(in, st.rowW(st.outW, p.ID))
+				}
+			}
+		}
+		res.FlowApps += st.m
+		st.fuel -= mFuel
+		scr := st.scrW
+		if nd.Kind == ir.KindExit {
+			copy(scr, in)
+			pk.IncClamp(scr, st.ubE, st.clamp)
+		} else {
+			pk.ApplyBounds(scr, in, st.rowW(st.loW, nd.ID), st.rowW(st.hiW, nd.ID))
+		}
+		out := st.rowW(st.outW, nd.ID)
+		eq := true
+		for w := range scr {
+			if scr[w] != out[w] {
+				eq = false
+				break
+			}
+		}
+		if !eq {
+			changed = true
+			copy(out, scr)
+		}
+	}
+	return changed
+}
+
+// iterateScalar is the fallback pass over scalar tuples: the meet writes
+// into the slab-backed IN row and the flow functions op-walk into the
+// shared scratch tuple, which is copied over OUT only on change.
+func (st *solver) iterateScalar() bool {
 	res := st.res
 	g := st.g
 	m := st.m
+	mFuel := int64(m)
 	changed := false
 	for _, nd := range st.order {
+		if st.fuel < mFuel {
+			st.exhausted = true
+			break
+		}
 		res.NodeVisits++
 		in := res.In[nd.ID]
 		ps := st.preds(nd)
@@ -323,6 +652,7 @@ func (st *solver) iteratePass() bool {
 			}
 		}
 		res.FlowApps += m
+		st.fuel -= mFuel
 		scratch := st.scratch
 		if nd.Kind == ir.KindExit {
 			for ci, x := range in {
@@ -356,6 +686,54 @@ func (st *solver) iteratePass() bool {
 	return changed
 }
 
+// decodeSnapshot unpacks the current packed IN/OUT state into fresh slabs
+// (trace and init snapshots).
+func (st *solver) decodeSnapshot() (in, out []lattice.Tuple) {
+	n := len(st.g.Nodes)
+	in = lattice.Slab(n, st.m)
+	out = lattice.Slab(n, st.m)
+	for id := 1; id <= n; id++ {
+		st.pk.DecodeRow(in[id], st.rowW(st.inW, id))
+		st.pk.DecodeRow(out[id], st.rowW(st.outW, id))
+	}
+	return in, out
+}
+
+// finish materializes the fixed point into the Result's scalar slabs. A
+// fuel-exhausted solve instead degrades every tuple to the claim-nothing
+// value of the problem's polarity: ⊥ for must-problems (no instance is
+// asserted in range, so Covers is false everywhere) and ⊤ for may-problems
+// (every instance may be live) — conservative in both directions.
+func (st *solver) finish() {
+	res := st.res
+	n := len(st.g.Nodes)
+	if st.exhausted {
+		res.degradeExhausted()
+		return
+	}
+	if st.wide {
+		for id := 1; id <= n; id++ {
+			st.pk.DecodeRow(res.In[id], st.rowW(st.inW, id))
+			st.pk.DecodeRow(res.Out[id], st.rowW(st.outW, id))
+		}
+	}
+}
+
+// degradeExhausted overwrites the result's tuples with the claim-nothing
+// value and marks the exhaustion on the result and the process counter.
+func (res *Result) degradeExhausted() {
+	v := lattice.None()
+	if res.Spec.May {
+		v = lattice.All()
+	}
+	for id := 1; id < len(res.In); id++ {
+		res.In[id].Fill(v)
+		res.Out[id].Fill(v)
+	}
+	res.FuelExhausted = true
+	fuelExhaustedTotal.Add(1)
+}
+
 // compile builds the packed program: every (node, class) flow function
 // appended to one arena in slot order, so starts is monotone and a slot's
 // ops are arena[starts[idx]:starts[idx+1]]. Class membership is decided by
@@ -375,113 +753,257 @@ func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64) *pac
 	}
 	clear(prog.starts[:m])
 	clear(prog.gen)
-	idx := m // slots 0..m-1 belong to the unused node ID 0 and stay empty
-	for _, nd := range g.Nodes {
-		for _, c := range ct.classes {
-			prog.starts[idx] = int32(len(prog.arena))
-			prog.arena = appendOps(prog.arena, g, spec, ct, c, nd, prZero[c.Index])
-			idx++
-		}
-	}
-	for ; idx <= total; idx++ {
-		prog.starts[idx] = int32(len(prog.arena))
-	}
-	for i := 0; i < total; i++ {
-		for _, op := range prog.ops(i) {
-			if op.gen {
-				bitSet(prog.gen, i)
-				break
-			}
-		}
-	}
-	return prog
-}
-
-// appendOps emits node nd's flow function for class c onto the arena. The
-// emitted sequence is definitionally identical to the reference compiler's
-// compileNodeClass: reference effects in execution order, reversed for
-// backward problems, with summary nodes reordered by polarity (must:
-// generates before kills; may: kills before generates) and consecutive
-// preserve caps merged.
-func appendOps(arena []flowOp, g *ir.Graph, spec *Spec, ct *classTable, c *Class, nd *ir.Node, prZeroC []uint64) []flowOp {
-	opsStart := len(arena)
-	nodePr := int64(1)
-	if bitGet(prZeroC, nd.ID) {
-		nodePr = 0
-	}
-	want := int32(c.Index)
-	genSeen := false
-
-	emit := func(r *ir.Ref) {
-		if ct.refClass[r.ID] == want {
-			arena = append(arena, flowOp{gen: true})
-			genSeen = true
-			return
-		}
-		if !spec.Kill(r) || r.Array != c.Array {
-			return
-		}
-		pr := nodePr
-		if genSeen {
-			// A member of the class already executed within this node
-			// before the kill: the distance-0 instance is in range.
-			pr = 0
-		}
-		kctx := KillContext{
-			Pr:       pr,
+	// A node can only emit ops for classes one of its references touches: the
+	// reference's own class (generate) or any class over the same array
+	// (kill). Walking just those candidates keeps compilation O(refs·classes-
+	// per-array) instead of O(nodes·classes); every other slot is empty and
+	// its start offset equals its neighbor's. Candidates are deduped with a
+	// node-ID stamp (node 0 is unused, so a zeroed stamp row is "unseen") and
+	// insertion-sorted so slots are emitted in index order.
+	stamp := int32Pool.get(m)
+	clear(stamp)
+	e := opEmitter{
+		arena: prog.arena,
+		m:     m,
+		g:     g,
+		spec:  spec,
+		ct:    ct,
+		kctxBase: KillContext{
 			May:      spec.May,
 			Backward: spec.Backward,
 			UB:       g.UBConst,
 			HasUB:    g.HasUB,
-		}
-		var p lattice.Dist
-		if r.FromInner && r.HasRegion {
-			p = PreserveAgainstRegion(c.Form, r.RegionLo, r.RegionHi, kctx)
-		} else {
-			p = PreserveConst(c.Form, r.Form, r.Affine && !r.FromInner, kctx)
-		}
-		if p.IsAll() {
-			return // identity cap
-		}
-		if n := len(arena); n > opsStart && !arena[n-1].gen {
-			arena[n-1].pres = lattice.Min(arena[n-1].pres, p)
-			return
-		}
-		arena = append(arena, flowOp{pres: p})
+		},
 	}
-
-	// phase: 0 = members of c only, 1 = non-members only, 2 = all.
-	walk := func(phase int, reverse bool) {
-		refs := nd.Refs
-		for k := 0; k < len(refs); k++ {
-			r := refs[k]
-			if reverse {
-				r = refs[len(refs)-1-k]
+	e.buildForms()
+	var cand []int32
+	idx := m // slots 0..m-1 belong to the unused node ID 0 and stay empty
+	for _, nd := range g.Nodes {
+		id := int32(nd.ID)
+		cand = cand[:0]
+		for _, r := range nd.Refs {
+			if ci := ct.refClass[r.ID]; ci >= 0 && stamp[ci] != id {
+				stamp[ci] = id
+				cand = append(cand, ci)
 			}
-			isMember := ct.refClass[r.ID] == want
-			if phase == 0 && !isMember || phase == 1 && isMember {
-				continue
+			if spec.Kill(r) {
+				for _, ci := range ct.byArray[r.Array] {
+					if stamp[ci] != id {
+						stamp[ci] = id
+						cand = append(cand, ci)
+					}
+				}
 			}
-			emit(r)
 		}
+		for i := 1; i < len(cand); i++ {
+			for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+				cand[j], cand[j-1] = cand[j-1], cand[j]
+			}
+		}
+		next := 0
+		for ci := 0; ci < m; ci++ {
+			prog.starts[idx] = int32(len(e.arena))
+			if next < len(cand) && cand[next] == int32(ci) {
+				if e.compileSlot(nd, ct.classes[ci], prZero[ci]) {
+					bitSet(prog.gen, idx)
+				}
+				next++
+			}
+			idx++
+		}
+	}
+	prog.arena = e.arena
+	e.release()
+	int32Pool.put(stamp)
+	for ; idx <= total; idx++ {
+		prog.starts[idx] = int32(len(prog.arena))
+	}
+	return prog
+}
+
+// opEmitter carries the op-emission state of one compile: the shared arena,
+// the per-slot walk state, and the preserve memo. One emitter serves the
+// whole compile (no closures, no per-slot construction), so compiling a
+// slot allocates nothing beyond arena growth.
+type opEmitter struct {
+	arena    []flowOp
+	opsStart int
+	nodePr   int64
+	want     int32
+	genSeen  bool
+	m        int
+	g        *ir.Graph
+	spec     *Spec
+	ct       *classTable
+	c        *Class
+	kctxBase KillContext // May/Backward/UB fixed per solve; Pr set per emit
+
+	// Preserve memoization: a killing reference's preserve distance against
+	// a class depends only on the two affine forms and the pr bit, so every
+	// affine killer gets a form ID (its class index when classified, a table
+	// slot past m otherwise) and PreserveConst runs once per
+	// (class, form, pr) triple instead of once per emitted op.
+	fid      []int32     // ref ID → form ID, -1 when not an affine killer
+	extra    []extraForm // forms of affine killers outside every class
+	memo     []lattice.Dist
+	memoDone []uint64
+}
+
+type extraForm struct {
+	array string
+	form  sema.AffineForm
+}
+
+// buildForms assigns form IDs to every reference that can kill with an
+// affine subscript and sizes the preserve memo.
+func (e *opEmitter) buildForms() {
+	g := e.g
+	e.fid = int32Pool.get(len(g.Refs) + 1)
+	for _, r := range g.Refs {
+		e.fid[r.ID] = -1
+		if !r.Affine || r.FromInner || !e.spec.Kill(r) {
+			continue
+		}
+		if ci := e.ct.refClass[r.ID]; ci >= 0 {
+			e.fid[r.ID] = ci
+			continue
+		}
+		id := int32(-1)
+		for k := range e.extra {
+			x := &e.extra[k]
+			if x.array == r.Array && x.form.A.Equal(r.Form.A) && x.form.B.Equal(r.Form.B) {
+				id = int32(e.m + k)
+				break
+			}
+		}
+		if id < 0 {
+			id = int32(e.m + len(e.extra))
+			e.extra = append(e.extra, extraForm{r.Array, r.Form})
+		}
+		e.fid[r.ID] = id
+	}
+	cells := (e.m + len(e.extra)) * 2 * e.m
+	e.memo = presPool.get(cells)
+	e.memoDone = memoBitsPool.get((cells + 63) / 64)
+	clear(e.memoDone)
+}
+
+// release returns the emitter's pooled buffers.
+func (e *opEmitter) release() {
+	int32Pool.put(e.fid)
+	presPool.put(e.memo)
+	memoBitsPool.put(e.memoDone)
+	e.fid, e.memo, e.memoDone = nil, nil, nil
+}
+
+// formOf returns the affine form behind a form ID.
+func (e *opEmitter) formOf(f int) sema.AffineForm {
+	if f < e.m {
+		return e.ct.classes[f].Form
+	}
+	return e.extra[f-e.m].form
+}
+
+// preserve returns the memoized PreserveConst result for the current class
+// against form ID f at the given pr.
+func (e *opEmitter) preserve(f int, pr int64) lattice.Dist {
+	idx := (f*2+int(pr))*e.m + int(e.want)
+	if !bitGet(e.memoDone, idx) {
+		kctx := e.kctxBase
+		kctx.Pr = pr
+		e.memo[idx] = PreserveConst(e.c.Form, e.formOf(f), true, kctx)
+		bitSet(e.memoDone, idx)
+	}
+	return e.memo[idx]
+}
+
+// compileSlot emits node nd's flow function for class c onto the arena and
+// reports whether it generates. The emitted sequence is definitionally
+// identical to the reference compiler's compileNodeClass: reference effects
+// in execution order, reversed for backward problems, with summary nodes
+// reordered by polarity (must: generates before kills; may: kills before
+// generates) and consecutive preserve caps merged.
+func (e *opEmitter) compileSlot(nd *ir.Node, c *Class, prZeroC []uint64) bool {
+	e.opsStart = len(e.arena)
+	e.want = int32(c.Index)
+	e.c = c
+	e.genSeen = false
+	e.nodePr = 1
+	if bitGet(prZeroC, nd.ID) {
+		e.nodePr = 0
 	}
 
 	if nd.Kind != ir.KindSummary {
-		walk(2, spec.Backward)
-		return arena
+		e.walk(nd, 2, e.spec.Backward)
+		return e.genSeen
 	}
 	// Summary nodes collapse an inner loop of unknown internal order: the
 	// safe approximation applies generates before kills for must-problems
 	// (underestimate) and kills before generates for may-problems
 	// (overestimate); backward solves reverse the whole sequence.
 	first, second := 0, 1 // must, forward: gens then kills
-	if spec.May {
+	if e.spec.May {
 		first, second = 1, 0
 	}
-	if spec.Backward {
+	if e.spec.Backward {
 		first, second = second, first
 	}
-	walk(first, spec.Backward)
-	walk(second, spec.Backward)
-	return arena
+	e.walk(nd, first, e.spec.Backward)
+	e.walk(nd, second, e.spec.Backward)
+	return e.genSeen
+}
+
+// walk emits node nd's references in execution order (reversed for backward
+// problems). phase: 0 = members of the class only, 1 = non-members only,
+// 2 = all.
+func (e *opEmitter) walk(nd *ir.Node, phase int, reverse bool) {
+	refs := nd.Refs
+	for k := 0; k < len(refs); k++ {
+		r := refs[k]
+		if reverse {
+			r = refs[len(refs)-1-k]
+		}
+		isMember := e.ct.refClass[r.ID] == e.want
+		if phase == 0 && !isMember || phase == 1 && isMember {
+			continue
+		}
+		e.emit(r, isMember)
+	}
+}
+
+func (e *opEmitter) emit(r *ir.Ref, isMember bool) {
+	if isMember {
+		e.arena = append(e.arena, flowOp{gen: true})
+		e.genSeen = true
+		return
+	}
+	if !e.spec.Kill(r) || r.Array != e.c.Array {
+		return
+	}
+	pr := e.nodePr
+	if e.genSeen {
+		// A member of the class already executed within this node before
+		// the kill: the distance-0 instance is in range.
+		pr = 0
+	}
+	var p lattice.Dist
+	if f := e.fid[r.ID]; f >= 0 {
+		p = e.preserve(int(f), pr)
+	} else {
+		kctx := e.kctxBase
+		kctx.Pr = pr
+		if r.FromInner && r.HasRegion {
+			p = PreserveAgainstRegion(e.c.Form, r.RegionLo, r.RegionHi, kctx)
+		} else {
+			p = PreserveConst(e.c.Form, r.Form, r.Affine && !r.FromInner, kctx)
+		}
+	}
+	if p.IsAll() {
+		return // identity cap
+	}
+	if n := len(e.arena); n > e.opsStart && !e.arena[n-1].gen {
+		e.arena[n-1].pres = lattice.Min(e.arena[n-1].pres, p)
+		return
+	}
+	e.arena = append(e.arena, flowOp{pres: p})
 }

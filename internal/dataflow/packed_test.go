@@ -117,8 +117,8 @@ func checkResultsIdentical(t *testing.T, label string, packed, ref *Result) {
 	if got, want := packed.TupleTable(0), ref.TupleTable(0); got != want {
 		t.Errorf("%s: init snapshot differs:\npacked:\n%s\nreference:\n%s", label, got, want)
 	}
-	if (packed.InitIn == nil) != (ref.InitIn == nil) {
-		t.Errorf("%s: InitIn nil-ness: packed %v, reference %v", label, packed.InitIn == nil, ref.InitIn == nil)
+	if (packed.InitIn() == nil) != (ref.InitIn() == nil) {
+		t.Errorf("%s: InitIn nil-ness: packed %v, reference %v", label, packed.InitIn() == nil, ref.InitIn() == nil)
 	}
 	if got, want := len(packed.Trace), len(ref.Trace); got != want {
 		t.Fatalf("%s: trace length = %d, want %d", label, got, want)
@@ -220,30 +220,122 @@ func TestSolveAllSharesClassTables(t *testing.T) {
 }
 
 // TestPackedSteadyStateAllocFree pins the tentpole property: once a packed
-// solve is constructed, running a full iteration pass allocates nothing.
+// solve is prepared, running a full iteration pass allocates nothing — on
+// the word-packed fast path and on the scalar fallback alike.
 func TestPackedSteadyStateAllocFree(t *testing.T) {
 	g := buildLoop(t, fig1)
-	for _, spec := range standardTestSpecs() {
-		ctx := newSolveCtx(g)
-		sc := NewScratch()
-		res := ctx.solve(spec, &Options{}, sc)
-		ct := ctx.tableFor(spec, sc)
-		st := &solver{
-			res:     res,
-			g:       g,
-			order:   ctx.order(spec.Backward),
-			entry:   g.Entry,
-			prog:    ctx.compile(spec, ct, ctx.prZeroFor(ct, spec.Backward)),
-			scratch: make(lattice.Tuple, len(ct.classes)),
-			m:       len(ct.classes),
-			may:     spec.May,
-			back:    spec.Backward,
+	for _, forceScalar := range []bool{false, true} {
+		debugForceScalar = forceScalar
+		for _, spec := range standardTestSpecs() {
+			ctx := newSolveCtx(g)
+			sc := NewScratch()
+			st := ctx.prepare(spec, &Options{}, sc)
+			if st.wide == forceScalar {
+				t.Fatalf("%s: wide = %v with forceScalar = %v", spec.Name, st.wide, forceScalar)
+			}
+			st.initStage(&Options{})
+			// Give the exhaustion check headroom: the measured passes must
+			// never trip it.
+			st.fuel = 1 << 40
+			if allocs := testing.AllocsPerRun(100, func() { st.iteratePass() }); allocs != 0 {
+				t.Errorf("%s (scalar=%v): steady-state iteration pass allocates %.0f objects per run, want 0",
+					spec.Name, forceScalar, allocs)
+			}
 		}
-		if spec.Backward {
-			st.entry = g.Exit
+	}
+	debugForceScalar = false
+}
+
+// TestPackedScalarFallbackDifferential drives the scalar fallback path over
+// the full corpus against the reference engine: the fallback must stay
+// byte-identical even though the default corpus fits the word-packed path.
+func TestPackedScalarFallbackDifferential(t *testing.T) {
+	debugForceScalar = true
+	defer func() { debugForceScalar = false }()
+	for name, src := range differentialSources(t) {
+		g := buildLoop(t, src)
+		for _, spec := range standardTestSpecs() {
+			packed := Solve(g, spec, &Options{CollectTrace: true, Engine: EnginePacked})
+			ref := Solve(g, spec, &Options{CollectTrace: true, Engine: EngineReference})
+			checkResultsIdentical(t, name+"/"+spec.Name+"/scalar-fallback", packed, ref)
 		}
-		if allocs := testing.AllocsPerRun(100, func() { st.iteratePass() }); allocs != 0 {
-			t.Errorf("%s: steady-state iteration pass allocates %.0f objects per run, want 0", spec.Name, allocs)
+	}
+}
+
+// TestFuelDefaultNeverBinds pins that a zero Options.Fuel derives a budget
+// the iteration cannot exhaust: results with and without an enormous
+// explicit budget are identical, and FuelExhausted stays false across the
+// whole corpus, every spec, both engines.
+func TestFuelDefaultNeverBinds(t *testing.T) {
+	for name, src := range differentialSources(t) {
+		g := buildLoop(t, src)
+		for _, spec := range standardTestSpecs() {
+			for _, eng := range []Engine{EnginePacked, EngineReference} {
+				res := Solve(g, spec, &Options{Engine: eng})
+				if res.FuelExhausted {
+					t.Fatalf("%s/%s/%s: default fuel budget %d exhausted", name, spec.Name, eng, res.FuelBudget)
+				}
+				if res.FuelBudget <= 0 {
+					t.Fatalf("%s/%s/%s: non-positive derived budget %d", name, spec.Name, eng, res.FuelBudget)
+				}
+				big := Solve(g, spec, &Options{Engine: eng, Fuel: 1 << 40})
+				if got, want := res.TupleTable(-1), big.TupleTable(-1); got != want {
+					t.Errorf("%s/%s/%s: default-fuel fixed point differs from unlimited", name, spec.Name, eng)
+				}
+			}
+		}
+	}
+}
+
+// TestFuelExhaustionDeterministicAndSound fuzzes tiny fuel budgets over the
+// corpus: for every budget both engines must exhaust identically (same
+// counters, same degraded tuples) and the degraded values must be the
+// claim-nothing value for the polarity — ⊥ for must, ⊤ for may — so
+// consumers can only lose precision, never soundness.
+func TestFuelExhaustionDeterministicAndSound(t *testing.T) {
+	for name, src := range differentialSources(t) {
+		g := buildLoop(t, src)
+		for _, spec := range standardTestSpecs() {
+			// Budgets from "dies at the first node" up past several passes.
+			full := Solve(g, spec, &Options{Engine: EnginePacked})
+			budgets := []int64{1, 3, int64(len(full.Classes)) + 1, int64(full.FlowApps / 2), int64(full.FlowApps) - 1}
+			for _, fuel := range budgets {
+				if fuel <= 0 {
+					continue
+				}
+				label := fmt.Sprintf("%s/%s/fuel=%d", name, spec.Name, fuel)
+				packed := Solve(g, spec, &Options{Engine: EnginePacked, Fuel: fuel})
+				ref := Solve(g, spec, &Options{Engine: EngineReference, Fuel: fuel})
+				if packed.FuelExhausted != ref.FuelExhausted {
+					t.Fatalf("%s: exhausted packed=%v reference=%v", label, packed.FuelExhausted, ref.FuelExhausted)
+				}
+				checkResultsIdentical(t, label, packed, ref)
+				if packed.FuelBudget != fuel {
+					t.Errorf("%s: FuelBudget = %d", label, packed.FuelBudget)
+				}
+				if !packed.FuelExhausted {
+					continue
+				}
+				// Soundness: every degraded tuple is the claim-nothing value.
+				want := lattice.None()
+				if spec.May {
+					want = lattice.All()
+				}
+				for id := 1; id < len(packed.In); id++ {
+					for ci := range packed.In[id] {
+						if !packed.In[id][ci].Eq(want) || !packed.Out[id][ci].Eq(want) {
+							t.Fatalf("%s: node %d class %d not degraded to %s", label, id, ci, want)
+						}
+					}
+				}
+				// Determinism: a repeat run exhausts with identical counters.
+				again := Solve(g, spec, &Options{Engine: EnginePacked, Fuel: fuel})
+				if again.NodeVisits != packed.NodeVisits || again.FlowApps != packed.FlowApps ||
+					again.Passes != packed.Passes || !again.FuelExhausted {
+					t.Fatalf("%s: repeat run diverged: visits %d vs %d, apps %d vs %d",
+						label, again.NodeVisits, packed.NodeVisits, again.FlowApps, packed.FlowApps)
+				}
+			}
 		}
 	}
 }

@@ -27,6 +27,9 @@ type Scratch struct {
 	visited []bool
 	tuple   lattice.Tuple
 	mask    []byte
+	// words are the packed engine's per-solve word rows (IN, OUT, LO, HI,
+	// GEN, scratch), reused across solves on the same worker.
+	words [6][]uint64
 }
 
 // NewScratch returns an empty scratch bundle (buffers grow on demand).
@@ -52,6 +55,16 @@ func (s *Scratch) tupleRow(m int) lattice.Tuple {
 	}
 	s.tuple = s.tuple[:m]
 	return s.tuple
+}
+
+// u64Row returns the length-n word buffer for the given slot with
+// unspecified contents (callers clear or fully overwrite it).
+func (s *Scratch) u64Row(slot, n int) []uint64 {
+	if cap(s.words[slot]) < n {
+		s.words[slot] = make([]uint64, n)
+	}
+	s.words[slot] = s.words[slot][:n]
+	return s.words[slot]
 }
 
 // byteRow returns a length-n byte buffer with unspecified contents.
@@ -100,19 +113,22 @@ func (sp *slicePool[T]) put(s []T) {
 }
 
 var (
-	distPool  slicePool[lattice.Dist]  // slab backings
-	rowPool   slicePool[lattice.Tuple] // slab row headers
-	opPool    slicePool[flowOp]        // packed program arenas
-	int32Pool slicePool[int32]         // packed program start offsets
-	u64Pool   slicePool[uint64]        // packed program gen bitsets
+	distPool     slicePool[lattice.Dist]  // slab backings
+	rowPool      slicePool[lattice.Tuple] // slab row headers
+	opPool       slicePool[flowOp]        // packed program arenas
+	int32Pool    slicePool[int32]         // packed program start offsets
+	u64Pool      slicePool[uint64]        // packed program gen bitsets
+	presPool     slicePool[lattice.Dist]  // compile-time preserve memo tables
+	memoBitsPool slicePool[uint64]        // preserve memo done bitsets
 )
 
 // pooledSlab builds a lattice.Slab-shaped n×m matrix over pooled storage,
-// returning the rows and the backing for a later Release. Values start at
-// the zero Dist, matching lattice.Slab.
+// returning the rows and the backing for a later Release. Contents are
+// unspecified (the pools return dirty buffers): every solver path fully
+// overwrites both slabs — init fills every row, and the packed fast path
+// decodes or degrade-fills every cell — before a consumer can read them.
 func pooledSlab(n, m int) ([]lattice.Tuple, lattice.Tuple) {
 	backing := lattice.Tuple(distPool.get(n * m))
-	clear(backing)
 	rows := rowPool.get(n + 1)
 	rows[0] = nil
 	for i := 1; i <= n; i++ {
@@ -149,6 +165,10 @@ func (res *Result) Release() {
 		u64Pool.put(res.prog.gen)
 		res.prog = nil
 	}
-	res.InitIn, res.InitOut = nil, nil
+	if res.initW != nil {
+		u64Pool.put(res.initW)
+		res.initW = nil
+	}
+	res.initIn, res.initOut = nil, nil
 	res.flowFns = nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -58,8 +59,6 @@ type Result struct {
 	Graph   *ir.Graph
 	Spec    *Spec
 	Classes []*Class
-	// ClassOf maps each generating reference to its class.
-	ClassOf map[*ir.Ref]*Class
 	// ct is the class table behind Classes/ClassOf; ClassFor answers from
 	// its lazily built key index in O(1) instead of a scan per query.
 	ct *classTable
@@ -75,9 +74,16 @@ type Result struct {
 	In  []lattice.Tuple
 	Out []lattice.Tuple
 
-	// InitIn / InitOut snapshot the initialization pass (must-problems).
-	InitIn  []lattice.Tuple
-	InitOut []lattice.Tuple
+	// initIn / initOut snapshot the initialization pass (must-problems);
+	// read them through InitIn/InitOut. The packed engine defers decoding:
+	// initW holds the packed init-pass words (IN rows, then OUT rows) and
+	// initPk their layout until the first accessor call, so solves whose
+	// snapshot nobody reads never materialize it.
+	initIn   []lattice.Tuple
+	initOut  []lattice.Tuple
+	initW    []uint64
+	initPk   lattice.Packing
+	initOnce sync.Once
 	// Trace holds per-pass snapshots of (In, Out) when solving with
 	// CollectTrace (pass 1 first).
 	Trace []TraceEntry
@@ -95,6 +101,15 @@ type Result struct {
 	FlowApps int
 	// Elapsed is the wall time of the Solve call.
 	Elapsed time.Duration
+
+	// FuelBudget is the resolved fuel budget the solve ran under (the
+	// explicit Options.Fuel, or the derived never-binding default).
+	FuelBudget int64
+	// FuelExhausted reports that the iteration ran out of fuel and every
+	// tuple was degraded to the claim-nothing value of the problem's
+	// polarity (must → ⊥, may → ⊤). Degraded results are sound but carry
+	// no information; consumers surface them as "unknown".
+	FuelExhausted bool
 
 	// flowFns are the compiled per-node, per-class flow functions of the
 	// reference engine, kept so consumers (the framework self-check
@@ -130,6 +145,9 @@ type Metrics struct {
 	FlowApps int
 	// Elapsed is the solve's wall time.
 	Elapsed time.Duration
+	// FuelExhausted reports that the solve (or, after Add, any aggregated
+	// solve) ran out of fuel and degraded its tuples to "unknown".
+	FuelExhausted bool
 }
 
 // Metrics bundles the result's instrumentation counters.
@@ -142,6 +160,7 @@ func (res *Result) Metrics() Metrics {
 		NodeVisits:    res.NodeVisits,
 		FlowApps:      res.FlowApps,
 		Elapsed:       res.Elapsed,
+		FuelExhausted: res.FuelExhausted,
 	}
 }
 
@@ -163,7 +182,16 @@ func (m *Metrics) Add(o Metrics) {
 	m.NodeVisits += o.NodeVisits
 	m.FlowApps += o.FlowApps
 	m.Elapsed += o.Elapsed
+	m.FuelExhausted = m.FuelExhausted || o.FuelExhausted
 }
+
+// fuelExhaustedTotal counts fuel-exhausted solves process-wide; the service
+// stats endpoint exposes it.
+var fuelExhaustedTotal atomic.Int64
+
+// FuelExhaustedTotal returns the number of solves in this process that ran
+// out of fuel and degraded their results to "unknown".
+func FuelExhaustedTotal() int64 { return fuelExhaustedTotal.Load() }
 
 // TraceEntry snapshots one iteration pass.
 type TraceEntry struct {
@@ -198,6 +226,16 @@ type Options struct {
 	// convergence in 2 changing passes; the bound protects against
 	// violations of the structured-loop preconditions.
 	MaxPasses int
+	// Fuel bounds the iteration's total flow applications: every node
+	// visit debits one unit per tracked class, and when the remaining
+	// budget cannot cover a visit the solve stops and degrades every tuple
+	// to the claim-nothing value of the problem's polarity (must → ⊥,
+	// may → ⊤), setting Result.FuelExhausted. Zero derives a budget from
+	// MaxPasses·nodes·classes that can never bind, so by default fuel
+	// changes nothing; an explicit budget gives a hard worst-case latency
+	// bound for hostile or pathological inputs. Both engines debit and
+	// degrade identically.
+	Fuel int64
 	// SkipInitPass suppresses the initialization pass for must-problems
 	// (ablation: shows the init pass is required for 2-pass convergence).
 	SkipInitPass bool
@@ -339,8 +377,8 @@ func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 			}
 			visited[nd.ID] = true
 		}
-		res.InitIn = snapshot(res.In)
-		res.InitOut = snapshot(res.Out)
+		res.initIn = snapshot(res.In)
+		res.initOut = snapshot(res.Out)
 	}
 
 	// --- Fixed point iteration ------------------------------------------
@@ -348,9 +386,19 @@ func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	if maxPasses <= 0 {
 		maxPasses = 64
 	}
+	// Fuel accounting mirrors the packed engine exactly: the budget is
+	// checked before a visit and debited per flow application, so both
+	// engines exhaust at the same node of the same pass.
+	fuel := resolveFuel(opts, maxPasses, n, m)
+	res.FuelBudget = fuel
+	exhausted := false
 	for pass := 1; pass <= maxPasses; pass++ {
 		changed := false
 		for _, nd := range order {
+			if fuel < int64(m) {
+				exhausted = true
+				break
+			}
 			res.NodeVisits++
 			in := res.In[nd.ID]
 			ps := preds(nd)
@@ -364,11 +412,15 @@ func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 					in.MeetInto(res.Out[p.ID], spec.May)
 				}
 			}
+			fuel -= int64(m)
 			newOut := applyFlow(nd, g, fns[nd.ID], in, res)
 			if !newOut.Eq(res.Out[nd.ID]) {
 				changed = true
 				copy(res.Out[nd.ID], newOut)
 			}
+		}
+		if exhausted {
+			break
 		}
 		res.Passes = pass
 		if changed {
@@ -380,6 +432,9 @@ func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 		if !changed {
 			break
 		}
+	}
+	if exhausted {
+		res.degradeExhausted()
 	}
 	return res
 }
@@ -421,14 +476,16 @@ type classKey struct {
 }
 
 // classTable is the class discovery for one generate predicate on one
-// graph: the classes in first-occurrence order, the member → class map, a
-// dense ref-ID → class-index array the packed compiler uses instead of map
-// lookups (-1 = not a member), and the lazily built key index behind
-// ClassFor.
+// graph: the classes in first-occurrence order, a dense ref-ID →
+// class-index array that replaces per-ref map lookups (-1 = not a member),
+// and the lazily built key index behind ClassFor.
 type classTable struct {
 	classes  []*Class
-	classOf  map[*ir.Ref]*Class
 	refClass []int32
+	// byArray maps an array name to the indices of its classes: discovery
+	// compares subscripts only within one array's classes, and the packed
+	// compiler uses it to visit only the classes a node can affect.
+	byArray map[string][]int32
 
 	// byKey indexes classes by (array, affine form renderings) for
 	// ClassFor. It is built once, on first lookup, because rendering the
@@ -453,14 +510,15 @@ func (ct *classTable) lookup(array string, form sema.AffineForm) *Class {
 
 // buildClassTable groups the generating references of g under gen into
 // equivalence classes (same array, same affine subscript form). Grouping
-// compares polynomials with Equal over the classes found so far instead of
-// going through rendered string keys: the class count is small, and the
-// per-reference poly renderings dominated this function's cost.
+// compares polynomials with Equal, but only within the reference's own
+// array's classes (the byArray index): cross-array comparisons can never
+// match, and on wide problems (every statement its own array) they made
+// discovery quadratic in the class count.
 func buildClassTable(g *ir.Graph, gen func(*ir.Ref) bool) *classTable {
 	ct := &classTable{
-		classOf:  make(map[*ir.Ref]*Class, len(g.Refs)),
 		classes:  make([]*Class, 0, 8),
 		refClass: make([]int32, len(g.Refs)+1),
+		byArray:  make(map[string][]int32),
 	}
 	for i := range ct.refClass {
 		ct.refClass[i] = -1
@@ -473,8 +531,9 @@ func buildClassTable(g *ir.Graph, gen func(*ir.Ref) bool) *classTable {
 			continue
 		}
 		var c *Class
-		for _, cand := range ct.classes {
-			if cand.Array == r.Array && cand.Form.A.Equal(r.Form.A) && cand.Form.B.Equal(r.Form.B) {
+		for _, ci := range ct.byArray[r.Array] {
+			cand := ct.classes[ci]
+			if cand.Form.A.Equal(r.Form.A) && cand.Form.B.Equal(r.Form.B) {
 				c = cand
 				break
 			}
@@ -482,8 +541,8 @@ func buildClassTable(g *ir.Graph, gen func(*ir.Ref) bool) *classTable {
 		if c == nil {
 			c = &Class{Index: len(ct.classes), Array: r.Array, Form: r.Form}
 			ct.classes = append(ct.classes, c)
+			ct.byArray[r.Array] = append(ct.byArray[r.Array], int32(c.Index))
 		}
-		ct.classOf[r] = c
 		ct.refClass[r.ID] = int32(c.Index)
 		total++
 	}
@@ -517,8 +576,51 @@ func buildClassTable(g *ir.Graph, gen func(*ir.Ref) bool) *classTable {
 // adoptClasses installs a class table's views on the result.
 func (res *Result) adoptClasses(ct *classTable) {
 	res.Classes = ct.classes
-	res.ClassOf = ct.classOf
 	res.ct = ct
+}
+
+// ClassOf returns the class of a generating reference, or nil when the
+// reference is not a class member. It answers from the table's dense
+// ref-ID array; no map is built.
+func (res *Result) ClassOf(r *ir.Ref) *Class {
+	if ci := res.ct.refClass[r.ID]; ci >= 0 {
+		return res.ct.classes[ci]
+	}
+	return nil
+}
+
+// InitIn returns the IN snapshot of the initialization pass, or nil when
+// the solve ran none (may-problems, SkipInitPass). Packed solves decode the
+// snapshot lazily on the first call; safe for concurrent readers.
+func (res *Result) InitIn() []lattice.Tuple {
+	res.decodeInit()
+	return res.initIn
+}
+
+// InitOut returns the OUT snapshot of the initialization pass; see InitIn.
+func (res *Result) InitOut() []lattice.Tuple {
+	res.decodeInit()
+	return res.initOut
+}
+
+// decodeInit materializes the deferred packed init snapshot, once.
+func (res *Result) decodeInit() {
+	res.initOnce.Do(func() {
+		if res.initIn != nil || res.initW == nil {
+			return
+		}
+		n := len(res.Graph.Nodes)
+		m := len(res.Classes)
+		pk := &res.initPk
+		words := pk.Words
+		in := lattice.Slab(n, m)
+		out := lattice.Slab(n, m)
+		for id := 1; id <= n; id++ {
+			pk.DecodeRow(in[id], res.initW[id*words:(id+1)*words])
+			pk.DecodeRow(out[id], res.initW[(n+1+id)*words:(n+2+id)*words])
+		}
+		res.initIn, res.initOut = in, out
+	})
 }
 
 // prOf computes pr(class, n): 0 when any member of the class occurs in a
@@ -734,7 +836,7 @@ func (res *Result) TupleTable(pass int) string {
 	case pass < 0:
 		in, out = res.In, res.Out
 	case pass == 0:
-		in, out = res.InitIn, res.InitOut
+		in, out = res.InitIn(), res.InitOut()
 	default:
 		if pass > len(res.Trace) {
 			return fmt.Sprintf("<no trace for pass %d>", pass)

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -223,7 +224,7 @@ func (c *solveCache) setCap(n int) {
 // strides — two textually identical loops under different dim statements
 // must not share a solve. Callers that hand-build a Spec reusing a canned
 // name with different semantics must disable the cache.
-func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine) memoKey {
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64) memoKey {
 	h := ast.NewHasher()
 	h.Stmt(loop)
 	for _, s := range specs {
@@ -232,6 +233,10 @@ func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.P
 	}
 	h.WriteByte('\x00')
 	h.WriteString(string(engine))
+	// The fuel budget changes what a solve may claim (an exhausted solve
+	// degrades to the claim-nothing value), so budgets never share entries.
+	h.WriteByte('\x00')
+	h.WriteString(fuelSignature(fuel))
 	for _, sig := range dimSignatures(loop, dims) {
 		h.WriteByte('\x00')
 		h.WriteString(sig)
@@ -239,10 +244,21 @@ func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.P
 	return memoKey{fp: h.Sum()}
 }
 
+// fuelSignature renders the fuel budget's cache-key component. Zero (the
+// derived never-binding default) and explicit budgets hash differently, and
+// the rendering is shared by cacheKey and canonicalKeyString so the
+// collision oracle stays exact.
+func fuelSignature(fuel int64) string {
+	if fuel <= 0 {
+		return "fuel=default"
+	}
+	return "fuel=" + strconv.FormatInt(fuel, 10)
+}
+
 // canonicalKeyString renders the pre-fingerprint string key — the exact
 // byte stream cacheKey hashes — for the collision oracle and for
 // differential tests.
-func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine) string {
+func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64) string {
 	var b strings.Builder
 	b.Grow(256)
 	b.WriteString(ast.StmtString(loop, 0))
@@ -252,6 +268,8 @@ func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[strin
 	}
 	b.WriteByte('\x00')
 	b.WriteString(string(engine))
+	b.WriteByte('\x00')
+	b.WriteString(fuelSignature(fuel))
 	for _, sig := range dimSignatures(loop, dims) {
 		b.WriteByte('\x00')
 		b.WriteString(sig)
@@ -357,19 +375,19 @@ func (c *solveCache) evictOldestLocked() {
 // sc is the calling worker's scratch free list; the singleflight cell runs
 // the solve on the claiming worker's goroutine, so the scratch is never
 // shared across solves in flight.
-func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, bool, error) {
+func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solved, bool, error) {
 	if !useCache {
-		sv, err := solveLoopFresh(loop, specs, dims, engine, sc)
+		sv, err := solveLoopFresh(loop, specs, dims, engine, fuel, sc)
 		return sv, false, err
 	}
-	e, hit := globalCache.claim(cacheKey(loop, specs, dims, engine), func() string {
-		return canonicalKeyString(loop, specs, dims, engine)
+	e, hit := globalCache.claim(cacheKey(loop, specs, dims, engine, fuel), func() string {
+		return canonicalKeyString(loop, specs, dims, engine, fuel)
 	})
-	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, dims, engine, sc) })
+	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, dims, engine, fuel, sc) })
 	return e.sv, hit, e.err
 }
 
-func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, sc *dataflow.Scratch) (*solved, error) {
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solved, error) {
 	g, err := ir.Build(loop, &ir.Options{Dims: dims})
 	if err != nil {
 		return nil, err
@@ -378,7 +396,7 @@ func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]
 	// One fused SolveAll per loop: every spec shares the graph's class
 	// discovery, node orderings, and precedes bitsets through one solve
 	// context instead of re-deriving them per problem instance.
-	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc}) {
+	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc, Fuel: fuel}) {
 		spec := specs[i]
 		sv.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {

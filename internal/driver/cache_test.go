@@ -169,6 +169,7 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 		nil,
 		{"X": {poly.Const(8), poly.Const(8)}, "Y": {poly.Const(4), poly.Const(16)}},
 	}
+	fuels := []int64{0, 1, 1 << 20}
 	byFP := map[memoKey]string{}
 	byStr := map[string]memoKey{}
 	n := 0
@@ -177,9 +178,10 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 			for _, specs := range specsets {
 				for _, eng := range engines {
 					for _, dims := range dimsets {
+						fuel := fuels[n%len(fuels)]
 						n++
-						fp := cacheKey(loop, specs, dims, eng)
-						str := canonicalKeyString(loop, specs, dims, eng)
+						fp := cacheKey(loop, specs, dims, eng, fuel)
+						str := canonicalKeyString(loop, specs, dims, eng, fuel)
 						if prev, ok := byFP[fp]; ok && prev != str {
 							t.Fatalf("fingerprint collision: %x/%x for %q and %q",
 								fp.fp.Hi, fp.fp.Lo, prev, str)

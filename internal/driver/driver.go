@@ -96,6 +96,13 @@ type Options struct {
 	// engine participates in the memo-cache key, so mixed-engine processes
 	// never share entries across engines.
 	Engine dataflow.Engine
+	// Fuel bounds each per-loop solve's flow-function applications
+	// (dataflow.Options.Fuel). Zero derives the solver's never-binding
+	// default. A bound solve that runs out degrades its tuples to the
+	// claim-nothing value and is counted in Metrics.FuelExhausted; the fuel
+	// participates in the memo-cache key, so runs under different budgets
+	// never share entries.
+	Fuel int64
 }
 
 // entry is one loop to analyze, with its nesting context.
@@ -175,7 +182,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		}
 		if w <= 1 {
 			for _, i := range idxs {
-				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, serialScratch)
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, opts.Fuel, serialScratch)
 			}
 			continue
 		}
@@ -190,7 +197,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 				// allocations are bounded by the worker count.
 				sc := dataflow.NewScratch()
 				for i := range work {
-					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, sc)
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, opts.Fuel, sc)
 				}
 			}()
 		}
@@ -231,6 +238,9 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		}
 		m.NodeVisits += lm.Solver.NodeVisits
 		m.FlowApps += lm.Solver.FlowApps
+		if lm.Solver.FuelExhausted {
+			m.FuelExhausted++
+		}
 	}
 	m.Elapsed = time.Since(start)
 	pa.Metrics = m
@@ -324,7 +334,7 @@ func declaredDims(info *sema.Info) map[string][]poly.Poly {
 // analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
 // called from worker goroutines: everything it touches is either private to
 // the entry or behind the cache's synchronization.
-func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
+func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
 	t0 := time.Now()
 	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
 	countLookup := func(hit bool) {
@@ -337,7 +347,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, us
 			lm.CacheMisses++
 		}
 	}
-	sv, hit, err := solveLoop(e.loop, specs, dims, useCache, engine, sc)
+	sv, hit, err := solveLoop(e.loop, specs, dims, useCache, engine, fuel, sc)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
@@ -360,7 +370,7 @@ func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, us
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, dims, useCache, engine, sc)
+			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, dims, useCache, engine, fuel, sc)
 			if err != nil {
 				continue
 			}

@@ -50,6 +50,10 @@ type Metrics struct {
 	// solves contribute their original counters).
 	NodeVisits int
 	FlowApps   int
+	// FuelExhausted counts the loops whose solves ran out of fuel and were
+	// degraded to the claim-nothing value (see Options.Fuel). Zero on every
+	// run with the derived default budget.
+	FuelExhausted int
 	// Elapsed is the wall time of the whole Analyze call; Parallelism the
 	// worker count it ran with.
 	Elapsed     time.Duration
@@ -76,8 +80,8 @@ func (m *Metrics) Report() string {
 	b.Grow(256 + 80*len(m.PerLoop))
 	fmt.Fprintf(&b, "solver metrics: %d loops, %d solves (%d cache hits, %d misses, hit rate %.2f), workers %d\n",
 		m.Loops, m.Solves, m.CacheHits, m.CacheMisses, m.HitRate(), m.Parallelism)
-	fmt.Fprintf(&b, "  max changing passes: %d (paper bound: 2)   node visits: %d   flow applications: %d   wall: %s\n",
-		m.MaxChangedPasses, m.NodeVisits, m.FlowApps, m.Elapsed.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  max changing passes: %d (paper bound: 2)   node visits: %d   flow applications: %d   fuel-exhausted loops: %d   wall: %s\n",
+		m.MaxChangedPasses, m.NodeVisits, m.FlowApps, m.FuelExhausted, m.Elapsed.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  %-8s %5s %6s %8s %7s %8s %9s %5s %12s\n",
 		"loop", "depth", "nodes", "classes", "passes", "visits", "flowapps", "hits", "wall")
 	for _, lm := range m.PerLoop {

@@ -15,6 +15,7 @@ package lint
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
@@ -62,11 +63,32 @@ type Context struct {
 	// Engine is the solver engine the analysis ran under; the self-check
 	// analyzer re-solves with the opposite engine and compares.
 	Engine dataflow.Engine
+	// Fuel is the per-solve budget the analysis ran under (0 = derived
+	// default); the self-check analyzer forwards it to its re-solves so the
+	// cross-engine comparison sees the same degradation.
+	Fuel int64
 }
 
 // result returns the named problem's solution, or nil when it was not
 // requested.
 func (c *Context) result(name string) *dataflow.Result { return c.Loop.Results[name] }
+
+// fuelExhaustedResult returns the first (by problem name) solved result of
+// the loop that ran out of fuel, or ("", nil) when every solve finished
+// within budget. Name order keeps the reported blocker deterministic.
+func fuelExhaustedResult(c *Context) (string, *dataflow.Result) {
+	names := make([]string, 0, len(c.Loop.Results))
+	for name := range c.Loop.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if res := c.Loop.Results[name]; res.FuelExhausted {
+			return name, res
+		}
+	}
+	return "", nil
+}
 
 // registry lists the analyzers in ID order (the order findings tie-break
 // by, and the order documentation tables render in).
@@ -120,6 +142,11 @@ type Options struct {
 	Werror bool
 	// Baseline, when non-nil, suppresses the findings it accepts.
 	Baseline *Baseline
+	// Fuel bounds each per-loop solve (driver.Options.Fuel). Exhausted
+	// solves degrade to "unknown" findings rather than wrong ones: every
+	// analyzer consuming a degraded result reports the fuel blocker or
+	// stays silent.
+	Fuel int64
 }
 
 // Run solves the four problems on every loop of a checked, normalized
@@ -134,6 +161,7 @@ func Run(file string, prog *ast.Program, opts *Options) ([]diag.Finding, *driver
 		Parallelism:  opts.Parallelism,
 		DisableCache: opts.DisableCache,
 		Engine:       opts.Engine,
+		Fuel:         opts.Fuel,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -159,6 +187,7 @@ func RunOn(file string, pa *driver.ProgramAnalysis, opts *Options) []diag.Findin
 			DefinedBefore: before[la.Loop],
 			Src:           opts.Src,
 			Engine:        opts.Engine,
+			Fuel:          opts.Fuel,
 		}
 		if pa.Metrics != nil && i < len(pa.Metrics.PerLoop) {
 			ctx.Metrics = pa.Metrics.PerLoop[i]

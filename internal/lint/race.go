@@ -305,6 +305,21 @@ func CertifyLoop(c *Context) *Verdict {
 	g := c.Loop.Graph
 	v := &Verdict{IV: g.IV}
 
+	// A fuel-exhausted solve degraded its facts to the claim-nothing value:
+	// nothing downstream of it (the dependence graph included) is evidence
+	// any more, so the loop is unknown with the budget as the blocker. This
+	// must come before the carried-edge count so a degraded δ-reaching
+	// solution cannot masquerade as a parallel loop.
+	if name, res := fuelExhaustedResult(c); res != nil {
+		v.Class = VerdictUnknown
+		v.Blockers = []Blocker{{
+			Pos: c.Loop.Loop.Pos(),
+			Reason: fmt.Sprintf("the solver's fuel budget (%d) was exhausted on problem %s — data flow facts degraded to claim nothing",
+				res.FuelBudget, name),
+		}}
+		return v
+	}
+
 	// The dependence graph's carried edges, for cross-checking the verdict
 	// against the paper's §4.3 machinery. Edges whose distance cannot fit in
 	// the trip count are dropped: the dependence graph has no trip-count

@@ -33,6 +33,12 @@ func runUninit(c *Context) []diag.Finding {
 	if res == nil {
 		return nil
 	}
+	if res.FuelExhausted {
+		// The degraded solution guarantees nothing, which would make every
+		// read look unprotected. Stay silent; the race analyzer carries the
+		// fuel blocker for the loop.
+		return nil
+	}
 	// Earliest guaranteed producer per use.
 	guaranteed := map[*ir.Ref]problems.Reuse{}
 	for _, r := range problems.FindReuses(res) {

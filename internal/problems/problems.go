@@ -100,6 +100,12 @@ func (r Reuse) String() string {
 // reported; when several distances qualify for a class the smallest is
 // reported (the most recent instance).
 func FindReuses(res *dataflow.Result) []Reuse {
+	if res.FuelExhausted {
+		// The solve degraded to the claim-nothing value; a must-problem
+		// solution that claims nothing supplies no reuses, and consumers
+		// surface the budget through the lint fuel blocker instead.
+		return nil
+	}
 	var out []Reuse
 	for _, u := range res.Graph.Refs {
 		if u.Kind != ir.Use || !u.Affine || u.FromInner {
@@ -209,6 +215,9 @@ func (r RedundantStore) String() string {
 // δ = 0 redundancies (same-iteration overwrites) are reported only across
 // distinct classes.
 func FindRedundantStores(res *dataflow.Result) []RedundantStore {
+	if res.FuelExhausted {
+		return nil // degraded solve claims nothing (see FindReuses)
+	}
 	var out []RedundantStore
 	for _, s := range res.Graph.Refs {
 		if s.Kind != ir.Def || !s.Affine || s.FromInner {
@@ -222,7 +231,7 @@ func FindRedundantStores(res *dataflow.Result) []RedundantStore {
 			if !ok {
 				continue
 			}
-			if d == 0 && res.ClassOf[s] == c {
+			if d == 0 && res.ClassOf(s) == c {
 				continue
 			}
 			pr := res.Pr(c, s.Node)

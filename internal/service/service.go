@@ -83,6 +83,13 @@ type Options struct {
 	DisableCache bool
 	// Engine selects the solver implementation (zero value = packed).
 	Engine dataflow.Engine
+	// Fuel bounds every per-loop solve (0 = derived default, see
+	// dataflow.Options.Fuel). It complements Deadline: the deadline refuses
+	// work that cannot start in time, while fuel caps how much solver work
+	// an admitted request can consume — an exhausted solve degrades to
+	// claim-nothing facts (unknown verdicts) instead of holding a worker
+	// past the deadline. Exhaustions are counted in /v1/stats.
+	Fuel int64
 }
 
 // withDefaults resolves the zero values documented on Options.
@@ -268,6 +275,7 @@ func (s *Server) driverOptions(vectors bool) *driver.Options {
 		Parallelism:  1,
 		DisableCache: s.opts.DisableCache,
 		Engine:       s.opts.Engine,
+		Fuel:         s.opts.Fuel,
 	}
 }
 
@@ -367,6 +375,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		Parallelism:  1,
 		DisableCache: s.opts.DisableCache,
 		Engine:       s.opts.Engine,
+		Fuel:         s.opts.Fuel,
 		Werror:       queryBool(r, "werror", false),
 	}
 	var res *lint.VetResult
@@ -439,6 +448,8 @@ type Stats struct {
 	DeadlineMS   int64  `json:"deadline_ms"`
 	MaxBodyBytes int64  `json:"max_body_bytes"`
 	Engine       string `json:"engine"`
+	// Fuel echoes the configured per-solve budget (0 = derived default).
+	Fuel int64 `json:"fuel"`
 
 	// Requests counts arrivals per endpoint, refusals included.
 	Requests struct {
@@ -462,6 +473,12 @@ type Stats struct {
 	// FrontEndErrors counts requests whose source failed to parse, check,
 	// or normalize (HTTP 422 on analyze/vet; per-program on batch).
 	FrontEndErrors int64 `json:"front_end_errors"`
+	// FuelExhaustedSolves is the process-lifetime count of solves that ran
+	// out of fuel and degraded to claim-nothing facts (cache hits on a
+	// degraded solve are not re-counted). A nonzero value under the default
+	// budget means a pathological input got through; under an explicit
+	// -fuel it measures how often the guardrail fires.
+	FuelExhaustedSolves int64 `json:"fuel_exhausted_solves"`
 	// BatchPrograms / BatchProgramFails count individual programs inside
 	// /v1/batch requests, and how many of those failed.
 	BatchPrograms     int64 `json:"batch_programs"`
@@ -511,13 +528,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeadlineMS:    s.opts.Deadline.Milliseconds(),
 		MaxBodyBytes:  s.opts.MaxBody,
 		Engine:        engineName(s.opts.Engine),
+		Fuel:          s.opts.Fuel,
 
-		Completed:         s.counters.completed.Load(),
-		FrontEndErrors:    s.counters.frontEndErrors.Load(),
-		BatchPrograms:     s.counters.batchPrograms.Load(),
-		BatchProgramFails: s.counters.batchProgramFails.Load(),
-		InFlight:          s.gate.inFlight.Load(),
-		Queued:            s.gate.queued.Load(),
+		Completed:           s.counters.completed.Load(),
+		FrontEndErrors:      s.counters.frontEndErrors.Load(),
+		FuelExhaustedSolves: dataflow.FuelExhaustedTotal(),
+		BatchPrograms:       s.counters.batchPrograms.Load(),
+		BatchProgramFails:   s.counters.batchProgramFails.Load(),
+		InFlight:            s.gate.inFlight.Load(),
+		Queued:              s.gate.queued.Load(),
 	}
 	st.Requests.Analyze = s.counters.analyze.Load()
 	st.Requests.Vet = s.counters.vet.Load()

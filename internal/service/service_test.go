@@ -581,3 +581,59 @@ func TestCoalescingAcrossRequests(t *testing.T) {
 			st.Cache.Misses, st.Cache.Entries, st.Cache.Hits)
 	}
 }
+
+// TestFuelBudgetDegradesWithinDeadline exercises the fuel/deadline
+// interaction end to end: a server with a one-unit fuel budget must answer
+// vet requests for a multi-loop program well inside its deadline, report
+// every loop's parallelism as unknown with the exhausted budget named,
+// surface the exhaustion count through /v1/stats, and stay byte-identical
+// across repeats — the memo key folds the budget in, so a cached degraded
+// solve replays exactly.
+func TestFuelBudgetDegradesWithinDeadline(t *testing.T) {
+	deadline := 5 * time.Second
+	_, ts := newTestServer(t, &Options{Fuel: 1, Deadline: deadline, Workers: 2})
+	c := NewClient(ts.URL)
+	src := ast.ProgramString(synth.MultiLoopProgram(synth.MultiParams{
+		Seed: 7, Loops: 6, StmtsPer: 8, UB: 64}))
+
+	before, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		vr, err := c.Vet(context.Background(), "fuel", src, "text", false)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if elapsed := time.Since(t0); elapsed >= deadline {
+			t.Fatalf("rep %d: degraded vet took %s, breaching the %s deadline", rep, elapsed, deadline)
+		}
+		if vr.Exit == 2 {
+			t.Fatalf("rep %d: exhaustion must degrade, not fail the analysis:\n%s", rep, vr.Body)
+		}
+		if !strings.Contains(vr.Body, "fuel budget (1) was exhausted") {
+			t.Fatalf("rep %d: findings do not name the exhausted budget:\n%s", rep, vr.Body)
+		}
+		if !strings.Contains(vr.Body, "is unknown:") {
+			t.Fatalf("rep %d: no unknown parallelism verdict:\n%s", rep, vr.Body)
+		}
+		if rep == 0 {
+			first = vr.Body
+		} else if vr.Body != first {
+			t.Fatalf("rep %d: degraded output is not deterministic", rep)
+		}
+	}
+	after, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fuel != 1 {
+		t.Errorf("stats echo fuel = %d, want 1", after.Fuel)
+	}
+	if after.FuelExhaustedSolves <= before.FuelExhaustedSolves {
+		t.Errorf("fuel_exhausted_solves did not grow: before %d, after %d",
+			before.FuelExhaustedSolves, after.FuelExhaustedSolves)
+	}
+}
