@@ -90,9 +90,11 @@ type (
 	LoopAnalysis = driver.LoopAnalysis
 	// AnalyzeOptions tunes the whole-program driver: the specs to solve,
 	// the §6 extension, the worker-pool width (Parallelism; 0 =
-	// GOMAXPROCS, 1 = serial), and the memo cache escape hatch
-	// (DisableCache). Results are byte-for-byte identical at every
-	// Parallelism setting and with the cache on or off.
+	// GOMAXPROCS, 1 = serial), the memo cache escape hatch (DisableCache),
+	// and the persistent solve cache directory (CacheDir — lets a cold
+	// process warm-start previously analyzed loops from disk at memo-hit
+	// speed). Results are byte-for-byte identical at every Parallelism
+	// setting, with the cache on or off, and cold or disk-warm.
 	AnalyzeOptions = driver.Options
 	// AnalysisMetrics instruments one AnalyzeProgram call: per-loop solver
 	// work, cache hits/misses, the empirical pass-bound check, wall times.
@@ -101,6 +103,16 @@ type (
 	BatchResult = driver.BatchResult
 	// SolverMetrics is the per-solve counter bundle of the dataflow core.
 	SolverMetrics = dataflow.Metrics
+	// DiskCacheStats snapshots the process-wide persistent-cache counters
+	// (AnalyzeOptions.CacheDir): hits, misses, stores, errors, byte and
+	// nanosecond volumes.
+	DiskCacheStats = driver.DiskStats
+	// DiffResult is the outcome of DiffPrograms: the new version's loops
+	// labeled changed/unchanged, removed-loop count, and both passes'
+	// metrics.
+	DiffResult = driver.DiffResult
+	// DiffLoop is one loop of the new version inside a DiffResult.
+	DiffLoop = driver.DiffLoop
 )
 
 // Parse parses mini-language source.
@@ -242,6 +254,21 @@ func AnalyzeProgramOpts(prog *Program, opts *AnalyzeOptions) (*ProgramAnalysis, 
 func AnalyzeProgramBatch(progs []*Program, opts *AnalyzeOptions) []BatchResult {
 	return driver.AnalyzeBatch(progs, opts)
 }
+
+// DiffPrograms runs incremental re-analysis between two versions of a
+// program set: the old version's analysis warms the memo (and, with
+// opts.CacheDir, the persistent) cache, both versions are fingerprinted
+// with the cache's 128-bit content address, and the new version re-solves
+// only the loops whose fingerprints changed. The returned
+// DiffResult.NewMetrics.CacheMisses is the number of solves the edit
+// actually cost.
+func DiffPrograms(oldProgs, newProgs []*Program, opts *AnalyzeOptions) (*DiffResult, error) {
+	return driver.DiffPrograms(oldProgs, newProgs, opts)
+}
+
+// AnalysisDiskCacheStats reports the process-wide persistent solve cache
+// counters accumulated by every AnalyzeOptions.CacheDir run.
+func AnalysisDiskCacheStats() DiskCacheStats { return driver.DiskCacheStats() }
 
 // AnalysisCacheStats reports the process-global solve cache: resident
 // entries and lifetime hit/miss tallies across all AnalyzeProgram calls.

@@ -28,6 +28,16 @@
 //
 //	arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] path...
 //
+// The diff mode fingerprints two versions of a program (or two Go package
+// trees with -lang go), reports which loops changed, and re-solves only
+// those — unchanged loops are served from the memo cache warmed by the old
+// version (and, with -cache-dir, from the persistent cache across process
+// restarts). Exit status: 0 when nothing changed, 1 when changed or removed
+// loops exist, 2 when either version fails the front end:
+//
+//	arrayflow diff [-lang loop|go] [-include-tests] [-workers n] [-metrics]
+//	               [-cache-dir dir] [-engine packed|reference] [-fuel n] old new
+//
 // The serve mode runs the analyses as a long-lived HTTP/JSON daemon —
 // /v1/analyze, /v1/vet, /v1/batch, and /v1/stats over the shared sharded
 // memo cache, with queue-depth admission control (429 + Retry-After on
@@ -38,7 +48,13 @@
 //
 //	arrayflow serve [-addr host:port] [-workers n] [-max-queue n]
 //	                [-deadline d] [-cache-cap n] [-max-body n] [-nocache]
-//	                [-drain-timeout d] [-engine packed|reference]
+//	                [-cache-dir dir] [-drain-timeout d]
+//	                [-engine packed|reference]
+//
+// Every analyzing mode accepts -cache-dir: a persistent, content-addressed
+// solve cache shared across processes, letting a cold process warm-start
+// previously analyzed loops at memo-hit speed. Its counters print to stderr
+// only — stdout stays byte-identical between cold and warm runs.
 //
 // With no file the program is read from stdin. With no file and no piped
 // input, the paper's Figure 1 loop is analyzed.
@@ -137,6 +153,10 @@ func main() {
 		runServe(os.Args[2:])
 		return
 	}
+	if len(os.Args) >= 2 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 
 	analysis := flag.String("analysis", "reach",
 		"analysis to run: reach (must-reaching defs), avail (δ-available), busy (δ-busy stores), deps (δ-reaching refs)")
@@ -146,6 +166,7 @@ func main() {
 	whole := flag.Bool("program", false, "run the whole-program hierarchical analysis (§3.2) instead of a single loop")
 	workers := flag.Int("workers", 0, "worker goroutines for -program (0 = GOMAXPROCS, 1 = serial)")
 	nocache := flag.Bool("nocache", false, "disable the memoizing solve cache for -program")
+	cacheDir := flag.String("cache-dir", "", "persistent solve cache directory for -program (empty = memory-only)")
 	engineFlag := flag.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
 	fuel := flag.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted solves degrade to claim-nothing facts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -161,7 +182,7 @@ func main() {
 	if *whole {
 		pa, err := driver.Analyze(prog, &driver.Options{
 			NestVectors: true, Parallelism: *workers, DisableCache: *nocache,
-			Engine: engine, Fuel: *fuel})
+			CacheDir: *cacheDir, Engine: engine, Fuel: *fuel})
 		if err != nil {
 			fatal(err)
 		}
@@ -169,6 +190,9 @@ func main() {
 		if *metrics {
 			fmt.Println("-- solver metrics --")
 			fmt.Print(pa.Metrics.Report())
+		}
+		if *cacheDir != "" {
+			reportDiskStats("arrayflow")
 		}
 		return
 	}
@@ -247,6 +271,7 @@ func runBatch(args []string) {
 	workers := fs.Int("workers", 0, "worker goroutines across programs (0 = GOMAXPROCS, 1 = serial)")
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
 	cachecap := fs.Int("cachecap", 0, "memo cache capacity in entries (0 = default 4096, negative = unlimited)")
+	cacheDir := fs.String("cache-dir", "", "persistent solve cache directory shared across runs (empty = memory-only)")
 	vectors := fs.Bool("vectors", false, "run the §6 distance-vector extension on tight nests")
 	metrics := fs.Bool("metrics", false, "print batch totals and cache stats to stderr")
 	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
@@ -254,7 +279,7 @@ func runBatch(args []string) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow batch [-workers n] [-nocache] [-cachecap n] [-vectors] [-metrics] [-engine packed|reference] [-fuel n] path...")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow batch [-workers n] [-nocache] [-cachecap n] [-cache-dir dir] [-vectors] [-metrics] [-engine packed|reference] [-fuel n] path...")
 		fmt.Fprintln(os.Stderr, "each path is a .loop file or a directory of .loop files")
 		fs.PrintDefaults()
 	}
@@ -307,7 +332,8 @@ func runBatch(args []string) {
 	startProfiles(*cpuprofile, *memprofile)
 	results := driver.AnalyzeBatch(progs, &driver.Options{
 		NestVectors: *vectors, Parallelism: *workers,
-		DisableCache: *nocache, CacheCap: *cachecap, Engine: engine, Fuel: *fuel})
+		DisableCache: *nocache, CacheCap: *cachecap, CacheDir: *cacheDir,
+		Engine: engine, Fuel: *fuel})
 
 	exit := 0
 	var totalLoops, totalSolves, totalHits, totalMisses int
@@ -337,8 +363,20 @@ func runBatch(args []string) {
 		fmt.Fprintf(os.Stderr, "  global cache: %d entries, lifetime hits/misses %d/%d\n",
 			entries, hits, misses)
 	}
+	if *cacheDir != "" {
+		reportDiskStats("arrayflow batch")
+	}
 	stopProfiles()
 	os.Exit(exit)
+}
+
+// reportDiskStats prints the process-wide persistent-cache counters to
+// stderr — never stdout, which must stay byte-identical between cold and
+// disk-warm runs (the CI warm-start smoke depends on that).
+func reportDiskStats(prefix string) {
+	ds := driver.DiskCacheStats()
+	fmt.Fprintf(os.Stderr, "%s: disk cache: %d hits, %d misses, %d stores, %d errors, %d bytes loaded, %d bytes stored\n",
+		prefix, ds.Hits, ds.Misses, ds.Stores, ds.Errors, ds.LoadBytes, ds.StoreBytes)
 }
 
 // expandBatchPaths resolves each argument to .loop files: directories
@@ -381,13 +419,14 @@ func runVet(args []string) {
 	updateBaseline := fs.Bool("updatebaseline", false, "rewrite the -baseline file from the current findings and report none")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	nocache := fs.Bool("nocache", false, "disable the memoizing solve cache")
+	cacheDir := fs.String("cache-dir", "", "persistent solve cache directory shared across runs (empty = memory-only)")
 	metrics := fs.Bool("metrics", false, "print analysis metrics to stderr")
 	engineFlag := fs.String("engine", "packed", "solver engine: packed or reference (ablation baseline)")
 	fuel := fs.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted loops report unknown verdicts)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-metrics] [-engine packed|reference] [-fuel n] [-cpuprofile file] [-memprofile file] [file|pattern]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-cache-dir dir] [-metrics] [-engine packed|reference] [-fuel n] [-cpuprofile file] [-memprofile file] [file|pattern]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -400,7 +439,7 @@ func runVet(args []string) {
 		os.Exit(2)
 	}
 	engine := parseEngine(*engineFlag)
-	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, Engine: engine, Werror: *werror, Fuel: *fuel}
+	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, CacheDir: *cacheDir, Engine: engine, Werror: *werror, Fuel: *fuel}
 	if *baselinePath != "" && !*updateBaseline {
 		b, err := lint.ReadBaselineFile(*baselinePath)
 		if err != nil {
@@ -491,6 +530,9 @@ func runVet(args []string) {
 		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
 		fmt.Fprint(os.Stderr, res.Analysis.Metrics.Report())
 	}
+	if *cacheDir != "" {
+		reportDiskStats("arrayflow vet")
+	}
 	stopProfiles()
 	os.Exit(res.ExitCode())
 }
@@ -557,6 +599,9 @@ func runVetGo(pattern string, opts *lint.Options, format string, fix, includeTes
 		entries, hits, misses := driver.CacheStats()
 		fmt.Fprintln(os.Stderr, "-- analysis metrics --")
 		fmt.Fprintf(os.Stderr, "  cache: %d entries, hits/misses %d/%d\n", entries, hits, misses)
+	}
+	if opts.CacheDir != "" {
+		reportDiskStats("arrayflow vet")
 	}
 	stopProfiles()
 	os.Exit(res.ExitCode())

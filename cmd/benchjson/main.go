@@ -16,7 +16,12 @@
 // FACTOR × its baseline ns/op. Unlike -diff, a gated benchmark that is
 // missing from the new run fails the gate — a gate names benchmarks that
 // must exist. scripts/bench.sh uses it to hold the packed-engine
-// ScalingLinear points of BENCH_PR8.json to within 1.25× of BENCH_PR4.json.
+// ScalingLinear points to within 1.25× of BENCH_PR4.json.
+//
+// With -ratio NUM:DEN:FACTOR (repeatable) it enforces a relationship inside
+// the new snapshot itself: benchmark NUM (exact name) must run at no more
+// than FACTOR × benchmark DEN's ns/op, and both must exist. scripts/bench.sh
+// uses it to hold disk-warm whole-program analysis to ≤ 0.5× the cold run.
 package main
 
 import (
@@ -51,6 +56,15 @@ type gateSpec struct {
 	factor   float64
 }
 
+// ratioSpec is one parsed -ratio flag: within the current snapshot, the NUM
+// benchmark's ns/op must be ≤ factor × the DEN benchmark's ns/op. Unlike
+// -gate it needs no baseline file, so it can assert relationships the run
+// itself must exhibit (disk-warm analysis ≤ 0.5× cold).
+type ratioSpec struct {
+	num, den string
+	factor   float64
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.String("diff", "", "baseline JSON snapshot to compare against")
@@ -70,6 +84,19 @@ func main() {
 			return fmt.Errorf("factor %q: want a positive number", parts[2])
 		}
 		gates = append(gates, gateSpec{baseline: parts[0], pattern: re, factor: factor})
+		return nil
+	})
+	var ratios []ratioSpec
+	flag.Func("ratio", "repeatable NUM:DEN:FACTOR — fail unless benchmark NUM runs at ≤ FACTOR × benchmark DEN within this snapshot (exact names, no baseline file)", func(s string) error {
+		parts := strings.SplitN(s, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("want NUM:DEN:FACTOR, got %q", s)
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			return fmt.Errorf("factor %q: want a positive number", parts[2])
+		}
+		ratios = append(ratios, ratioSpec{num: parts[0], den: parts[1], factor: factor})
 		return nil
 	})
 	flag.Parse()
@@ -151,7 +178,38 @@ func main() {
 			exit = 1
 		}
 	}
+	for _, r := range ratios {
+		if !ratio(r, rows) {
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// ratio enforces one -ratio spec against the current snapshot. Either
+// benchmark missing fails: a ratio names measurements that must exist.
+func ratio(r ratioSpec, cur map[string]Row) bool {
+	num, okN := cur[r.num]
+	den, okD := cur[r.den]
+	switch {
+	case !okN || !okD:
+		for name, ok := range map[string]bool{r.num: okN, r.den: okD} {
+			if !ok {
+				fmt.Fprintf(os.Stderr, "  RATIO MISSING %s (not measured)\n", name)
+			}
+		}
+	case den.NsPerOp <= 0:
+		fmt.Fprintf(os.Stderr, "  RATIO FAILED  %s: denominator measured at %.0f ns/op\n", r.den, den.NsPerOp)
+	case num.NsPerOp > den.NsPerOp*r.factor:
+		fmt.Fprintf(os.Stderr, "  RATIO FAILED  %s: %.0f ns/op exceeds %.2fx %s (%.0f ns/op, limit %.0f)\n",
+			r.num, num.NsPerOp, r.factor, r.den, den.NsPerOp, den.NsPerOp*r.factor)
+	default:
+		fmt.Fprintf(os.Stderr, "  ratio ok      %s: %.0f ns/op ≤ %.2fx %s (%.0f ns/op)\n",
+			r.num, num.NsPerOp, r.factor, r.den, den.NsPerOp)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ratio %s:%s:%.2f failed\n", r.num, r.den, r.factor)
+	return false
 }
 
 // gate enforces one -gate spec: every baseline benchmark matching the

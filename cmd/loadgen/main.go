@@ -22,6 +22,17 @@
 // the solver's 10% ns/op gate because wall-clock service latency is noisy
 // across machines; tighten -maxregress on dedicated hardware.
 //
+// With -cache-dir, loadgen instead runs the warm-restart scenario against
+// an embedded in-process server (no -url): a cold phase against an empty
+// persistent cache, then driver.ResetCache() to drop the in-memory memo
+// exactly as a redeploy would, then a warm phase replaying the same
+// request stream against the now-populated disk cache. The run fails
+// unless the warm phase actually hit disk (the counter delta comes from
+// /v1/stats), and -bench-rows merges the two phases' p50/p99 into a
+// benchjson snapshot as ServeWarmRestart/{cold,warm}/{p50,p99} pseudo-rows
+// so the perf trajectory records service-level warm-start behaviour next
+// to the solver benchmarks. -duration applies per phase.
+//
 // Exit status: 0 on success, 1 on request failures or a regression, 2 on
 // usage errors.
 package main
@@ -32,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/driver"
 	"repro/internal/service"
 	"repro/internal/synth"
 )
@@ -108,9 +122,11 @@ func main() {
 	out := flag.String("out", "", "write the JSON snapshot to this file")
 	baseline := flag.String("baseline", "", "diff the snapshot against this previous one")
 	maxRegress := flag.Float64("maxregress", 2.0, "fail when p99 exceeds (or throughput falls below 1/) this factor vs the baseline")
+	cacheDir := flag.String("cache-dir", "", "run the embedded warm-restart scenario against this persistent cache dir instead of a remote server")
+	benchRows := flag.String("bench-rows", "", "with -cache-dir: merge ServeWarmRestart pseudo-rows into this benchjson snapshot")
 	flag.Parse()
-	if *urlFlag == "" {
-		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+	if *urlFlag == "" && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required (or -cache-dir for the embedded warm-restart mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,6 +143,9 @@ func main() {
 	if len(corpus) == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: empty corpus")
 		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		os.Exit(warmRestart(*cacheDir, *benchRows, *concurrency, *duration, corpus, mix))
 	}
 
 	client := service.NewClient(*urlFlag)
@@ -340,6 +359,149 @@ func parseMix(s string) ([3]int, error) {
 		return mix, fmt.Errorf("-mix weights sum to zero")
 	}
 	return mix, nil
+}
+
+// warmRestart runs the embedded warm-restart scenario: cold phase against
+// an empty (or pre-seeded) persistent cache, an in-process "redeploy" that
+// drops the memory memo, then a warm phase that must be answered from disk.
+// Returns the process exit code.
+func warmRestart(cacheDir, benchRows string, concurrency int, duration time.Duration, corpus []program, mix [3]int) int {
+	srv := service.New(&service.Options{CacheDir: cacheDir})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String()
+	client := service.NewClient(url)
+	ctx := context.Background()
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+
+	// Each phase replays the identical seeded request stream, so the only
+	// difference between them is where the answers come from.
+	phase := func(name string) snapshot {
+		fmt.Fprintf(os.Stderr, "loadgen: warm-restart %s phase: %d workers, %s, %d corpus programs, cache %s\n",
+			name, concurrency, duration, len(corpus), cacheDir)
+		results := make([]result, concurrency)
+		start := time.Now()
+		stop := start.Add(duration)
+		var wg sync.WaitGroup
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(ctx, client, corpus, mix, stop, int64(w), &results[w])
+			}(w)
+		}
+		wg.Wait()
+		snap := summarize(url, concurrency, time.Since(start), len(corpus), results)
+		report(os.Stderr, &snap)
+		return snap
+	}
+	diskHits := func() int64 {
+		st, err := client.Stats(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return -1
+		}
+		return st.DiskCache.Hits
+	}
+
+	cold := phase("cold")
+	hitsAfterCold := diskHits()
+	// The redeploy: the process keeps running but every in-memory memo
+	// entry is gone, exactly what a restarted daemon faces.
+	driver.ResetCache()
+	warm := phase("warm")
+	hitsAfterWarm := diskHits()
+
+	exit := 0
+	for _, p := range []struct {
+		name string
+		snap *snapshot
+	}{{"cold", &cold}, {"warm", &warm}} {
+		if p.snap.Loadgen.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d request failures in %s phase\n", p.snap.Loadgen.Failed, p.name)
+			exit = 1
+		}
+		if p.snap.Loadgen.Completed == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: no request completed in %s phase\n", p.name)
+			exit = 1
+		}
+	}
+	if hitsAfterCold < 0 || hitsAfterWarm < 0 {
+		exit = 1
+	} else if delta := hitsAfterWarm - hitsAfterCold; delta == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: warm phase never hit the persistent cache (disk hit delta 0)")
+		exit = 1
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: warm restart: disk hits +%d; p50 %.2f -> %.2f ms, p99 %.2f -> %.2f ms\n",
+			delta, cold.Loadgen.LatencyMS.P50, warm.Loadgen.LatencyMS.P50,
+			cold.Loadgen.LatencyMS.P99, warm.Loadgen.LatencyMS.P99)
+	}
+	if benchRows != "" {
+		rows := map[string]float64{
+			"ServeWarmRestart/cold/p50": cold.Loadgen.LatencyMS.P50 * 1e6,
+			"ServeWarmRestart/cold/p99": cold.Loadgen.LatencyMS.P99 * 1e6,
+			"ServeWarmRestart/warm/p50": warm.Loadgen.LatencyMS.P50 * 1e6,
+			"ServeWarmRestart/warm/p99": warm.Loadgen.LatencyMS.P99 * 1e6,
+		}
+		if err := mergeBenchRows(benchRows, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: merged warm-restart rows into %s\n", benchRows)
+		}
+	}
+	return exit
+}
+
+// mergeBenchRows inserts ns/op pseudo-rows into a benchjson snapshot,
+// preserving every existing row and benchjson's deterministic rendering
+// (sorted keys, one row per line) so the snapshot stays diff-friendly.
+func mergeBenchRows(path string, add map[string]float64) error {
+	type row struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"b_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	}
+	rows := map[string]row{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for name, ns := range add {
+		rows[name] = row{NsPerOp: ns}
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(rows[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // loadCorpus reads every .loop file under dir and appends synthN rendered

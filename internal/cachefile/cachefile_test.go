@@ -1,0 +1,157 @@
+package cachefile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func samplePayload() []byte {
+	var w Writer
+	w.Uint(42)
+	w.Int(-7)
+	w.String("must-reaching-defs")
+	w.Bool(true)
+	for i := 0; i < 1000; i++ {
+		w.Uint(uint64(i * i))
+	}
+	return w.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	payload := samplePayload()
+	img := Encode(0xdead, 0x1111, 0x2222, payload)
+	got, err := Decode(img, 0xdead, 0x1111, 0x2222)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	r := NewReader(got)
+	if v := r.Uint(); v != 42 {
+		t.Errorf("Uint = %d, want 42", v)
+	}
+	if v := r.Int(); v != -7 {
+		t.Errorf("Int = %d, want -7", v)
+	}
+	if v := r.String(); v != "must-reaching-defs" {
+		t.Errorf("String = %q", v)
+	}
+	if !r.Bool() {
+		t.Errorf("Bool = false, want true")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint(); v != uint64(i*i) {
+			t.Fatalf("Uint[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if !r.Done() {
+		t.Errorf("Done = false after full read (err=%v)", r.Err())
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	img := Encode(1, 2, 3, samplePayload())
+	for _, n := range []int{0, 3, headerSize - 1, headerSize, len(img) / 2, len(img) - 1} {
+		if _, err := Decode(img[:n], 1, 2, 3); err == nil {
+			t.Errorf("Decode of %d/%d bytes succeeded, want error", n, len(img))
+		}
+	}
+}
+
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	img := Encode(1, 2, 3, samplePayload())
+	// Flip one bit at a sample of positions across header, payload, and
+	// checksum; every flip must be detected.
+	for pos := 0; pos < len(img); pos += 7 {
+		bad := append([]byte(nil), img...)
+		bad[pos] ^= 0x10
+		if _, err := Decode(bad, 1, 2, 3); err == nil {
+			t.Errorf("Decode with bit flipped at %d succeeded, want error", pos)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSchemaAndFingerprint(t *testing.T) {
+	img := Encode(1, 2, 3, samplePayload())
+	if _, err := Decode(img, 99, 2, 3); !errors.Is(err, ErrFormat) {
+		t.Errorf("wrong schema: err = %v, want ErrFormat", err)
+	}
+	if _, err := Decode(img, 1, 99, 3); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong fp hi: err = %v, want ErrMismatch", err)
+	}
+	if _, err := Decode(img, 1, 2, 99); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong fp lo: err = %v, want ErrMismatch", err)
+	}
+	bad := append([]byte(nil), img...)
+	copy(bad, "NOPE")
+	if _, err := Decode(bad, 1, 2, 3); !errors.Is(err, ErrFormat) {
+		t.Errorf("wrong magic: err = %v, want ErrFormat", err)
+	}
+}
+
+func TestReaderStopsAtFirstError(t *testing.T) {
+	var w Writer
+	w.String("abc")
+	r := NewReader(w.Bytes()[:2]) // length prefix says 3, only 1 byte follows
+	if s := r.String(); s != "" {
+		t.Errorf("String on truncated payload = %q, want \"\"", s)
+	}
+	if r.Err() == nil {
+		t.Fatal("Err = nil after truncated read")
+	}
+	if v := r.Uint(); v != 0 {
+		t.Errorf("Uint after error = %d, want 0", v)
+	}
+	if r.Done() {
+		t.Error("Done = true after error")
+	}
+}
+
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	img := Encode(7, 8, 9, samplePayload())
+	if err := WriteAtomic(path, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(img) {
+		t.Fatal("readback differs from written image")
+	}
+	// No temp litter after a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries after write, want 1", len(ents))
+	}
+}
+
+func TestWriteAtomicConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	img := Encode(7, 8, 9, samplePayload())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := WriteAtomic(path, img); err != nil {
+				t.Errorf("WriteAtomic: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(got, 7, 8, 9); err != nil {
+		t.Fatalf("Decode after concurrent writes: %v", err)
+	}
+}

@@ -115,9 +115,12 @@ type Result struct {
 	// reference engine, kept so consumers (the framework self-check
 	// analyzer) can re-apply them to arbitrary lattice values after the
 	// solve. Indexed [nodeID][classIndex]. Packed results keep prog instead
-	// and serve ApplyFlow as views into its op arena.
-	flowFns [][]flowFn
-	prog    *packedProgram
+	// and serve ApplyFlow as views into its op arena. Results restored from
+	// the persistent cache carry neither and compile flowFns lazily under
+	// flowOnce on the first ApplyFlow call.
+	flowFns  [][]flowFn
+	prog     *packedProgram
+	flowOnce sync.Once
 
 	// inBack / outBack are the pooled backings of the In/Out slabs (packed
 	// engine only); Release returns them to the pools. Nil after Release or
@@ -788,6 +791,12 @@ func applyOne(nd *ir.Node, g *ir.Graph, fn flowFn, x lattice.Dist) lattice.Dist 
 // self-check analyzer uses it to test monotonicity and idempotence of the
 // compiled functions over sampled lattice values.
 func (res *Result) ApplyFlow(nd *ir.Node, classIndex int, x lattice.Dist) lattice.Dist {
+	if res.flowFns == nil && res.prog == nil {
+		// Restored from the persistent cache: neither engine's compiled form
+		// survives serialization (both are pure functions of the graph), so
+		// compile the reference form once on first use.
+		res.flowOnce.Do(func() { res.flowFns = res.buildFlowFunctions() })
+	}
 	if res.flowFns != nil {
 		return applyOne(nd, res.Graph, res.flowFns[nd.ID][classIndex], x)
 	}

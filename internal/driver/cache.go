@@ -15,16 +15,79 @@ import (
 	"repro/internal/problems"
 )
 
-// solved is one fully-analyzed loop: the flow graph and the fixed points of
-// every requested problem instance, plus the derived reuse facts. Once a
-// cache entry is published its solved value is never mutated again — the
-// graph has been Precompute()d and the solver never writes into a finished
-// Result — so identical loop bodies can share one solved value across
-// goroutines and across Analyze calls.
+// solved is one fully-analyzed loop. The per-spec solver counters are
+// always available (meta, in spec order); the bulky artifacts — the flow
+// graph, the fixed points of every requested problem instance, and the
+// derived reuse facts — live in parts, which a solve computed in-process
+// fills eagerly and a disk-loaded solve materializes lazily on first
+// access: whole-program analysis over a warm disk cache reads only meta,
+// and the graph rebuild + row decode happen the first time a consumer
+// actually looks at a loop's facts.
+//
+// Once a cache entry is published its solved value is never mutated again
+// beyond the one-shot materialization — the graph is Precompute()d before
+// parts is published and the solver never writes into a finished Result —
+// so identical loop bodies can share one solved value across goroutines
+// and across Analyze calls. materialize's sync.Once provides the
+// happens-before edge for lazy values.
 type solved struct {
+	// meta holds one entry per spec, in the solve's spec order.
+	meta []specMeta
+
+	once sync.Once
+	// fill is set on lazily-loaded values; it must not fail (the disk
+	// layer falls back to a fresh solve on damaged payloads). nil when
+	// parts was filled eagerly.
+	fill  func() *solvedParts
+	parts *solvedParts
+}
+
+// specMeta pairs a spec name with its persisted (or live) solver counters.
+type specMeta struct {
+	name string
+	meta dataflow.ResultMeta
+}
+
+// solvedParts are the graph-entangled artifacts of a solved loop.
+type solvedParts struct {
 	graph   *ir.Graph
 	results map[string]*dataflow.Result
 	reuses  []problems.Reuse
+}
+
+// materialize returns the solved value's parts, running the deferred
+// restore exactly once for lazily-loaded values.
+func (sv *solved) materialize() *solvedParts {
+	sv.once.Do(func() {
+		if sv.parts == nil && sv.fill != nil {
+			sv.parts = sv.fill()
+			sv.fill = nil
+		}
+	})
+	return sv.parts
+}
+
+// newSolvedEager wraps freshly-computed parts, deriving the per-spec
+// counters from the live results. Deliberately not PersistMeta: that would
+// materialize each result's deferred init snapshot on every fresh solve;
+// HasInit is only meaningful on the encode side, which re-derives it.
+func newSolvedEager(parts *solvedParts, specs []*dataflow.Spec) *solved {
+	sv := &solved{parts: parts, meta: make([]specMeta, 0, len(specs))}
+	for _, spec := range specs {
+		res := parts.results[spec.Name]
+		if res == nil {
+			continue
+		}
+		m := res.Metrics()
+		sv.meta = append(sv.meta, specMeta{name: spec.Name, meta: dataflow.ResultMeta{
+			Nodes: m.Nodes, Classes: m.Classes,
+			Passes: m.Passes, ChangedPasses: m.ChangedPasses,
+			NodeVisits: m.NodeVisits, FlowApps: m.FlowApps,
+			Elapsed: m.Elapsed, FuelBudget: res.FuelBudget,
+			FuelExhausted: m.FuelExhausted,
+		}})
+	}
+	return sv
 }
 
 // cacheEntry is the singleflight cell for one cache key: the first
@@ -36,6 +99,11 @@ type cacheEntry struct {
 	once sync.Once
 	sv   *solved
 	err  error
+	// diskHit and loadBytes record how the claiming goroutine filled the
+	// entry (written inside once, read by the claimer after once returns;
+	// the Once's happens-before edge covers later claimants too).
+	diskHit   bool
+	loadBytes int64
 }
 
 // memoKey is the content address of one solve: a 128-bit structural
@@ -370,43 +438,117 @@ func (c *solveCache) evictOldestLocked() {
 	c.order = kept
 }
 
+// solveEnv bundles the per-Analyze solve configuration threaded from
+// analyze() down to every solveLoop call: the spec set, dim declarations,
+// engine, fuel, cache switches, and (when Options.CacheDir is set) the
+// persistent cache handles.
+type solveEnv struct {
+	specs    []*dataflow.Spec
+	dims     map[string][]poly.Poly
+	useCache bool
+	engine   dataflow.Engine
+	fuel     int64
+	// cacheRoot is Options.CacheDir (empty = no persistent cache); disk is
+	// the handle for this env's spec set, nil when disabled or unusable.
+	cacheRoot string
+	disk      *diskCache
+}
+
+// withSpecs derives an env for a different spec set (the §3.6 WRT
+// re-analyses), rebinding the persistent cache to that set's schema.
+func (env *solveEnv) withSpecs(specs []*dataflow.Spec) *solveEnv {
+	derived := *env
+	derived.specs = specs
+	derived.disk = nil
+	if env.cacheRoot != "" && env.useCache {
+		derived.disk = openDiskCacheFor(env.cacheRoot, specs, env.engine)
+	}
+	return &derived
+}
+
+// solveOutcome reports how one solveLoop call was served.
+type solveOutcome struct {
+	// hit is an in-memory memo hit (the entry existed before this call).
+	hit bool
+	// diskHit means this call claimed the entry and filled it from the
+	// persistent cache instead of solving; loadBytes is the entry size read.
+	diskHit   bool
+	loadBytes int64
+	// storeBytes is the entry size written behind a fresh solve (0 when the
+	// persistent cache is off, the value came from memory or disk, or the
+	// write failed).
+	storeBytes int64
+}
+
 // solveLoop analyzes one loop (graph construction, every spec's fixed
 // point, reuse extraction), going through the memo cache unless disabled.
-// sc is the calling worker's scratch free list; the singleflight cell runs
-// the solve on the claiming worker's goroutine, so the scratch is never
-// shared across solves in flight.
-func solveLoop(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solved, bool, error) {
-	if !useCache {
-		sv, err := solveLoopFresh(loop, specs, dims, engine, fuel, sc)
-		return sv, false, err
+// With a persistent cache configured, a memory miss tries the disk before
+// solving, and a fresh solve is written back after the entry is published —
+// later claimants proceed on the in-memory value while the claiming worker
+// completes the store. sc is the calling worker's scratch free list; the
+// singleflight cell runs the solve on the claiming worker's goroutine, so
+// the scratch is never shared across solves in flight.
+func solveLoop(loop *ast.DoLoop, env *solveEnv, sc *dataflow.Scratch) (*solved, solveOutcome, error) {
+	if !env.useCache {
+		sv, err := solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, sc)
+		return sv, solveOutcome{}, err
 	}
-	e, hit := globalCache.claim(cacheKey(loop, specs, dims, engine, fuel), func() string {
-		return canonicalKeyString(loop, specs, dims, engine, fuel)
+	key := cacheKey(loop, env.specs, env.dims, env.engine, env.fuel)
+	e, hit := globalCache.claim(key, func() string {
+		return canonicalKeyString(loop, env.specs, env.dims, env.engine, env.fuel)
 	})
-	e.once.Do(func() { e.sv, e.err = solveLoopFresh(loop, specs, dims, engine, fuel, sc) })
-	return e.sv, hit, e.err
+	claimed := false
+	e.once.Do(func() {
+		claimed = true
+		if env.disk != nil {
+			if sv, n, ok := env.disk.load(key, loop, env); ok {
+				e.sv, e.diskHit, e.loadBytes = sv, true, n
+				return
+			}
+		}
+		e.sv, e.err = solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, sc)
+	})
+	out := solveOutcome{hit: hit}
+	if claimed {
+		out.diskHit, out.loadBytes = e.diskHit, e.loadBytes
+		if env.disk != nil && !e.diskHit && e.err == nil {
+			out.storeBytes = env.disk.store(key, env.specs, e.sv)
+		}
+	}
+	return e.sv, out, e.err
 }
 
 func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solved, error) {
+	parts, err := solvePartsFresh(loop, specs, dims, engine, fuel, sc)
+	if err != nil {
+		return nil, err
+	}
+	return newSolvedEager(parts, specs), nil
+}
+
+// solvePartsFresh runs one loop's full solve: graph construction, every
+// spec's fixed point, reuse extraction. Shared by the fresh-solve path and
+// the lazy loader's damaged-payload fallback.
+func solvePartsFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solvedParts, error) {
 	g, err := ir.Build(loop, &ir.Options{Dims: dims})
 	if err != nil {
 		return nil, err
 	}
-	sv := &solved{graph: g, results: make(map[string]*dataflow.Result, len(specs))}
+	parts := &solvedParts{graph: g, results: make(map[string]*dataflow.Result, len(specs))}
 	// One fused SolveAll per loop: every spec shares the graph's class
 	// discovery, node orderings, and precedes bitsets through one solve
 	// context instead of re-deriving them per problem instance.
 	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc, Fuel: fuel}) {
 		spec := specs[i]
-		sv.results[spec.Name] = res
+		parts.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {
-			sv.reuses = problems.FindReuses(res)
+			parts.reuses = problems.FindReuses(res)
 		}
 	}
 	// Force the lazily-built dominator relation before the value can be
 	// shared, so later concurrent readers never mutate the graph.
 	g.Precompute()
-	return sv, nil
+	return parts, nil
 }
 
 // SetCacheCap adjusts the process-global memo bound directly: n>0 sets the

@@ -1,0 +1,329 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// diskTestProgram returns a distinct-per-seed multi-loop program so tests
+// that share the process-global memo cache cannot serve each other hits.
+func diskTestProgram(seed int64) *ast.Program {
+	return synth.MultiLoopProgram(synth.MultiParams{Seed: seed, Loops: 6, StmtsPer: 12, NestEvery: 3})
+}
+
+// entryFiles lists the cache entry files under a cache root (any schema).
+func entryFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDiskCacheWarmStart(t *testing.T) {
+	ResetCache()
+	dir := t.TempDir()
+	prog := diskTestProgram(9001)
+	opts := &Options{CacheDir: dir, Parallelism: 1}
+
+	cold, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Metrics.DiskHits != 0 {
+		t.Errorf("cold run DiskHits = %d, want 0", cold.Metrics.DiskHits)
+	}
+	if cold.Metrics.DiskStoreBytes == 0 {
+		t.Error("cold run DiskStoreBytes = 0, want > 0 (write-behind missing)")
+	}
+	if files := entryFiles(t, dir); len(files) != cold.Metrics.CacheMisses {
+		t.Errorf("entry files = %d, want one per miss (%d)", len(files), cold.Metrics.CacheMisses)
+	}
+
+	// Simulate a process restart: drop the in-memory memo, keep the disk.
+	ResetCache()
+	warm, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.DiskHits != cold.Metrics.CacheMisses {
+		t.Errorf("warm run DiskHits = %d, want every memory miss served from disk (%d)",
+			warm.Metrics.DiskHits, cold.Metrics.CacheMisses)
+	}
+	if warm.Metrics.DiskLoadBytes == 0 {
+		t.Error("warm run DiskLoadBytes = 0, want > 0")
+	}
+	if warm.Metrics.DiskStoreBytes != 0 {
+		t.Errorf("warm run DiskStoreBytes = %d, want 0 (nothing re-stored)", warm.Metrics.DiskStoreBytes)
+	}
+	if got, want := warm.Report(), cold.Report(); got != want {
+		t.Errorf("warm report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", want, got)
+	}
+}
+
+// TestDiskCacheRobustness damages every stored entry in a different way and
+// checks each damaged cache degrades to a cold solve with a byte-identical
+// report — never a crash or a wrong answer.
+func TestDiskCacheRobustness(t *testing.T) {
+	prog := diskTestProgram(9002)
+	ResetCache()
+	pristine, err := Analyze(prog, &Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pristine.Report()
+
+	damage := map[string]func(data []byte) []byte{
+		"truncated":    func(d []byte) []byte { return d[:len(d)/2] },
+		"empty":        func(d []byte) []byte { return nil },
+		"flipped-byte": func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d },
+		"wrong-schema": func(d []byte) []byte { d[5] ^= 0xff; return d }, // schema field at offset 4..12
+		"bad-magic":    func(d []byte) []byte { copy(d, "ZZZZ"); return d },
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := &Options{CacheDir: dir, Parallelism: 1}
+			ResetCache()
+			if _, err := Analyze(prog, opts); err != nil {
+				t.Fatal(err)
+			}
+			files := entryFiles(t, dir)
+			if len(files) == 0 {
+				t.Fatal("no entries stored")
+			}
+			for _, f := range files {
+				data, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(f, corrupt(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ResetCache()
+			before := DiskCacheStats()
+			pa, err := Analyze(prog, opts)
+			if err != nil {
+				t.Fatalf("Analyze over damaged cache: %v", err)
+			}
+			if got := pa.Report(); got != want {
+				t.Errorf("report over damaged cache differs from pristine:\n%s", got)
+			}
+			if pa.Metrics.DiskHits != 0 {
+				t.Errorf("DiskHits = %d over damaged cache, want 0", pa.Metrics.DiskHits)
+			}
+			after := DiskCacheStats()
+			if name != "empty" && after.Errors <= before.Errors {
+				t.Errorf("Errors did not increase over damaged cache (%d -> %d)", before.Errors, after.Errors)
+			}
+			// The damaged entries were re-solved and re-stored; a second
+			// warm start must now hit again.
+			ResetCache()
+			rewarm, err := Analyze(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rewarm.Metrics.DiskHits == 0 {
+				t.Error("no disk hits after damaged entries were rewritten")
+			}
+			if got := rewarm.Report(); got != want {
+				t.Errorf("re-warmed report differs from pristine")
+			}
+		})
+	}
+}
+
+// TestDiskCacheConcurrentSharedDir runs many Analyze calls over one shared
+// cache directory from concurrent goroutines with the memory memo dropped
+// between rounds — the interleaving two processes sharing a directory
+// produce (concurrent stores of the same entry, loads racing stores) — and
+// checks every run reports identically.
+func TestDiskCacheConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	prog := diskTestProgram(9003)
+	ResetCache()
+	base, err := Analyze(prog, &Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Report()
+
+	for round := 0; round < 4; round++ {
+		ResetCache() // cold memory, possibly-warm disk, every round
+		var wg sync.WaitGroup
+		reports := make([]string, 8)
+		errs := make([]error, 8)
+		for i := range reports {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pa, err := Analyze(prog, &Options{CacheDir: dir, Parallelism: 2})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				reports[i] = pa.Report()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d goroutine %d: %v", round, i, err)
+			}
+			if reports[i] != want {
+				t.Fatalf("round %d goroutine %d report differs", round, i)
+			}
+		}
+	}
+}
+
+// TestDiskCacheDeterministicWarmStarts is the cross-process determinism
+// check: 50 simulated restarts (memory dropped, disk kept) must each produce
+// byte-identical output to the cold run.
+func TestDiskCacheDeterministicWarmStarts(t *testing.T) {
+	dir := t.TempDir()
+	prog := diskTestProgram(9004)
+	opts := &Options{CacheDir: dir, Parallelism: 1}
+	ResetCache()
+	cold, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Report()
+	for i := 0; i < 50; i++ {
+		ResetCache()
+		pa, err := Analyze(prog, opts)
+		if err != nil {
+			t.Fatalf("warm start %d: %v", i, err)
+		}
+		if pa.Metrics.DiskHits == 0 {
+			t.Fatalf("warm start %d: no disk hits", i)
+		}
+		if got := pa.Report(); got != want {
+			t.Fatalf("warm start %d: report differs from cold run:\n%s", i, got)
+		}
+	}
+}
+
+// TestDiskCacheUnusableRoot checks a root that cannot be a directory
+// disables the persistent cache without failing the analysis.
+func TestDiskCacheUnusableRoot(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	pa, err := Analyze(diskTestProgram(9005), &Options{CacheDir: file, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("Analyze with unusable cache root: %v", err)
+	}
+	if pa.Metrics.DiskHits != 0 || pa.Metrics.DiskStoreBytes != 0 {
+		t.Errorf("unusable root still produced disk traffic: %+v", pa.Metrics)
+	}
+}
+
+// TestDiskCacheDisabledWithCache checks CacheDir is ignored under
+// DisableCache (the fingerprint keys only exist on the cached path).
+func TestDiskCacheDisabledWithCache(t *testing.T) {
+	dir := t.TempDir()
+	ResetCache()
+	pa, err := Analyze(diskTestProgram(9006), &Options{CacheDir: dir, DisableCache: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Metrics.DiskStoreBytes != 0 {
+		t.Errorf("DisableCache run stored %d bytes, want 0", pa.Metrics.DiskStoreBytes)
+	}
+	if files := entryFiles(t, dir); len(files) != 0 {
+		t.Errorf("DisableCache run left %d entry files", len(files))
+	}
+}
+
+// TestDiskCacheEngineAndFuelSeparation checks runs under a different engine
+// or fuel budget never read each other's entries.
+func TestDiskCacheEngineAndFuelSeparation(t *testing.T) {
+	dir := t.TempDir()
+	prog := diskTestProgram(9007)
+	ResetCache()
+	if _, err := Analyze(prog, &Options{CacheDir: dir, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	pa, err := Analyze(prog, &Options{CacheDir: dir, Parallelism: 1, Fuel: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Metrics.DiskHits != 0 {
+		t.Errorf("fuel-budgeted run got %d disk hits from default-fuel entries", pa.Metrics.DiskHits)
+	}
+	ResetCache()
+	pa, err = Analyze(prog, &Options{CacheDir: dir, Parallelism: 1, Engine: "reference"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Metrics.DiskHits != 0 {
+		t.Errorf("reference-engine run got %d disk hits from packed entries", pa.Metrics.DiskHits)
+	}
+}
+
+// TestDiskCacheReferenceEngineRoundTrip checks the reference engine's
+// results also persist and restore byte-identically (the restore path
+// rebuilds flow functions lazily; both engines share it).
+func TestDiskCacheReferenceEngineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	prog := parser.MustParse(`
+do i = 1, 100
+  A[i+1] := A[i] + B[i]
+  B[i+2] := A[i-1]
+  C[i] := C[i-1] + 1
+enddo
+`)
+	opts := &Options{CacheDir: dir, Engine: "reference", Parallelism: 1}
+	ResetCache()
+	cold, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	warm, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.DiskHits == 0 {
+		t.Fatal("no disk hits on reference-engine warm start")
+	}
+	if warm.Report() != cold.Report() {
+		t.Error("reference-engine warm report differs from cold")
+	}
+	// The restored result must still answer fixed-point queries: compare
+	// the rendered tuple tables, which read In/Out and the init snapshot.
+	coldRes := cold.Loops[0].Result("must-reaching-defs")
+	warmRes := warm.Loops[0].Result("must-reaching-defs")
+	if got, want := warmRes.TupleTable(-1), coldRes.TupleTable(-1); got != want {
+		t.Errorf("restored fixed point differs:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := warmRes.TupleTable(0), coldRes.TupleTable(0); got != want {
+		t.Errorf("restored init snapshot differs:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.Contains(warmRes.TupleTable(-1), "A[i + 1]") {
+		t.Error("restored table lost class headers")
+	}
+}

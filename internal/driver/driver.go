@@ -35,19 +35,50 @@ import (
 )
 
 // LoopAnalysis is the per-loop bundle of solutions.
+//
+// The graph, fixed points, and reuse facts are reached through accessor
+// methods rather than fields: a loop answered from the persistent solve
+// cache holds only its decoded counters until something actually reads the
+// facts, at which point the deferred restore (graph rebuild + row decode)
+// runs exactly once. Loops solved in-process materialize eagerly, so the
+// accessors cost a nil check. All accessors are safe for concurrent use.
 type LoopAnalysis struct {
 	Loop  *ast.DoLoop
 	Depth int // 1 = outermost
-	Graph *ir.Graph
-	// Results maps spec name → fixed point for the analyses requested.
-	Results map[string]*dataflow.Result
-	// Reuses are the guaranteed reuses with respect to this loop's own
-	// induction variable (from must-reaching definitions when requested).
-	Reuses []problems.Reuse
-	// WRT holds, for a loop that is the innermost of a tight nest, the
-	// §3.6 re-analyses of its body with respect to each *enclosing*
-	// induction variable: reuse facts keyed by that variable's name.
-	WRT map[string][]problems.Reuse
+	// own is this loop's solve; wrt holds the §3.6 re-analyses of the body
+	// with respect to each enclosing induction variable.
+	own *solved
+	wrt map[string]*solved
+}
+
+// Graph returns the loop's flow graph.
+func (la *LoopAnalysis) Graph() *ir.Graph { return la.own.materialize().graph }
+
+// Results maps spec name → fixed point for the analyses requested.
+func (la *LoopAnalysis) Results() map[string]*dataflow.Result {
+	return la.own.materialize().results
+}
+
+// Result returns the fixed point of one named problem instance (nil when
+// the analysis was not requested).
+func (la *LoopAnalysis) Result(name string) *dataflow.Result {
+	return la.own.materialize().results[name]
+}
+
+// Reuses are the guaranteed reuses with respect to this loop's own
+// induction variable (from must-reaching definitions when requested).
+func (la *LoopAnalysis) Reuses() []problems.Reuse { return la.own.materialize().reuses }
+
+// WRT returns, for a loop that is the innermost of a tight nest, the §3.6
+// re-analyses of its body with respect to each *enclosing* induction
+// variable: reuse facts keyed by that variable's name. The map is built
+// per call; mutating it does not affect the analysis.
+func (la *LoopAnalysis) WRT() map[string][]problems.Reuse {
+	out := make(map[string][]problems.Reuse, len(la.wrt))
+	for iv, sv := range la.wrt {
+		out[iv] = sv.materialize().reuses
+	}
+	return out
 }
 
 // ProgramAnalysis is the result of analyzing every loop of a program.
@@ -103,6 +134,14 @@ type Options struct {
 	// participates in the memo-cache key, so runs under different budgets
 	// never share entries.
 	Fuel int64
+	// CacheDir, when non-empty, persists solved loops to disk under this
+	// directory (content-addressed by the same fingerprint as the in-memory
+	// memo, grouped by a format/engine/spec-set schema hash), and answers
+	// memory misses from disk before solving. Unusable directories and
+	// damaged entries degrade to cold solves; the disk cache never fails an
+	// Analyze call. Ignored when DisableCache is set (the fingerprints the
+	// entries are keyed by only exist on the cached path).
+	CacheDir string
 }
 
 // entry is one loop to analyze, with its nesting context.
@@ -148,6 +187,13 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 	pa := &ProgramAnalysis{Prog: prog, Info: info, Vectors: map[*ast.DoLoop][]nest.Recurrence{}}
 	dims := declaredDims(info)
 
+	env := &solveEnv{specs: specs, dims: dims, useCache: !opts.DisableCache,
+		engine: opts.Engine, fuel: opts.Fuel}
+	if opts.CacheDir != "" && env.useCache {
+		env.cacheRoot = opts.CacheDir
+		env.disk = openDiskCacheFor(opts.CacheDir, specs, opts.Engine)
+	}
+
 	entries := collectEntries(prog)
 
 	// Wave schedule: loops grouped by nesting depth, deepest wave first.
@@ -182,7 +228,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		}
 		if w <= 1 {
 			for _, i := range idxs {
-				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, opts.Fuel, serialScratch)
+				results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], env, serialScratch)
 			}
 			continue
 		}
@@ -197,7 +243,7 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 				// allocations are bounded by the worker count.
 				sc := dataflow.NewScratch()
 				for i := range work {
-					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], specs, dims, !opts.DisableCache, opts.Engine, opts.Fuel, sc)
+					results[i], loopMetrics[i], errs[i] = analyzeOne(entries[i], env, sc)
 				}
 			}()
 		}
@@ -233,6 +279,9 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 		m.Solves += 1 + lm.WRTSolves
 		m.CacheHits += lm.CacheHits
 		m.CacheMisses += lm.CacheMisses
+		m.DiskHits += lm.DiskHits
+		m.DiskLoadBytes += lm.DiskLoadBytes
+		m.DiskStoreBytes += lm.DiskStoreBytes
 		if lm.Solver.ChangedPasses > m.MaxChangedPasses {
 			m.MaxChangedPasses = lm.Solver.ChangedPasses
 		}
@@ -334,55 +383,65 @@ func declaredDims(info *sema.Info) map[string][]poly.Poly {
 // analyzeOne runs one loop's own analysis plus its §3.6 re-analyses. It is
 // called from worker goroutines: everything it touches is either private to
 // the entry or behind the cache's synchronization.
-func analyzeOne(e entry, specs []*dataflow.Spec, dims map[string][]poly.Poly, useCache bool, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
+func analyzeOne(e entry, env *solveEnv, sc *dataflow.Scratch) (*LoopAnalysis, LoopMetrics, error) {
 	t0 := time.Now()
 	lm := LoopMetrics{Var: e.loop.Var, Depth: e.depth}
-	countLookup := func(hit bool) {
-		if !useCache {
+	countLookup := func(oc solveOutcome) {
+		if !env.useCache {
 			return
 		}
-		if hit {
+		if oc.hit {
 			lm.CacheHits++
 		} else {
 			lm.CacheMisses++
 		}
+		if oc.diskHit {
+			lm.DiskHits++
+		}
+		lm.DiskLoadBytes += oc.loadBytes
+		lm.DiskStoreBytes += oc.storeBytes
 	}
-	sv, hit, err := solveLoop(e.loop, specs, dims, useCache, engine, fuel, sc)
+	sv, oc, err := solveLoop(e.loop, env, sc)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
-	countLookup(hit)
-	for _, res := range sv.results {
-		lm.Solver.Add(res.Metrics())
+	countLookup(oc)
+	for _, sm := range sv.meta {
+		lm.Solver.Add(sm.meta.Metrics())
 	}
-	la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, Graph: sv.graph,
-		Results: sv.results, Reuses: sv.reuses, WRT: map[string][]problems.Reuse{}}
+	la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, own: sv, wrt: map[string]*solved{}}
 
 	// §3.6: for the innermost loop of a tight chain, re-analyze its
 	// body with respect to each enclosing induction variable.
 	if len(e.loop.Body) > 0 && !containsLoop(e.loop.Body) {
+		var wrtEnv *solveEnv
 		for _, enc := range e.enclosing {
 			if !tightChain(enc, e.loop) {
 				continue
+			}
+			if wrtEnv == nil {
+				wrtEnv = env.withSpecs([]*dataflow.Spec{problems.MustReachingDefs()})
 			}
 			synthetic := &ast.DoLoop{
 				DoPos: e.loop.DoPos, Var: enc.Var, Label: enc.Label,
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, hitw, err := solveLoop(synthetic, []*dataflow.Spec{problems.MustReachingDefs()}, dims, useCache, engine, fuel, sc)
+			svw, ocw, err := solveLoop(synthetic, wrtEnv, sc)
 			if err != nil {
 				continue
 			}
-			countLookup(hitw)
+			countLookup(ocw)
 			lm.WRTSolves++
-			lm.Solver.Add(svw.results["must-reaching-defs"].Metrics())
-			la.WRT[enc.Var] = svw.reuses
-			if !useCache {
+			for _, sm := range svw.meta {
+				lm.Solver.Add(sm.meta.Metrics())
+			}
+			la.wrt[enc.Var] = svw
+			if !env.useCache {
 				// Only the reuse records survive this solve; with the
 				// memo cache off nothing else references the results, so
 				// their slabs and op arenas go back to the solver pools.
-				for _, r := range svw.results {
+				for _, r := range svw.materialize().results {
 					r.Release()
 				}
 			}
@@ -437,25 +496,26 @@ func (pa *ProgramAnalysis) Report() string {
 	// bytes per reuse line. Underestimates only cost a regrow.
 	size := 48
 	for _, la := range pa.Loops {
-		size += 40 + 56*len(la.Reuses)
-		for _, rs := range la.WRT {
-			size += 64 * len(rs)
+		size += 40 + 56*len(la.Reuses())
+		for _, rs := range la.wrt {
+			size += 64 * len(rs.materialize().reuses)
 		}
 	}
 	b.Grow(size)
 	fmt.Fprintf(&b, "program analysis: %d loops (innermost first)\n", len(pa.Loops))
 	for _, la := range pa.Loops {
-		fmt.Fprintf(&b, "loop %s (depth %d, %d nodes):\n", la.Loop.Var, la.Depth, len(la.Graph.Nodes))
-		for _, r := range la.Reuses {
+		fmt.Fprintf(&b, "loop %s (depth %d, %d nodes):\n", la.Loop.Var, la.Depth, len(la.Graph().Nodes))
+		for _, r := range la.Reuses() {
 			fmt.Fprintf(&b, "  reuse: %s\n", r)
 		}
-		ivs := make([]string, 0, len(la.WRT))
-		for iv := range la.WRT {
+		wrt := la.WRT()
+		ivs := make([]string, 0, len(wrt))
+		for iv := range wrt {
 			ivs = append(ivs, iv)
 		}
 		sort.Strings(ivs)
 		for _, iv := range ivs {
-			for _, r := range la.WRT[iv] {
+			for _, r := range wrt[iv] {
 				fmt.Fprintf(&b, "  reuse wrt %s: %s\n", iv, r)
 			}
 		}

@@ -64,16 +64,16 @@ enddo
 	}
 	// Own-IV analysis finds the X recurrence.
 	foundX := false
-	for _, r := range innerLA.Reuses {
+	for _, r := range innerLA.Reuses() {
 		if r.From.Array == "X" && r.Distance == 1 {
 			foundX = true
 		}
 	}
 	if !foundX {
-		t.Errorf("X recurrence wrt i missing: %v", innerLA.Reuses)
+		t.Errorf("X recurrence wrt i missing: %v", innerLA.Reuses())
 	}
 	// §3.6 re-analysis wrt j finds the Y recurrence at distance 2.
-	wrtJ := innerLA.WRT["j"]
+	wrtJ := innerLA.WRT()["j"]
 	foundY := false
 	for _, r := range wrtJ {
 		if r.From.Array == "Y" && r.Distance == 2 {
@@ -115,7 +115,7 @@ enddo
 	la := pa.Loops[0]
 	for _, name := range []string{"must-reaching-defs", "delta-available-values",
 		"delta-busy-stores", "delta-reaching-refs"} {
-		if la.Results[name] == nil {
+		if la.Result(name) == nil {
 			t.Errorf("missing result %s", name)
 		}
 	}
@@ -146,7 +146,7 @@ enddo
 		t.Fatal("outer loop missing")
 	}
 	// X[j] cannot reuse X[j+1]'s value: the inner loop clobbers X.
-	for _, r := range outer.Reuses {
+	for _, r := range outer.Reuses() {
 		if r.From.Array == "X" {
 			t.Errorf("false reuse across summarized inner loop: %v", r)
 		}
@@ -167,8 +167,8 @@ enddo
 		t.Fatal(err)
 	}
 	for _, la := range pa.Loops {
-		if la.Loop.Var == "i" && len(la.WRT) != 0 {
-			t.Errorf("non-tight nest must not get WRT analyses: %v", la.WRT)
+		if la.Loop.Var == "i" && len(la.WRT()) != 0 {
+			t.Errorf("non-tight nest must not get WRT analyses: %v", la.WRT())
 		}
 	}
 	if len(pa.Vectors) != 0 {

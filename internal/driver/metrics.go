@@ -26,6 +26,14 @@ type LoopMetrics struct {
 	// describe the original, memoized solve.
 	CacheHits   int
 	CacheMisses int
+	// DiskHits counts the memory misses among this loop's solves that were
+	// answered from the persistent cache instead of solving (a disk hit is
+	// also a CacheMisses entry — it missed memory); DiskLoadBytes and
+	// DiskStoreBytes the persistent-cache volume this loop read and wrote.
+	// All zero unless Options.CacheDir is set.
+	DiskHits       int
+	DiskLoadBytes  int64
+	DiskStoreBytes int64
 	// Elapsed is the wall time this loop spent in its worker, cache lookup
 	// included.
 	Elapsed time.Duration
@@ -42,6 +50,13 @@ type Metrics struct {
 	// memoized vs. computed. Both stay zero with Options.DisableCache.
 	CacheHits   int
 	CacheMisses int
+	// DiskHits counts the memory misses served from the persistent cache
+	// (Options.CacheDir); DiskLoadBytes / DiskStoreBytes the entry volume
+	// this call read and wrote. Solver counters of a disk hit describe the
+	// original solve, exactly like a memory hit's.
+	DiskHits       int
+	DiskLoadBytes  int64
+	DiskStoreBytes int64
 	// MaxChangedPasses is the largest changing-pass count any single solve
 	// needed — the empirical check of the paper's ≤ 2 changing-pass claim
 	// (≤ 3 passes total with the confirmation pass).

@@ -23,7 +23,7 @@ var boundsAnalyzer = &Analyzer{
 }
 
 func runBounds(c *Context) []diag.Finding {
-	g := c.Loop.Graph
+	g := c.Loop.Graph()
 	var out []diag.Finding
 	for _, ref := range g.Refs {
 		if ref.FromInner {
@@ -105,7 +105,7 @@ func (c *Context) boundsFinding(ref *ast.ArrayRef, sub ast.Expr, dim int, size, 
 			"dimension": fmt.Sprintf("%d", dim+1),
 			"value":     fmt.Sprintf("%d", value),
 			"range":     fmt.Sprintf("1..%d", size),
-			"at":        fmt.Sprintf("%s = %d", c.Loop.Graph.IV, atIter),
+			"at":        fmt.Sprintf("%s = %d", c.Loop.Graph().IV, atIter),
 		},
 	}
 	if a == 0 {

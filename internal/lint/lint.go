@@ -71,19 +71,19 @@ type Context struct {
 
 // result returns the named problem's solution, or nil when it was not
 // requested.
-func (c *Context) result(name string) *dataflow.Result { return c.Loop.Results[name] }
+func (c *Context) result(name string) *dataflow.Result { return c.Loop.Result(name) }
 
 // fuelExhaustedResult returns the first (by problem name) solved result of
 // the loop that ran out of fuel, or ("", nil) when every solve finished
 // within budget. Name order keeps the reported blocker deterministic.
 func fuelExhaustedResult(c *Context) (string, *dataflow.Result) {
-	names := make([]string, 0, len(c.Loop.Results))
-	for name := range c.Loop.Results {
+	names := make([]string, 0, len(c.Loop.Results()))
+	for name := range c.Loop.Results() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if res := c.Loop.Results[name]; res.FuelExhausted {
+		if res := c.Loop.Result(name); res.FuelExhausted {
 			return name, res
 		}
 	}
@@ -129,6 +129,9 @@ type Options struct {
 	Parallelism int
 	// DisableCache bypasses the driver's memo cache.
 	DisableCache bool
+	// CacheDir points the driver at a persistent solve cache directory
+	// (see driver.Options.CacheDir); "" keeps the cache memory-only.
+	CacheDir string
 	// Analyzers restricts the run to the given IDs (nil = all).
 	Analyzers []string
 	// Engine selects the solver implementation (zero value = packed),
@@ -160,6 +163,7 @@ func Run(file string, prog *ast.Program, opts *Options) ([]diag.Finding, *driver
 		Specs:        Specs(),
 		Parallelism:  opts.Parallelism,
 		DisableCache: opts.DisableCache,
+		CacheDir:     opts.CacheDir,
 		Engine:       opts.Engine,
 		Fuel:         opts.Fuel,
 	})

@@ -302,7 +302,7 @@ func evidenceSummary(evs []PairEvidence) string {
 // loop. The dynamic bridge (witness replay, permutation check) is separate
 // so tests can exercise both halves independently.
 func CertifyLoop(c *Context) *Verdict {
-	g := c.Loop.Graph
+	g := c.Loop.Graph()
 	v := &Verdict{IV: g.IV}
 
 	// A fuel-exhausted solve degraded its facts to the claim-nothing value:
@@ -408,7 +408,7 @@ func CertifyLoop(c *Context) *Verdict {
 // provably-parallel class regardless of subscript arithmetic.
 func structuralBlockers(c *Context) []Blocker {
 	var out []Blocker
-	g := c.Loop.Graph
+	g := c.Loop.Graph()
 	for _, nd := range g.Nodes {
 		if nd.Kind == ir.KindSummary {
 			out = append(out, Blocker{Pos: nd.SrcPos,

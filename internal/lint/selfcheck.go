@@ -33,8 +33,8 @@ var selfCheckSamples = []lattice.Dist{
 }
 
 func runSelfCheck(c *Context) []diag.Finding {
-	names := make([]string, 0, len(c.Loop.Results))
-	for name := range c.Loop.Results {
+	names := make([]string, 0, len(c.Loop.Results()))
+	for name := range c.Loop.Results() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -43,8 +43,8 @@ func runSelfCheck(c *Context) []diag.Finding {
 	checked := 0
 	maxChanged := 0
 	for _, name := range names {
-		res := c.Loop.Results[name]
-		for _, nd := range c.Loop.Graph.Nodes {
+		res := c.Loop.Result(name)
+		for _, nd := range c.Loop.Graph().Nodes {
 			for ci := range res.Classes {
 				checked++
 				fx := make([]lattice.Dist, len(selfCheckSamples))
@@ -120,7 +120,7 @@ func crossEngineCheck(c *Context, name string, res *dataflow.Result) []diag.Find
 	}
 	// The re-solve runs under the same fuel budget so a degraded solution is
 	// compared against an identically degraded one, not a full fixed point.
-	res2 := dataflow.Solve(c.Loop.Graph, res.Spec, &dataflow.Options{Engine: other, Fuel: c.Fuel})
+	res2 := dataflow.Solve(c.Loop.Graph(), res.Spec, &dataflow.Options{Engine: other, Fuel: c.Fuel})
 	want := res.TupleTable(-1)
 	got := res2.TupleTable(-1)
 	if want == got {

@@ -47,7 +47,7 @@ func runUninit(c *Context) []diag.Finding {
 		}
 	}
 	var out []diag.Finding
-	for _, u := range c.Loop.Graph.Refs {
+	for _, u := range c.Loop.Graph().Refs {
 		if u.Kind != ir.Use || !u.Affine || u.FromInner {
 			continue
 		}
@@ -163,7 +163,7 @@ func uninitFix(c *Context, u *ir.Ref, bound string) (diag.SuggestedFix, bool) {
 	iv := freshName(c.Program, "ii")
 	subs := make([]string, len(u.Expr.Subs))
 	for k, sub := range u.Expr.Subs {
-		subs[k] = ast.ExprString(ast.SubstituteIdent(sub, c.Loop.Graph.IV, &ast.Ident{Name: iv}))
+		subs[k] = ast.ExprString(ast.SubstituteIdent(sub, c.Loop.Graph().IV, &ast.Ident{Name: iv}))
 	}
 	lines := []string{
 		fmt.Sprintf("do %s = 1, %s", iv, bound),

@@ -121,7 +121,12 @@ func CheckAll(prog *ast.Program) (*Info, []error) {
 	if syms == nil {
 		syms = token.NewInterner()
 	}
-	c := &checker{info: info, syms: syms, trust: trust, state: make([]uint8, syms.Len()+1)}
+	// The flag table grows lazily to the highest Sym this program actually
+	// touches (setFlag) rather than being sized to the whole interner: in
+	// batch/serve mode one shared table serves many programs, and sizing by
+	// syms.Len() would make every Check allocate proportional to the global
+	// table instead of the program being checked.
+	c := &checker{info: info, syms: syms, trust: trust, state: make([]uint8, 0, 64)}
 	c.checkBlock(prog.Body, nil)
 	return info, c.errs
 }

@@ -81,6 +81,12 @@ type Options struct {
 	CacheCap int
 	// DisableCache bypasses the memo cache entirely.
 	DisableCache bool
+	// CacheDir points the driver at a persistent solve cache directory
+	// (see driver.Options.CacheDir). With it set, a restarted daemon
+	// answers previously seen loops from disk at memo-hit speed instead of
+	// re-solving them cold; /v1/stats reports the disk traffic. "" keeps
+	// the cache memory-only. Ignored under DisableCache.
+	CacheDir string
 	// Engine selects the solver implementation (zero value = packed).
 	Engine dataflow.Engine
 	// Fuel bounds every per-loop solve (0 = derived default, see
@@ -274,6 +280,7 @@ func (s *Server) driverOptions(vectors bool) *driver.Options {
 		NestVectors:  vectors,
 		Parallelism:  1,
 		DisableCache: s.opts.DisableCache,
+		CacheDir:     s.opts.CacheDir,
 		Engine:       s.opts.Engine,
 		Fuel:         s.opts.Fuel,
 	}
@@ -374,6 +381,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	opts := &lint.Options{
 		Parallelism:  1,
 		DisableCache: s.opts.DisableCache,
+		CacheDir:     s.opts.CacheDir,
 		Engine:       s.opts.Engine,
 		Fuel:         s.opts.Fuel,
 		Werror:       queryBool(r, "werror", false),
@@ -508,6 +516,23 @@ type Stats struct {
 		Misses  int64                   `json:"misses"`
 		Shards  []driver.CacheShardStat `json:"shards"`
 	} `json:"cache"`
+
+	// DiskCache snapshots the persistent cache counters (all zero unless
+	// the server runs with Options.CacheDir). DiskHits count memory misses
+	// answered from disk — after a warm restart they are the solves the
+	// previous process paid for; DiskErrors the entries that existed but
+	// were unusable (each degraded to a cold solve).
+	DiskCache struct {
+		Dir        string `json:"dir,omitempty"`
+		Hits       int64  `json:"disk_hits"`
+		Misses     int64  `json:"disk_misses"`
+		Stores     int64  `json:"disk_stores"`
+		Errors     int64  `json:"disk_errors"`
+		LoadNS     int64  `json:"disk_load_ns"`
+		StoreNS    int64  `json:"disk_store_ns"`
+		LoadBytes  int64  `json:"disk_load_bytes"`
+		StoreBytes int64  `json:"disk_store_bytes"`
+	} `json:"disk_cache"`
 }
 
 // handleStats implements GET /v1/stats. It bypasses admission entirely so
@@ -555,6 +580,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Cache.Hits = int64(hits)
 	st.Cache.Misses = int64(misses)
 	st.Cache.Shards = driver.CacheShardStats()
+	ds := driver.DiskCacheStats()
+	st.DiskCache.Dir = s.opts.CacheDir
+	st.DiskCache.Hits = ds.Hits
+	st.DiskCache.Misses = ds.Misses
+	st.DiskCache.Stores = ds.Stores
+	st.DiskCache.Errors = ds.Errors
+	st.DiskCache.LoadNS = ds.LoadNS
+	st.DiskCache.StoreNS = ds.StoreNS
+	st.DiskCache.LoadBytes = ds.LoadBytes
+	st.DiskCache.StoreBytes = ds.StoreBytes
 
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

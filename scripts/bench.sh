@@ -2,8 +2,8 @@
 # Runs the solver/driver benchmark suite with -benchmem and records the
 # results as JSON at the repo root (benchmark name → ns/op, B/op,
 # allocs/op), extending the perf trajectory (BENCH_PR3.json →
-# BENCH_PR4.json → BENCH_PR8.json) that future changes are compared
-# against.
+# BENCH_PR4.json → BENCH_PR8.json → BENCH_PR9.json) that future changes
+# are compared against.
 #
 # After recording, the snapshot is diffed against the previous trajectory
 # point (cmd/benchjson -diff): per-benchmark deltas beyond 10% ns/op are
@@ -13,14 +13,21 @@
 # ScalingLinear point must stay within 1.25x of its BENCH_PR4.json ns/op.
 # The gated points were recorded 2-4x *under* that baseline, so the gate
 # has real headroom on any reasonable machine and firing means the
-# word-packed solver's headline wins actually eroded.
+# word-packed solver's headline wins actually eroded. A second hard
+# failure is the same-snapshot ratio (cmd/benchjson -ratio): disk-warm
+# whole-program analysis must run at no more than 0.5x the cold run —
+# the persistent cache's reason to exist, asserted within one machine's
+# measurements so it cannot drift with hardware.
 #
-# A second, service-layer phase then starts `arrayflow serve` on an
-# ephemeral port, replays concurrent mixed analyze/vet/batch traffic with
-# cmd/loadgen, and records p50/p99 latency and throughput into
-# BENCH_PR6.json — diffed against the previous BENCH_PR6.json under
-# loadgen's -maxregress gate. docs/OPERATIONS.md explains how to read the
-# diff.
+# A warm-restart phase then runs loadgen's embedded redeploy scenario
+# (cold traffic, in-memory memo reset, warm traffic that must answer from
+# the persistent cache) and merges its p50/p99 into the snapshot as
+# ServeWarmRestart pseudo-rows. Finally a service-layer phase starts
+# `arrayflow serve` on an ephemeral port, replays concurrent mixed
+# analyze/vet/batch traffic with cmd/loadgen, and records p50/p99 latency
+# and throughput into BENCH_PR6.json — diffed against the previous
+# BENCH_PR6.json under loadgen's -maxregress gate. docs/OPERATIONS.md
+# explains how to read the diff.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -32,23 +39,32 @@
 #   BENCH_GATE         hard gate spec BASELINE:PATTERN:FACTOR (default
 #                      holds packed ScalingLinear to 1.25x BENCH_PR4.json;
 #                      set empty to skip the gate)
+#   BENCH_RATIO        same-snapshot ratio spec NUM:DEN:FACTOR (default
+#                      holds disk-warm analysis to 0.5x cold; set empty
+#                      to skip)
 #   SERVE_BENCH        set to 0 to skip the service load phase
 #   SERVE_OUT          service snapshot path (default BENCH_PR6.json)
 #   SERVE_CONCURRENCY  loadgen workers (default 1000)
 #   SERVE_DURATION     loadgen duration (default 10s)
 #   SERVE_MAXREGRESS   loadgen regression factor (default 2.0)
+#   RESTART_BENCH      set to 0 to skip the warm-restart phase
+#   RESTART_DURATION   per-phase duration of the warm-restart scenario
+#                      (default 5s)
+#   RESTART_CONCURRENCY  warm-restart workers (default 64)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1InitPass|BenchmarkTable1FixedPoint|BenchmarkTable1FusedSolve|BenchmarkScalingLinear|BenchmarkDriverMemoization|BenchmarkFrontEnd|BenchmarkAnalyzeBatch}"
+OUT="${1:-BENCH_PR9.json}"
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1InitPass|BenchmarkTable1FixedPoint|BenchmarkTable1FusedSolve|BenchmarkScalingLinear|BenchmarkDriverMemoization|BenchmarkFrontEnd|BenchmarkAnalyzeBatch|BenchmarkWarmStart|BenchmarkDiff}"
 TIME="${BENCH_TIME:-1s}"
 BASELINE="${BENCH_BASELINE-BENCH_PR4.json}"
 GATE="${BENCH_GATE-BENCH_PR4.json:BenchmarkScalingLinear/.*/packed:1.25}"
+RATIO="${BENCH_RATIO-BenchmarkWarmStart/disk-warm:BenchmarkWarmStart/cold:0.5}"
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+RESTART_DIR="$(mktemp -d)"
+trap 'rm -f "$TMP"; rm -rf "$RESTART_DIR"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . | tee "$TMP"
 go run ./cmd/benchjson -o "$OUT" < "$TMP"
@@ -64,6 +80,26 @@ if [ -n "$GATE" ] && [ -f "${GATE%%:*}" ]; then
   # Hard gate: fails the script (set -e) if any gated point exceeds its
   # ceiling or went missing.
   go run ./cmd/benchjson -gate "$GATE" "$OUT" > /dev/null
+fi
+if [ -n "$RATIO" ]; then
+  # Hard gate within this snapshot: disk-warm analysis must be at most
+  # half the cold time, or the persistent cache is not earning its keep.
+  go run ./cmd/benchjson -ratio "$RATIO" "$OUT" > /dev/null
+fi
+
+# ---- warm-restart phase ----------------------------------------------------
+# The service-level counterpart of BenchmarkWarmStart: loadgen runs an
+# embedded server with a persistent cache, replays a cold phase, drops the
+# in-memory memo exactly as a redeploy would, then replays a warm phase
+# that must answer from disk (the run fails on a zero disk-hit delta).
+# Both phases' p50/p99 land in $OUT as ServeWarmRestart pseudo-rows.
+
+if [ "${RESTART_BENCH:-1}" != "0" ]; then
+  RESTART_DURATION="${RESTART_DURATION:-5s}"
+  RESTART_CONCURRENCY="${RESTART_CONCURRENCY:-64}"
+  go run ./cmd/loadgen -cache-dir "$RESTART_DIR/cache" -concurrency "$RESTART_CONCURRENCY" \
+    -duration "$RESTART_DURATION" -bench-rows "$OUT"
+  echo "merged warm-restart rows into $OUT"
 fi
 
 # ---- service load phase ----------------------------------------------------
@@ -81,6 +117,7 @@ WORK="$(mktemp -d)"
 SERVE_PID=""
 cleanup() {
   rm -f "$TMP"
+  rm -rf "$RESTART_DIR"
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill -TERM "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
