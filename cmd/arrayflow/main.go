@@ -81,6 +81,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/parser"
 	"repro/internal/problems"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 	"repro/internal/token"
 )
@@ -425,8 +426,17 @@ func runVet(args []string) {
 	fuel := fs.Int64("fuel", 0, "per-solve fuel budget in flow-application units (0 = derived default; exhausted loops report unknown verdicts)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	var assume []rangefacts.Fact
+	fs.Func("assume", "inject a range-fact assumption in mini-language condition syntax, e.g. 'k >= 64' (repeatable; 'and' conjoins). Unknown-verdict why-certificates name the missing fact this flag supplies", func(s string) error {
+		facts, err := rangefacts.ParseAssumption(s)
+		if err != nil {
+			return err
+		}
+		assume = append(assume, facts...)
+		return nil
+	})
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-cache-dir dir] [-metrics] [-engine packed|reference] [-fuel n] [-cpuprofile file] [-memprofile file] [file|pattern]")
+		fmt.Fprintln(os.Stderr, "usage: arrayflow vet [-lang loop|go] [-format text|json|sarif] [-assume cond] [-fix] [-werror] [-baseline file] [-updatebaseline] [-include-tests] [-workers n] [-nocache] [-cache-dir dir] [-metrics] [-engine packed|reference] [-fuel n] [-cpuprofile file] [-memprofile file] [file|pattern]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -439,7 +449,7 @@ func runVet(args []string) {
 		os.Exit(2)
 	}
 	engine := parseEngine(*engineFlag)
-	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, CacheDir: *cacheDir, Engine: engine, Werror: *werror, Fuel: *fuel}
+	opts := &lint.Options{Parallelism: *workers, DisableCache: *nocache, CacheDir: *cacheDir, Engine: engine, Werror: *werror, Fuel: *fuel, Assume: assume}
 	if *baselinePath != "" && !*updateBaseline {
 		b, err := lint.ReadBaselineFile(*baselinePath)
 		if err != nil {

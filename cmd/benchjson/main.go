@@ -22,6 +22,17 @@
 // the new snapshot itself: benchmark NUM (exact name) must run at no more
 // than FACTOR × benchmark DEN's ns/op, and both must exist. scripts/bench.sh
 // uses it to hold disk-warm whole-program analysis to ≤ 0.5× the cold run.
+//
+// With -corpus REPORT.json it merges a cmd/corpus self-analysis report into
+// the snapshot as pseudo-rows (value carried in the ns_per_op slot):
+// CorpusVerdicts/{parallel,racy,unknown} carry the per-verdict unit counts,
+// CorpusVerdicts/provablyClassified the percentage of verdict-bearing units
+// classified provably (parallel or racy), and CorpusDifferential/mismatch
+// the differential-execution mismatch count. -floor NAME:MIN and
+// -ceiling NAME:MAX (repeatable) then gate those rows: the named row must
+// exist with value ≥ MIN (floor) or ≤ MAX (ceiling). scripts/bench.sh uses
+// the trio to record the symbolic-bound sweep into BENCH_PR10.json and hold
+// the provably-classified fraction at its floor with zero mismatches.
 package main
 
 import (
@@ -86,6 +97,24 @@ func main() {
 		gates = append(gates, gateSpec{baseline: parts[0], pattern: re, factor: factor})
 		return nil
 	})
+	corpus := flag.String("corpus", "", "cmd/corpus report JSON to merge as CorpusVerdicts/CorpusDifferential pseudo-rows")
+	var bounds []boundSpec
+	flag.Func("floor", "repeatable NAME:MIN — fail unless row NAME exists with value ≥ MIN", func(s string) error {
+		b, err := parseBound(s, true)
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, b)
+		return nil
+	})
+	flag.Func("ceiling", "repeatable NAME:MAX — fail unless row NAME exists with value ≤ MAX", func(s string) error {
+		b, err := parseBound(s, false)
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, b)
+		return nil
+	})
 	var ratios []ratioSpec
 	flag.Func("ratio", "repeatable NUM:DEN:FACTOR — fail unless benchmark NUM runs at ≤ FACTOR × benchmark DEN within this snapshot (exact names, no baseline file)", func(s string) error {
 		parts := strings.SplitN(s, ":", 3)
@@ -114,6 +143,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *corpus != "" {
+		if err := mergeCorpus(*corpus, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark rows in input")
@@ -183,7 +218,84 @@ func main() {
 			exit = 1
 		}
 	}
+	for _, b := range bounds {
+		if !bound(b, rows) {
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// boundSpec is one parsed -floor/-ceiling flag: the named row must exist
+// with its value on the right side of the limit.
+type boundSpec struct {
+	name  string
+	limit float64
+	// floor true means value ≥ limit must hold; false means value ≤ limit.
+	floor bool
+}
+
+func parseBound(s string, floor bool) (boundSpec, error) {
+	i := strings.LastIndex(s, ":")
+	if i < 1 || i == len(s)-1 {
+		return boundSpec{}, fmt.Errorf("want NAME:LIMIT, got %q", s)
+	}
+	limit, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil {
+		return boundSpec{}, fmt.Errorf("limit %q: %v", s[i+1:], err)
+	}
+	return boundSpec{name: s[:i], limit: limit, floor: floor}, nil
+}
+
+// bound enforces one -floor/-ceiling spec. A missing row fails: a bound
+// names a measurement that must exist.
+func bound(b boundSpec, cur map[string]Row) bool {
+	kind, cmp := "FLOOR", "≥"
+	if !b.floor {
+		kind, cmp = "CEILING", "≤"
+	}
+	row, ok := cur[b.name]
+	switch {
+	case !ok:
+		fmt.Fprintf(os.Stderr, "  %s MISSING %s (not measured)\n", kind, b.name)
+	case b.floor && row.NsPerOp < b.limit, !b.floor && row.NsPerOp > b.limit:
+		fmt.Fprintf(os.Stderr, "  %s FAILED  %s: %.2f violates %s %.2f\n", kind, b.name, row.NsPerOp, cmp, b.limit)
+	default:
+		fmt.Fprintf(os.Stderr, "  %s ok      %s: %.2f %s %.2f\n", strings.ToLower(kind), b.name, row.NsPerOp, cmp, b.limit)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s %s:%.2f failed\n", strings.ToLower(kind), b.name, b.limit)
+	return false
+}
+
+// mergeCorpus folds a cmd/corpus report into the snapshot as pseudo-rows,
+// carrying each value in the ns_per_op slot: per-verdict unit counts, the
+// provably-classified percentage, and the differential mismatch count.
+func mergeCorpus(path string, rows map[string]Row) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		Verdicts     map[string]int `json:"verdicts"`
+		Differential struct {
+			Mismatch int `json:"mismatch"`
+		} `json:"differential"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	total := 0
+	for v, n := range rep.Verdicts {
+		rows["CorpusVerdicts/"+v] = Row{NsPerOp: float64(n)}
+		total += n
+	}
+	if total > 0 {
+		proved := rep.Verdicts["parallel"] + rep.Verdicts["racy"]
+		rows["CorpusVerdicts/provablyClassified"] = Row{NsPerOp: 100 * float64(proved) / float64(total)}
+	}
+	rows["CorpusDifferential/mismatch"] = Row{NsPerOp: float64(rep.Differential.Mismatch)}
+	return nil
 }
 
 // ratio enforces one -ratio spec against the current snapshot. Either

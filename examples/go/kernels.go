@@ -226,6 +226,23 @@ func Histogram8(h *[8]int, a []int) {
 	}
 }
 
+// StencilShift reads the right neighbor under a shifted loop condition
+// (i+1 < n): the front end folds the shift into the bound (i ≤ n−2), so
+// the subscripts stay affine and every access is in range.
+func StencilShift(out, in []int, n int) {
+	for i := 0; i+1 < n; i++ {
+		out[i] = in[i] + in[i+1]
+	}
+}
+
+// OverShift shifts the condition the other way (i−1 < n ⟺ i ≤ n),
+// exercising the negative-shift fold.
+func OverShift(a []int, n int) {
+	for i := 1; i-1 < n; i++ {
+		a[i-1] = a[i-1] + 1
+	}
+}
+
 // Smooth applies a second pass over the first pass's output: two loops
 // with a cross-loop dependence.
 func Smooth(a, tmp []int, n int) {

@@ -276,6 +276,7 @@ func resolveFuel(opts *Options, maxPasses, n, m int) int64 {
 // budget. After prepare, initStage and iteratePass allocate nothing.
 func (ctx *solveCtx) prepare(spec *Spec, opts *Options, sc *Scratch) *solver {
 	res := &Result{Graph: ctx.g, Spec: spec}
+	res.SetOracle(opts.Facts)
 	ct := ctx.tableFor(spec, sc)
 	res.adoptClasses(ct)
 	m := len(ct.classes)
@@ -285,7 +286,7 @@ func (ctx *solveCtx) prepare(spec *Spec, opts *Options, sc *Scratch) *solver {
 	res.In, res.inBack = pooledSlab(n, m)
 	res.Out, res.outBack = pooledSlab(n, m)
 
-	prog := ctx.compile(spec, ct, res.prZero)
+	prog := ctx.compile(spec, ct, res.prZero, opts.Facts)
 	res.prog = prog // ApplyFlow serves views into the arena on demand
 
 	maxPasses := opts.MaxPasses
@@ -738,7 +739,7 @@ func (res *Result) degradeExhausted() {
 // appended to one arena in slot order, so starts is monotone and a slot's
 // ops are arena[starts[idx]:starts[idx+1]]. Class membership is decided by
 // the table's dense refClass array; no maps are consulted.
-func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64) *packedProgram {
+func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64, facts RangeOracle) *packedProgram {
 	g := ctx.g
 	m := len(ct.classes)
 	total := (ctx.n + 1) * m
@@ -773,8 +774,12 @@ func (ctx *solveCtx) compile(spec *Spec, ct *classTable, prZero [][]uint64) *pac
 			Backward: spec.Backward,
 			UB:       g.UBConst,
 			HasUB:    g.HasUB,
+			Facts:    facts,
 		},
 	}
+	// The preserve memo keys on (class, form, pr) only; that stays valid
+	// with an oracle because the oracle is constant for the whole solve.
+	e.kctxBase.SymUB, e.kctxBase.HasSymUB = symUBOf(g)
 	e.buildForms()
 	var cand []int32
 	idx := m // slots 0..m-1 belong to the unused node ID 0 and stay empty

@@ -11,6 +11,21 @@ import (
 	"repro/internal/sema"
 )
 
+// RangeOracle resolves symbolic comparisons the preserve derivation
+// cannot decide from the affine forms alone. It is the solver's view of
+// internal/rangefacts.Facts (kept an interface so the dependency points
+// outward); implementations must answer deterministically and may always
+// answer "unknown". A nil oracle disables every symbolic resolution.
+type RangeOracle interface {
+	// LowerBound / UpperBound return a proven constant bound of p.
+	LowerBound(p poly.Poly) (int64, bool)
+	UpperBound(p poly.Poly) (int64, bool)
+	// ProveNonZero reports a proof of p ≠ 0.
+	ProveNonZero(p poly.Poly) bool
+	// Signature canonically renders the fact set (folded into memo keys).
+	Signature() string
+}
+
 // KillContext carries the inputs of a preserve-constant computation.
 type KillContext struct {
 	// Pr is the paper's pr(d,n) predicate value (0 or 1): 0 when the
@@ -27,6 +42,13 @@ type KillContext struct {
 	// instances.
 	UB    int64
 	HasUB bool
+	// SymUB is the loop bound as a polynomial when the bound is symbolic
+	// (HasSymUB); with a Facts oracle, kill distances proven ≥ SymUB
+	// collapse to the symbolic top of the chain lattice.
+	SymUB    poly.Poly
+	HasSymUB bool
+	// Facts resolves symbolic comparisons (nil = none resolve).
+	Facts RangeOracle
 }
 
 func (c KillContext) clamp(x lattice.Dist) lattice.Dist {
@@ -94,6 +116,11 @@ func PreserveConst(d, kill sema.AffineForm, killAffine bool, c KillContext) latt
 			if diff, ok := b1.Sub(b2).IsConst(); ok && diff != 0 {
 				return lattice.All() // provably disjoint locations
 			}
+			if c.Facts != nil && c.Facts.ProveNonZero(b1.Sub(b2)) {
+				// Range facts prove the two invariant locations distinct
+				// (e.g. a guard established b1 > b2).
+				return lattice.All()
+			}
 			return c.conservative() // symbolically undecidable aliasing
 		default:
 			// A striding killer may hit X[b1] in some iteration; the kill
@@ -124,7 +151,12 @@ func PreserveConst(d, kill sema.AffineForm, killAffine bool, c KillContext) latt
 			if kc, isConst := q.IsConst(); isConst {
 				return constKill(kc, true, c)
 			}
-			// Constant in i but symbolically unknown value.
+			// Constant in i but symbolically unknown value: a range-fact
+			// proof can still place the kill distance relative to the
+			// tracked range or the trip count.
+			if p, ok := symbolicConstKill(q, c); ok {
+				return p
+			}
 			return c.conservative()
 		}
 		// Δb/a1 is not an integer polynomial. When both are integer
@@ -179,6 +211,49 @@ func constKill(kc int64, _ bool, c KillContext) lattice.Dist {
 		// kc−1 are preserved (accurate for both polarities).
 		return c.clamp(lattice.D(kc - 1))
 	}
+}
+
+// symbolicConstKill resolves a definite kill at the symbolic (i-free)
+// distance q through the range-fact oracle. The cases mirror constKill
+// with interval endpoints in place of the constant: a distance proven to
+// reach the symbolic trip count collapses to the chain lattice's symbolic
+// top, a distance proven below the tracked range preserves everything,
+// and one-sided bounds give the polarity-safe prefix (must rounds the
+// preserved prefix down to the proven lower bound, may rounds it up to
+// the proven upper bound). ok=false when no fact resolves the comparison
+// — the caller then falls back to the conservative value, never to the
+// symbolic top.
+func symbolicConstKill(q poly.Poly, c KillContext) (lattice.Dist, bool) {
+	if c.Facts == nil {
+		return lattice.None(), false
+	}
+	if c.HasSymUB {
+		// q ≥ UB: instances exist only at distances ≤ UB−1 < q, so the
+		// kill never hits a real instance (accurate for both polarities).
+		if lb, ok := c.Facts.LowerBound(q.Sub(c.SymUB)); ok && lb >= 0 {
+			return lattice.SymTop(), true
+		}
+	}
+	lo, okLo := c.Facts.LowerBound(q)
+	hi, okHi := c.Facts.UpperBound(q)
+	switch {
+	case okLo && okHi && lo == hi:
+		return constKill(lo, true, c), true
+	case okHi && hi < c.Pr:
+		// The kill only affects distances outside the tracked range.
+		return lattice.All(), true
+	case okLo && lo > c.Pr:
+		// Definite kill at distance q ∈ [lo, hi] with the whole interval
+		// above the range start: the exact preserve is q−1.
+		if c.May {
+			if okHi {
+				return c.clamp(lattice.D(hi - 1)), true
+			}
+			return lattice.All(), true
+		}
+		return c.clamp(lattice.D(lo - 1)), true
+	}
+	return lattice.None(), false
 }
 
 // varyingKill implements the must-approximation for

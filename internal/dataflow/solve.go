@@ -10,6 +10,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/ir"
 	"repro/internal/lattice"
+	"repro/internal/poly"
 	"repro/internal/sema"
 )
 
@@ -122,6 +123,16 @@ type Result struct {
 	prog     *packedProgram
 	flowOnce sync.Once
 
+	// facts is the range-fact oracle the solve compiled its preserve
+	// constants under (nil = none); symUB/hasSymUB cache the loop bound as
+	// a polynomial when the bound is symbolic. Results restored from the
+	// persistent cache must have the original oracle re-attached via
+	// SetOracle BEFORE the first ApplyFlow call, or the lazily recompiled
+	// flow functions would disagree with the cached tuples.
+	facts    RangeOracle
+	symUB    poly.Poly
+	hasSymUB bool
+
 	// inBack / outBack are the pooled backings of the In/Out slabs (packed
 	// engine only); Release returns them to the pools. Nil after Release or
 	// for reference-engine results.
@@ -151,6 +162,32 @@ type Metrics struct {
 	// FuelExhausted reports that the solve (or, after Add, any aggregated
 	// solve) ran out of fuel and degraded its tuples to "unknown".
 	FuelExhausted bool
+}
+
+// symUBOf returns the loop bound as a polynomial over invariant symbols
+// when the bound exists but is not a compile-time constant. A bound that
+// fails to convert (e.g. mentions an array element) yields ok=false and
+// symbolic-top resolution is simply unavailable.
+func symUBOf(g *ir.Graph) (poly.Poly, bool) {
+	if g.HasUB || g.UB == nil {
+		return poly.Poly{}, false
+	}
+	p, err := sema.ExprToPoly(g.UB)
+	if err != nil {
+		return poly.Poly{}, false
+	}
+	return p, true
+}
+
+// SetOracle re-attaches the range-fact oracle a cached solve originally ran
+// under. Results restored from the persistent cache carry no compiled flow
+// functions and rebuild them lazily on the first ApplyFlow call; that
+// recompilation must see the same oracle (and derived symbolic bound) the
+// cached tuples were computed with, so drivers call SetOracle immediately
+// after restore, before handing the Result to any consumer.
+func (res *Result) SetOracle(f RangeOracle) {
+	res.facts = f
+	res.symUB, res.hasSymUB = symUBOf(res.Graph)
 }
 
 // Metrics bundles the result's instrumentation counters.
@@ -254,6 +291,13 @@ type Options struct {
 	// allocate no transients. Nil borrows one from a process-wide pool. A
 	// Scratch must not be used by two solves concurrently.
 	Scratch *Scratch
+	// Facts supplies loop-invariant range facts to the preserve derivation,
+	// letting symbolic kill-distance comparisons resolve (rangefacts). Nil
+	// means no symbolic comparison resolves. The oracle participates in the
+	// solve's semantics, so drivers must fold its Signature into any memo
+	// key and hand the SAME oracle to both engines — the differential
+	// contract (byte-identical Results) holds per oracle, not across them.
+	Facts RangeOracle
 }
 
 // Solve computes the greatest fixed point of spec over g. The packed engine
@@ -304,6 +348,7 @@ func solveReference(g *ir.Graph, spec *Spec, opts *Options) *Result {
 	start := time.Now()
 	res := &Result{Graph: g, Spec: spec}
 	defer func() { res.Elapsed = time.Since(start) }()
+	res.SetOracle(opts.Facts)
 	res.adoptClasses(buildClassTable(g, spec.Gen))
 	m := len(res.Classes)
 	n := len(g.Nodes)
@@ -737,6 +782,9 @@ func (res *Result) compileNodeClass(nd *ir.Node, c *Class) flowFn {
 			Backward: res.Spec.Backward,
 			UB:       g.UBConst,
 			HasUB:    g.HasUB,
+			SymUB:    res.symUB,
+			HasSymUB: res.hasSymUB,
+			Facts:    res.facts,
 		}
 		var p lattice.Dist
 		if r.FromInner && r.HasRegion {

@@ -34,6 +34,9 @@ type RuleMeta struct {
 	HelpURI string
 	// Default is the severity the analyzer ordinarily reports at.
 	Default Severity
+	// Properties carries rule-level metadata into the SARIF property bag
+	// (e.g. the race analyzer's blocker taxonomy). Keys render sorted.
+	Properties map[string]string
 }
 
 // The sarif* types mirror the SARIF 2.1.0 object model, restricted to the
@@ -67,6 +70,7 @@ type sarifRule struct {
 	ShortDescription sarifMessage       `json:"shortDescription"`
 	HelpURI          string             `json:"helpUri,omitempty"`
 	DefaultConfig    sarifConfiguration `json:"defaultConfiguration"`
+	Properties       map[string]string  `json:"properties,omitempty"`
 }
 
 type sarifConfiguration struct {
@@ -167,6 +171,7 @@ func WriteSARIF(w io.Writer, file string, rules []RuleMeta, fs []Finding) error 
 			ShortDescription: sarifMessage{Text: doc},
 			HelpURI:          m.HelpURI,
 			DefaultConfig:    sarifConfiguration{Level: sarifLevel(m.Default)},
+			Properties:       m.Properties,
 		})
 	}
 	for _, m := range rules {

@@ -13,6 +13,8 @@ import (
 	"repro/internal/ir"
 	"repro/internal/poly"
 	"repro/internal/problems"
+	"repro/internal/rangefacts"
+	"repro/internal/sema"
 )
 
 // solved is one fully-analyzed loop. The per-spec solver counters are
@@ -290,9 +292,14 @@ func (c *solveCache) setCap(n int) {
 // solves); the declared dimension sizes of every multi-dimensional array
 // the loop references are included because they determine linearized
 // strides — two textually identical loops under different dim statements
-// must not share a solve. Callers that hand-build a Spec reusing a canned
-// name with different semantics must disable the cache.
-func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64) memoKey {
+// must not share a solve. The range-fact signature is folded in when
+// non-empty because facts change preserve constants — a loop solved under
+// a guard must never answer for the same text outside it; the empty
+// signature adds no bytes, so fact-free solves keep their pre-rangefacts
+// fingerprints (and their existing disk-cache entries). Callers that
+// hand-build a Spec reusing a canned name with different semantics must
+// disable the cache.
+func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, factsSig string) memoKey {
 	h := ast.NewHasher()
 	h.Stmt(loop)
 	for _, s := range specs {
@@ -305,6 +312,12 @@ func cacheKey(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.P
 	// degrades to the claim-nothing value), so budgets never share entries.
 	h.WriteByte('\x00')
 	h.WriteString(fuelSignature(fuel))
+	if factsSig != "" {
+		// The '!' prefix keeps the component disjoint from dim signatures,
+		// which always start with an identifier.
+		h.WriteByte('\x00')
+		h.WriteString("!facts=" + factsSig)
+	}
 	for _, sig := range dimSignatures(loop, dims) {
 		h.WriteByte('\x00')
 		h.WriteString(sig)
@@ -326,7 +339,7 @@ func fuelSignature(fuel int64) string {
 // canonicalKeyString renders the pre-fingerprint string key — the exact
 // byte stream cacheKey hashes — for the collision oracle and for
 // differential tests.
-func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64) string {
+func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, factsSig string) string {
 	var b strings.Builder
 	b.Grow(256)
 	b.WriteString(ast.StmtString(loop, 0))
@@ -338,6 +351,10 @@ func canonicalKeyString(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[strin
 	b.WriteString(string(engine))
 	b.WriteByte('\x00')
 	b.WriteString(fuelSignature(fuel))
+	if factsSig != "" {
+		b.WriteByte('\x00')
+		b.WriteString("!facts=" + factsSig)
+	}
 	for _, sig := range dimSignatures(loop, dims) {
 		b.WriteByte('\x00')
 		b.WriteString(sig)
@@ -448,6 +465,11 @@ type solveEnv struct {
 	useCache bool
 	engine   dataflow.Engine
 	fuel     int64
+	// prog/info/assume feed per-loop range-fact derivation (rangefacts);
+	// prog nil skips derivation entirely.
+	prog   *ast.Program
+	info   *sema.Info
+	assume []rangefacts.Fact
 	// cacheRoot is Options.CacheDir (empty = no persistent cache); disk is
 	// the handle for this env's spec set, nil when disabled or unusable.
 	cacheRoot string
@@ -488,25 +510,30 @@ type solveOutcome struct {
 // completes the store. sc is the calling worker's scratch free list; the
 // singleflight cell runs the solve on the claiming worker's goroutine, so
 // the scratch is never shared across solves in flight.
-func solveLoop(loop *ast.DoLoop, env *solveEnv, sc *dataflow.Scratch) (*solved, solveOutcome, error) {
+func solveLoop(loop *ast.DoLoop, facts *rangefacts.Facts, env *solveEnv, sc *dataflow.Scratch) (*solved, solveOutcome, error) {
+	oracle := factsOracle(facts)
 	if !env.useCache {
-		sv, err := solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, sc)
+		sv, err := solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, oracle, sc)
 		return sv, solveOutcome{}, err
 	}
-	key := cacheKey(loop, env.specs, env.dims, env.engine, env.fuel)
+	sig := ""
+	if oracle != nil {
+		sig = oracle.Signature()
+	}
+	key := cacheKey(loop, env.specs, env.dims, env.engine, env.fuel, sig)
 	e, hit := globalCache.claim(key, func() string {
-		return canonicalKeyString(loop, env.specs, env.dims, env.engine, env.fuel)
+		return canonicalKeyString(loop, env.specs, env.dims, env.engine, env.fuel, sig)
 	})
 	claimed := false
 	e.once.Do(func() {
 		claimed = true
 		if env.disk != nil {
-			if sv, n, ok := env.disk.load(key, loop, env); ok {
+			if sv, n, ok := env.disk.load(key, loop, oracle, env); ok {
 				e.sv, e.diskHit, e.loadBytes = sv, true, n
 				return
 			}
 		}
-		e.sv, e.err = solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, sc)
+		e.sv, e.err = solveLoopFresh(loop, env.specs, env.dims, env.engine, env.fuel, oracle, sc)
 	})
 	out := solveOutcome{hit: hit}
 	if claimed {
@@ -518,8 +545,19 @@ func solveLoop(loop *ast.DoLoop, env *solveEnv, sc *dataflow.Scratch) (*solved, 
 	return e.sv, out, e.err
 }
 
-func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solved, error) {
-	parts, err := solvePartsFresh(loop, specs, dims, engine, fuel, sc)
+// factsOracle adapts a fact environment to the solver's oracle interface.
+// Empty and fuel-exhausted environments (which answer every query with
+// "unknown" anyway) pass nil, so fact-free solves stay byte-identical to —
+// and share memo/disk entries with — the pre-rangefacts pipeline.
+func factsOracle(f *rangefacts.Facts) dataflow.RangeOracle {
+	if f.Empty() || f.Exhausted() {
+		return nil
+	}
+	return f
+}
+
+func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, oracle dataflow.RangeOracle, sc *dataflow.Scratch) (*solved, error) {
+	parts, err := solvePartsFresh(loop, specs, dims, engine, fuel, oracle, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -529,7 +567,7 @@ func solveLoopFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]
 // solvePartsFresh runs one loop's full solve: graph construction, every
 // spec's fixed point, reuse extraction. Shared by the fresh-solve path and
 // the lazy loader's damaged-payload fallback.
-func solvePartsFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, sc *dataflow.Scratch) (*solvedParts, error) {
+func solvePartsFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, engine dataflow.Engine, fuel int64, oracle dataflow.RangeOracle, sc *dataflow.Scratch) (*solvedParts, error) {
 	g, err := ir.Build(loop, &ir.Options{Dims: dims})
 	if err != nil {
 		return nil, err
@@ -538,7 +576,7 @@ func solvePartsFresh(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][
 	// One fused SolveAll per loop: every spec shares the graph's class
 	// discovery, node orderings, and precedes bitsets through one solve
 	// context instead of re-deriving them per problem instance.
-	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc, Fuel: fuel}) {
+	for i, res := range dataflow.SolveAll(g, specs, &dataflow.Options{Engine: engine, Scratch: sc, Fuel: fuel, Facts: oracle}) {
 		spec := specs[i]
 		parts.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {

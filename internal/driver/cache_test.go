@@ -170,6 +170,7 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 		{"X": {poly.Const(8), poly.Const(8)}, "Y": {poly.Const(4), poly.Const(16)}},
 	}
 	fuels := []int64{0, 1, 1 << 20}
+	factsSigs := []string{"", "n - 1 >= 0 (loop bound)", "k - 1 >= 1 (guard);n - k >= 0 (guard)"}
 	byFP := map[memoKey]string{}
 	byStr := map[string]memoKey{}
 	n := 0
@@ -179,9 +180,10 @@ func TestFingerprintPartitionMatchesCanonical(t *testing.T) {
 				for _, eng := range engines {
 					for _, dims := range dimsets {
 						fuel := fuels[n%len(fuels)]
+						factsSig := factsSigs[n%len(factsSigs)]
 						n++
-						fp := cacheKey(loop, specs, dims, eng, fuel)
-						str := canonicalKeyString(loop, specs, dims, eng, fuel)
+						fp := cacheKey(loop, specs, dims, eng, fuel, factsSig)
+						str := canonicalKeyString(loop, specs, dims, eng, fuel, factsSig)
 						if prev, ok := byFP[fp]; ok && prev != str {
 							t.Fatalf("fingerprint collision: %x/%x for %q and %q",
 								fp.fp.Hi, fp.fp.Lo, prev, str)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/dataflow"
 	"repro/internal/problems"
+	"repro/internal/rangefacts"
 	"repro/internal/token"
 )
 
@@ -97,7 +98,13 @@ func DiffPrograms(oldProgs, newProgs []*ast.Program, opts *Options) (*DiffResult
 		entries := collectEntries(pa.Prog)
 		keys := make([]memoKey, len(entries))
 		for i, e := range entries {
-			keys[i] = cacheKey(e.loop, specs, dims, opts.Engine, opts.Fuel)
+			// Re-derive each loop's fact environment the way analyzeOne
+			// did, so the diff keys match the memo keys exactly.
+			sig := ""
+			if o := factsOracle(rangefacts.Derive(pa.Prog, pa.Info, e.loop, opts.Assume, opts.Fuel)); o != nil {
+				sig = o.Signature()
+			}
+			keys[i] = cacheKey(e.loop, specs, dims, opts.Engine, opts.Fuel, sig)
 		}
 		return keys
 	}

@@ -148,7 +148,7 @@ func ResetDiskCacheStats() {
 // ok=false and the caller solves cold; a deferred failure (impossible
 // without a content-address collision — the blobs are checksummed) falls
 // back to a fresh solve inside fill.
-func (dc *diskCache) load(key memoKey, loop *ast.DoLoop, env *solveEnv) (sv *solved, nbytes int64, ok bool) {
+func (dc *diskCache) load(key memoKey, loop *ast.DoLoop, oracle dataflow.RangeOracle, env *solveEnv) (sv *solved, nbytes int64, ok bool) {
 	start := time.Now()
 	data, err := os.ReadFile(dc.entryPath(key))
 	if err != nil {
@@ -194,14 +194,14 @@ func (dc *diskCache) load(key memoKey, loop *ast.DoLoop, env *solveEnv) (sv *sol
 	metas := sv.meta
 	sv.fill = func() *solvedParts {
 		t0 := time.Now()
-		parts, err := restoreParts(loop, specs, dims, metas, blobs)
+		parts, err := restoreParts(loop, specs, dims, oracle, metas, blobs)
 		if err != nil {
 			// The payload passed its checksum but does not match the
 			// rebuilt graph: stale semantics behind an aliased content
 			// address. Count it and solve fresh — the disk cache never
 			// fails an analysis.
 			diskStats.errors.Add(1)
-			parts, err = solvePartsFresh(loop, specs, dims, engine, fuel, dataflow.NewScratch())
+			parts, err = solvePartsFresh(loop, specs, dims, engine, fuel, oracle, dataflow.NewScratch())
 			if err != nil {
 				// Unreachable without a fingerprint collision: the loop's
 				// canonical content built a graph in the process that
@@ -222,7 +222,7 @@ func (dc *diskCache) load(key memoKey, loop *ast.DoLoop, env *solveEnv) (sv *sol
 // restoreParts rebuilds the graph-entangled artifacts of a disk entry: the
 // flow graph and class tables from the loop AST, the fixed points from the
 // persisted rows, the reuse facts from the restored must-solution.
-func restoreParts(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, metas []specMeta, blobs [][]byte) (*solvedParts, error) {
+func restoreParts(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]poly.Poly, oracle dataflow.RangeOracle, metas []specMeta, blobs [][]byte) (*solvedParts, error) {
 	g, err := ir.Build(loop, &ir.Options{Dims: dims})
 	if err != nil {
 		return nil, err
@@ -233,6 +233,10 @@ func restoreParts(loop *ast.DoLoop, specs []*dataflow.Spec, dims map[string][]po
 		if err != nil {
 			return nil, err
 		}
+		// The cache key folds the fact signature, so the restored rows were
+		// computed under exactly this oracle; re-attach it before anything
+		// can trigger ApplyFlow's lazy flow-function recompilation.
+		res.SetOracle(oracle)
 		parts.results[spec.Name] = res
 		if spec.Name == "must-reaching-defs" {
 			parts.reuses = problems.FindReuses(res)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/nest"
 	"repro/internal/poly"
 	"repro/internal/problems"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 )
 
@@ -49,7 +50,15 @@ type LoopAnalysis struct {
 	// with respect to each enclosing induction variable.
 	own *solved
 	wrt map[string]*solved
+	// facts is the loop's solved range-fact environment, derived before the
+	// solve and folded into its memo fingerprint.
+	facts *rangefacts.Facts
 }
+
+// Facts returns the loop's range-fact environment: loop bounds, dominating
+// guards, symbolic dims, and Options.Assume, solved to per-symbol
+// intervals. Nil only for hand-built LoopAnalysis values.
+func (la *LoopAnalysis) Facts() *rangefacts.Facts { return la.facts }
 
 // Graph returns the loop's flow graph.
 func (la *LoopAnalysis) Graph() *ir.Graph { return la.own.materialize().graph }
@@ -134,6 +143,13 @@ type Options struct {
 	// participates in the memo-cache key, so runs under different budgets
 	// never share entries.
 	Fuel int64
+	// Assume seeds every loop's range-fact derivation with caller-supplied
+	// facts (rangefacts): front ends inject invariants the mini language
+	// cannot express, e.g. the Go importer's len()-derived `n ≥ 0`. The
+	// facts join loop bounds, dominating guards, and dim bounds in the
+	// per-loop environment, and fold into the memo fingerprint through the
+	// fact signature.
+	Assume []rangefacts.Fact
 	// CacheDir, when non-empty, persists solved loops to disk under this
 	// directory (content-addressed by the same fingerprint as the in-memory
 	// memo, grouped by a format/engine/spec-set schema hash), and answers
@@ -188,7 +204,8 @@ func analyze(prog *ast.Program, opts *Options, sc *dataflow.Scratch) (*ProgramAn
 	dims := declaredDims(info)
 
 	env := &solveEnv{specs: specs, dims: dims, useCache: !opts.DisableCache,
-		engine: opts.Engine, fuel: opts.Fuel}
+		engine: opts.Engine, fuel: opts.Fuel,
+		prog: prog, info: info, assume: opts.Assume}
 	if opts.CacheDir != "" && env.useCache {
 		env.cacheRoot = opts.CacheDir
 		env.disk = openDiskCacheFor(opts.CacheDir, specs, opts.Engine)
@@ -401,7 +418,10 @@ func analyzeOne(e entry, env *solveEnv, sc *dataflow.Scratch) (*LoopAnalysis, Lo
 		lm.DiskLoadBytes += oc.loadBytes
 		lm.DiskStoreBytes += oc.storeBytes
 	}
-	sv, oc, err := solveLoop(e.loop, env, sc)
+	// Derive the loop's fact environment first: it participates in the
+	// solve (preserve constants) and therefore in the memo fingerprint.
+	facts := rangefacts.Derive(env.prog, env.info, e.loop, env.assume, env.fuel)
+	sv, oc, err := solveLoop(e.loop, facts, env, sc)
 	if err != nil {
 		return nil, lm, fmt.Errorf("loop %s: %w", e.loop.Var, err)
 	}
@@ -409,7 +429,7 @@ func analyzeOne(e entry, env *solveEnv, sc *dataflow.Scratch) (*LoopAnalysis, Lo
 	for _, sm := range sv.meta {
 		lm.Solver.Add(sm.meta.Metrics())
 	}
-	la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, own: sv, wrt: map[string]*solved{}}
+	la := &LoopAnalysis{Loop: e.loop, Depth: e.depth, own: sv, wrt: map[string]*solved{}, facts: facts}
 
 	// §3.6: for the innermost loop of a tight chain, re-analyze its
 	// body with respect to each enclosing induction variable.
@@ -427,7 +447,9 @@ func analyzeOne(e entry, env *solveEnv, sc *dataflow.Scratch) (*LoopAnalysis, Lo
 				Lo: ast.CloneExpr(enc.Lo), Hi: ast.CloneExpr(enc.Hi),
 				Body: e.loop.Body,
 			}
-			svw, ocw, err := solveLoop(synthetic, wrtEnv, sc)
+			// §3.6 synthetic loops are not part of the program AST, so no
+			// guard context can be located for them; they solve fact-free.
+			svw, ocw, err := solveLoop(synthetic, nil, wrtEnv, sc)
 			if err != nil {
 				continue
 			}

@@ -52,6 +52,18 @@ func Blocked(a []int, n int) {
 	}
 }`,
 		`package p
+func ShiftBound(a []int) {
+	for i := 0; i+1 < len(a); i++ {
+		a[i] = a[i+1]
+	}
+}`,
+		`package p
+func NegShift(a []int, n int) {
+	for i := 1; i-1 < n; i++ {
+		a[i-1] = a[i-1] + 1
+	}
+}`,
+		`package p
 func Headless() {
 	for {
 	}

@@ -348,27 +348,40 @@ func (l *lowerer) lowerForStmt(st *goast.ForStmt) (*ast.DoLoop, *Blocked) {
 	if !ok {
 		return nil, blockf(l.fset, st.Cond.Pos(), "cond-form", "loop condition is not a comparison")
 	}
-	condIV, ok := cond.X.(*goast.Ident)
-	if !ok || l.objectOf(condIV) != ivObj {
-		return nil, blockf(l.fset, cond.X.Pos(), "cond-form", "loop condition does not compare the loop variable %s", ivIdent.Name)
+	// The compared expression may be the loop variable itself or a
+	// constant shift of it: `i+c < n` bounds i exactly as `i < n-c` would,
+	// so the shift folds into the DO bound instead of blocking the loop.
+	shift, okX := l.ivShiftOf(cond.X, ivObj)
+	if !okX {
+		return nil, blockf(l.fset, cond.X.Pos(), "cond-form", "loop condition does not compare the loop variable %s (or a constant shift of it)", ivIdent.Name)
 	}
 	bound, b := l.lowerBoundExpr(cond.Y)
 	if b != nil {
 		return nil, b
 	}
-	var hi ast.Expr
+	// The bound adjustment folds two constants into one term: the
+	// exclusive comparisons tighten by one, and `i+shift OP bound` ⟺
+	// `i OP bound−shift` moves the shift to the bound with its sign
+	// flipped, in every comparison direction.
+	var adjust int64
 	switch {
 	case cond.Op == gotoken.LSS && step > 0:
-		hi = sema.Simplify(&ast.Binary{Op: token.MINUS, L: bound, R: intLit(1, bound.Pos())})
+		adjust = -1
 	case cond.Op == gotoken.LEQ && step > 0:
-		hi = bound
 	case cond.Op == gotoken.GTR && step < 0:
-		hi = sema.Simplify(&ast.Binary{Op: token.PLUS, L: bound, R: intLit(1, bound.Pos())})
+		adjust = 1
 	case cond.Op == gotoken.GEQ && step < 0:
-		hi = bound
 	default:
-		return nil, blockf(l.fset, cond.OpPos, "cond-direction",
+		return nil, blockf(l.fset, cond.OpPos,
+			"cond-direction",
 			"loop condition %s does not advance toward the bound with step %d", cond.Op, step)
+	}
+	adjust -= shift
+	hi := bound
+	if adjust > 0 {
+		hi = sema.Simplify(&ast.Binary{Op: token.PLUS, L: bound, R: intLit(adjust, bound.Pos())})
+	} else if adjust < 0 {
+		hi = sema.Simplify(&ast.Binary{Op: token.MINUS, L: bound, R: intLit(-adjust, bound.Pos())})
 	}
 	// Go re-evaluates the condition each iteration; a DO loop evaluates its
 	// bound once. A bound that reads its own induction variable diverges.
@@ -397,6 +410,35 @@ func (l *lowerer) lowerForStmt(st *goast.ForStmt) (*ast.DoLoop, *Blocked) {
 		dl.Step = intLit(step, dl.DoPos)
 	}
 	return dl, nil
+}
+
+// ivShiftOf matches the condition's compared expression against the loop
+// variable or a constant shift of it — i, i+c, c+i, i-c — returning the
+// signed shift.
+func (l *lowerer) ivShiftOf(e goast.Expr, ivObj types.Object) (int64, bool) {
+	if id, ok := e.(*goast.Ident); ok {
+		return 0, l.objectOf(id) == ivObj
+	}
+	be, ok := e.(*goast.BinaryExpr)
+	if !ok || (be.Op != gotoken.ADD && be.Op != gotoken.SUB) {
+		return 0, false
+	}
+	if id, ok := be.X.(*goast.Ident); ok && l.objectOf(id) == ivObj {
+		if c, ok := l.constIntOf(be.Y); ok {
+			if be.Op == gotoken.SUB {
+				c = -c
+			}
+			return c, true
+		}
+	}
+	if be.Op == gotoken.ADD {
+		if id, ok := be.Y.(*goast.Ident); ok && l.objectOf(id) == ivObj {
+			if c, ok := l.constIntOf(be.X); ok {
+				return c, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // lowerPost extracts the constant step from the loop post statement.

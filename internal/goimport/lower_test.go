@@ -84,6 +84,26 @@ func TestCanonicalForms(t *testing.T) {
 			want: []string{"do j = 0, i"},
 		},
 		{
+			name: "shifted condition",
+			src:  `package p; func F(a []int, n int) { for i := 0; i+1 < n; i++ { a[i] = a[i+1] } }`,
+			want: []string{"do i = 0, n - 2"},
+		},
+		{
+			name: "shifted condition over len",
+			src:  `package p; func F(a []int) { for i := 0; i+1 < len(a); i++ { a[i] = a[i+1] } }`,
+			want: []string{"do i = 0, a_len - 2"},
+		},
+		{
+			name: "negative shift inclusive",
+			src:  `package p; func F(a []int, n int) { for i := 1; i-1 <= n; i++ { a[i-1] = 0 } }`,
+			want: []string{"do i = 1, n + 1"},
+		},
+		{
+			name: "constant-left shift",
+			src:  `package p; func F(a []int, n int) { for i := 0; 2+i < n; i++ { a[i] = 0 } }`,
+			want: []string{"do i = 0, n - 3"},
+		},
+		{
 			name: "conditional body",
 			src:  `package p; func F(a, b []int, n int) { for i := 0; i < n; i++ { if b[i] > 0 { a[i] = b[i] } else { a[i] = 0 } } }`,
 			want: []string{"if b[i + 1] > 0 then", "else"},

@@ -1,8 +1,11 @@
 package goimport
 
 import (
+	"fmt"
+
 	"repro/internal/diag"
 	"repro/internal/lint"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 )
 
@@ -51,6 +54,21 @@ func VetSource(name string, src []byte, opts *lint.Options) *lint.VetResult {
 	return vetResult(name, res, opts)
 }
 
+// LenFacts builds the range facts Go's semantics guarantee for one
+// lowered unit: every synthesized len(s) bound scalar is nonnegative. The
+// mini language cannot state this invariant itself, so the front end
+// seeds it into each unit's range-fact derivation; it is what lets the
+// analyzers resolve symbolic comparisons against slice-length bounds.
+func LenFacts(u *Unit) []rangefacts.Fact {
+	var out []rangefacts.Fact
+	for _, name := range sortedKeys(u.Scalars) {
+		if si := u.Scalars[name]; si.LenOf != "" {
+			out = append(out, rangefacts.AtLeast(name, 0, fmt.Sprintf("Go len(%s) >= 0", si.LenOf)))
+		}
+	}
+	return out
+}
+
 // vetResult analyzes every lowered unit and folds the results into one
 // lint.VetResult.
 func vetResult(display string, res *Result, opts *lint.Options) *lint.VetResult {
@@ -84,7 +102,9 @@ func vetResult(display string, res *Result, opts *lint.Options) *lint.VetResult 
 			vr.FrontEndFailed = true
 			continue
 		}
-		unitFindings, _, err := lint.Run(u.File, norm, &o)
+		uo := o
+		uo.Assume = append(append([]rangefacts.Fact(nil), o.Assume...), LenFacts(u)...)
+		unitFindings, _, err := lint.Run(u.File, norm, &uo)
 		if err != nil {
 			findings = append(findings, diag.Finding{
 				Analyzer: Analyzer,

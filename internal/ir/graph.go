@@ -94,6 +94,14 @@ type Ref struct {
 	// references cannot generate in the enclosing analysis but kill
 	// conservatively (paper §3.2).
 	FromInner bool
+	// InnerAffine preserves, for FromInner references, whether the
+	// linearized Form (over the ENCLOSING loop's induction variable, with
+	// inner induction variables left as free symbols of B) was computed
+	// successfully before Affine was cleared. The race certifier's nest
+	// footprint analysis consumes the Form only under this flag — Affine
+	// alone is not enough, because a failed linearization leaves a
+	// zero-value Form that would silently read as "constant subscript 0".
+	InnerAffine bool
 	// HasRegion marks FromInner references whose touched address range is
 	// a compile-time constant interval [RegionLo, RegionHi] — computable
 	// when the subscript is affine in an inner induction variable with
@@ -467,6 +475,7 @@ func (b *builder) addSummaryRef(n *Node, kind RefKind, expr *ast.ArrayRef, inner
 		return
 	}
 	r.FromInner = true
+	r.InnerAffine = r.Affine
 	r.Affine = false
 	// Constant touched region (§3.2 refinement): 1-D subscript a·v + c
 	// over a single inner variable v ∈ [1, bounds[v]].

@@ -118,6 +118,20 @@ func (x Dist) Clamp(ub int64) Dist {
 	return x
 }
 
+// SymTop is the chain lattice's symbolic-top element: the value of a
+// distance proven to reach (or exceed) a *symbolic* trip count. With a
+// constant bound, Clamp collapses distances ≥ UB−1 to ⊤ because they
+// denote the complete instance range; when the bound is a symbolic
+// expression the same collapse is justified by a range-fact proof
+// (rangefacts: distance ≥ UB) instead of integer comparison. The element
+// is represented as ⊤ — "all instances" is exactly what a ≥-trip-count
+// distance denotes, so the chain order, meets, and the packed SWAR
+// encoding are unchanged — but callers that resolve a comparison through
+// range facts construct it through SymTop so the provenance is explicit;
+// a comparison that does NOT resolve must fall back to the polarity's
+// conservative value, never to SymTop.
+func SymTop() Dist { return All() }
+
 // Covers reports whether the fact "instances up to distance x" includes
 // distance d (with d ≥ 0): d ≤ x.
 func (x Dist) Covers(d int64) bool {

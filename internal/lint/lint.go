@@ -16,12 +16,14 @@ package lint
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/dataflow"
 	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/problems"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 )
 
@@ -69,6 +71,10 @@ type Context struct {
 	Fuel int64
 }
 
+// Facts returns the loop's range-fact environment (never-nil-safe: every
+// query on a nil environment answers "unknown").
+func (c *Context) Facts() *rangefacts.Facts { return c.Loop.Facts() }
+
 // result returns the named problem's solution, or nil when it was not
 // requested.
 func (c *Context) result(name string) *dataflow.Result { return c.Loop.Result(name) }
@@ -112,7 +118,16 @@ func RuleMetas() []diag.RuleMeta {
 		{ID: "sema", Doc: "semantic error reported by the checker or normalizer", Default: diag.Error},
 	}
 	for _, a := range registry {
-		rules = append(rules, diag.RuleMeta{ID: a.ID, Doc: a.Doc, Default: a.Default})
+		m := diag.RuleMeta{ID: a.ID, Doc: a.Doc, Default: a.Default}
+		if a.ID == "race" {
+			// The closed blocker taxonomy, so SARIF consumers can bucket
+			// unknown verdicts by the blocker.slug result property without
+			// parsing prose.
+			m.Properties = map[string]string{
+				"blockerSlugs": strings.Join(BlockerSlugs(), ","),
+			}
+		}
+		rules = append(rules, m)
 	}
 	return rules
 }
@@ -150,6 +165,10 @@ type Options struct {
 	// analyzer consuming a degraded result reports the fuel blocker or
 	// stays silent.
 	Fuel int64
+	// Assume seeds every loop's range-fact derivation
+	// (driver.Options.Assume); front ends inject invariants the mini
+	// language cannot state, e.g. `s_len ≥ 0` for Go len() bounds.
+	Assume []rangefacts.Fact
 }
 
 // Run solves the four problems on every loop of a checked, normalized
@@ -166,6 +185,7 @@ func Run(file string, prog *ast.Program, opts *Options) ([]diag.Finding, *driver
 		CacheDir:     opts.CacheDir,
 		Engine:       opts.Engine,
 		Fuel:         opts.Fuel,
+		Assume:       opts.Assume,
 	})
 	if err != nil {
 		return nil, nil, err

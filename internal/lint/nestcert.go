@@ -1,0 +1,592 @@
+// Nest certification: the race analyzer's treatment of loops containing
+// summarized inner loops. The flow graph of an outer loop collapses each
+// nested loop into a summary node whose references carry linearized affine
+// forms a·I + B over the OUTER induction variable, with the inner
+// induction variables left as free symbols of B (ir.Ref.InnerAffine). Two
+// executions of the loop body at outer iterations i1 and i2 = i1 + δ
+// touch a common element of the same array exactly when
+//
+//	a·δ = B1(v) − B2(v′)
+//
+// for some feasible inner values v, v′ — the primes mark that the two
+// executions choose their inner iterations independently, while
+// loop-invariant symbols (enclosing induction variables, scalars, symbolic
+// dimensions) are shared and cancel. The certifier bounds the right-hand
+// side with the loop's range facts (inner bounds, guards, dims), refutes
+// candidate distances with a gcd congruence, and either proves the pair
+// collision-free, constructs a concrete replayable witness, or emits a
+// why-certificate blocker naming the comparison it could not resolve.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/poly"
+	"repro/internal/rangefacts"
+	"repro/internal/sema"
+)
+
+const (
+	// nestDistanceScan bounds the candidate-distance enumeration when the
+	// outer trip count is symbolic but the footprint distance is bounded.
+	nestDistanceScan = 4096
+	// nestWitnessAssignments caps the inner-value tuples tried per
+	// candidate distance when constructing a witness.
+	nestWitnessAssignments = 4096
+)
+
+// nestPrime renames an inner induction variable for the second execution
+// of the pair comparison. The apostrophe cannot occur in a source
+// identifier, so primed names never collide with program symbols.
+const nestPrime = "'"
+
+func primedName(v string) string { return v + nestPrime }
+
+// nestBase strips the prime, mapping a renamed symbol back to its source
+// symbol (identity for unprimed symbols).
+func nestBase(s string) string { return strings.TrimSuffix(s, nestPrime) }
+
+// nestRefCtx is the AST context of one reference inside the analyzed
+// loop's body: whether any If guards it, and the chain of inner loops
+// enclosing it (outermost first).
+type nestRefCtx struct {
+	conditional bool
+	chain       []string
+}
+
+// nestInfo is the AST-side picture of the loop nest, built by walking the
+// graph's own loop AST (g.Loop — the memo cache may hand a loop the graph
+// of a structurally identical twin, so ref Exprs must be resolved against
+// the AST they actually point into).
+type nestInfo struct {
+	refs  map[*ast.ArrayRef]nestRefCtx
+	inner map[string]bool
+	// constHi maps inner induction variables of constant-bound loops
+	// (normalized lo = 1, no step) to their trip counts; witnesses draw
+	// concrete inner iterations only from these.
+	constHi  map[string]int64
+	blockers []Blocker
+}
+
+// collectNestInfo walks the loop body mirroring the ir builder's reference
+// collection (subscripts of a subscripted reference are not references),
+// recording per-reference context and flagging the one reference site the
+// summarization skips entirely: array reads inside an inner loop's bound
+// expressions.
+func collectNestInfo(loop *ast.DoLoop) *nestInfo {
+	ni := &nestInfo{
+		refs:    map[*ast.ArrayRef]nestRefCtx{},
+		inner:   map[string]bool{},
+		constHi: map[string]int64{},
+	}
+	record := func(e ast.Expr, cond bool, chain []string) {
+		ast.InspectExpr(e, func(n ast.Node) bool {
+			if ar, ok := n.(*ast.ArrayRef); ok {
+				ni.refs[ar] = nestRefCtx{conditional: cond, chain: chain}
+				return false
+			}
+			return true
+		})
+	}
+	boundRefs := func(e ast.Expr, iv string) {
+		ast.InspectExpr(e, func(n ast.Node) bool {
+			if ar, ok := n.(*ast.ArrayRef); ok {
+				ni.blockers = append(ni.blockers, Blocker{
+					Pos:  ar.Pos(),
+					Slug: "inner-bound-ref",
+					Reason: fmt.Sprintf("the bound of the inner loop over %s reads %s, which the summarized body does not model",
+						iv, ast.ExprString(ar)),
+					Comparison: fmt.Sprintf("footprint of %s across iterations", ast.ExprString(ar)),
+					Missing:    "an inner loop bound free of array reads",
+				})
+				return false
+			}
+			return true
+		})
+	}
+	var walk func(stmts []ast.Stmt, cond bool, chain []string)
+	walk = func(stmts []ast.Stmt, cond bool, chain []string) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.Assign:
+				record(st.RHS, cond, chain)
+				if lhs, ok := st.LHS.(*ast.ArrayRef); ok {
+					ni.refs[lhs] = nestRefCtx{conditional: cond, chain: chain}
+				}
+			case *ast.If:
+				record(st.Cond, cond, chain)
+				walk(st.Then, true, chain)
+				walk(st.Else, true, chain)
+			case *ast.DoLoop:
+				ni.inner[st.Var] = true
+				boundRefs(st.Lo, st.Var)
+				boundRefs(st.Hi, st.Var)
+				lo, okLo := sema.ConstValue(st.Lo)
+				hi, okHi := sema.ConstValue(st.Hi)
+				if okLo && okHi && lo == 1 && st.Step == nil {
+					ni.constHi[st.Var] = hi
+				}
+				walk(st.Body, cond, append(append([]string(nil), chain...), st.Var))
+			}
+		}
+	}
+	walk(loop.Body, false, nil)
+	return ni
+}
+
+// certifyNest resolves every conflicting reference pair that involves a
+// summarized inner loop. Pairs of plain body references are resolvePair's
+// job; this covers (inner, inner) and (outer, inner) pairs, which the
+// analyzer previously wrote off with a blanket "nested loop is summarized"
+// blocker.
+func certifyNest(c *Context, g *ir.Graph) (evidence []PairEvidence, racy []*Witness, blockers []Blocker) {
+	ni := collectNestInfo(g.Loop)
+	blockers = append(blockers, ni.blockers...)
+	facts := c.Facts()
+
+	var refs []*ir.Ref
+	for _, r := range g.Refs {
+		switch {
+		case r.FromInner && r.InnerAffine:
+			refs = append(refs, r)
+		case r.FromInner:
+			blockers = append(blockers, Blocker{
+				Pos:  r.Expr.Pos(),
+				Slug: "nonaffine-nest-subscript",
+				Reason: fmt.Sprintf("subscript of %s inside a nested loop is not affine in %s and its inner induction variables",
+					refText(r), g.IV),
+				Comparison: fmt.Sprintf("footprint of %s across iterations of %s", refText(r), g.IV),
+				Missing:    "an affine subscript",
+			})
+		case r.Affine:
+			refs = append(refs, r)
+		}
+	}
+	for i, r1 := range refs {
+		for _, r2 := range refs[i:] {
+			if r1.Array != r2.Array || (r1.Kind != ir.Def && r2.Kind != ir.Def) {
+				continue
+			}
+			if !r1.FromInner && !r2.FromInner {
+				continue // plain pair: the exact pairwise solver owns it
+			}
+			o := resolveNestPair(r1, r2, g, ni, facts)
+			switch o.kind {
+			case pairNone, pairIndependent:
+				evidence = append(evidence, PairEvidence{
+					FromText: refText(r1), ToText: refText(r2), Reason: o.reason,
+				})
+			case pairConflict:
+				racy = append(racy, o.witness)
+			case pairUnknown:
+				b := o.blocker
+				if !b.Pos.IsValid() {
+					b.Pos = r1.Expr.Pos()
+				}
+				blockers = append(blockers, b)
+			}
+		}
+	}
+	return evidence, racy, blockers
+}
+
+// resolveNestPair decides one pair with at least one summarized-loop
+// reference: collision-free, a concrete witness, or a certified unknown.
+func resolveNestPair(r1, r2 *ir.Ref, g *ir.Graph, ni *nestInfo, facts *rangefacts.Facts) pairOutcome {
+	a1, okA1 := r1.Form.A.IsConst()
+	a2, okA2 := r2.Form.A.IsConst()
+	if !okA1 || !okA2 {
+		sym := r1.Form.A
+		if okA1 {
+			sym = r2.Form.A
+		}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "nest-symbolic-stride",
+			Reason: fmt.Sprintf("stride of %s or %s over %s is symbolic (%s)",
+				refText(r1), refText(r2), g.IV, sym),
+			Comparison: fmt.Sprintf("%s·δ = %s − %s", sym, r1.Form.B, r2.Form.B),
+			Missing:    fmt.Sprintf("a constant value for %s", sym),
+		}}
+	}
+	if a1 != a2 {
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "nest-stride-mismatch",
+			Reason: fmt.Sprintf("%s and %s advance with different strides (%d and %d) through a summarized loop",
+				refText(r1), refText(r2), a1, a2),
+			Comparison: fmt.Sprintf("%d·i1 + %s = %d·i2 + %s", a1, r1.Form.B, a2, r2.Form.B),
+			Missing:    "equal strides (mixed-stride nest pairs are not solved)",
+		}}
+	}
+	a := a1
+
+	// Rename r2's inner induction variables: the two sides choose inner
+	// iterations independently, while shared invariants cancel in D.
+	b2 := r2.Form.B
+	for _, s := range r2.Form.B.Symbols() {
+		if !ni.inner[s] {
+			continue
+		}
+		var ok bool
+		b2, ok = b2.Substitute(s, poly.Sym(primedName(s)))
+		if !ok {
+			return pairOutcome{kind: pairUnknown, blocker: Blocker{
+				Pos:  r2.Expr.Pos(),
+				Slug: "nest-nonlinear-subscript",
+				Reason: fmt.Sprintf("subscript of %s is nonlinear in the inner induction variable %s",
+					refText(r2), s),
+				Comparison: fmt.Sprintf("footprint of %s across iterations of %s", refText(r2), g.IV),
+				Missing:    fmt.Sprintf("a subscript linear in %s", s),
+			}}
+		}
+	}
+	d := r1.Form.B.Sub(b2)
+	rng := facts.BoundsUnder(d, nestBase)
+	g0, c0 := congruenceOf(d)
+
+	// The largest iteration distance two real iterations can be apart.
+	maxAbs := int64(nestDistanceScan)
+	if g.HasUB {
+		maxAbs = g.UBConst - 1
+	}
+	if maxAbs <= 0 {
+		return pairOutcome{kind: pairNone, reason: "single-iteration loop"}
+	}
+
+	if a == 0 {
+		return resolveNestZeroStride(r1, r2, g, ni, d, rng, g0, c0)
+	}
+
+	if !rng.Bounded() {
+		// Footprint distance unbounded under the known facts: only the gcd
+		// congruence can still refute every candidate distance.
+		if g0 > 0 && !congruenceSolvable(a, c0, g0, maxAbs) {
+			return pairOutcome{kind: pairNone, reason: fmt.Sprintf(
+				"no carried collision: %d·δ ≡ %d (mod %d) has no solution within %d iteration(s)",
+				a, c0, g0, maxAbs)}
+		}
+		if g0 == 0 {
+			// D is constant: the collision distance is exactly c0/a.
+			return resolveNestConstDistance(r1, r2, g, ni, a, c0, maxAbs)
+		}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "nest-symbolic-range",
+			Reason: fmt.Sprintf("footprint distance of %s and %s is %s, unbounded under the known facts",
+				refText(r1), refText(r2), d),
+			Comparison: fmt.Sprintf("%d·δ = %s with δ ≠ 0", a, d),
+			Missing:    fmt.Sprintf("bounds for %s", strings.Join(unboundedSymbols(d, facts), ", ")),
+		}}
+	}
+
+	// Bounded distance range: enumerate every candidate δ and keep the ones
+	// the interval and the congruence both admit.
+	var candidates []int64
+	for dist := int64(1); dist <= maxAbs && dist <= nestDistanceScan; dist++ {
+		if m := abs64(a) * dist; m > rng.Hi && -m < rng.Lo {
+			break // |a·δ| only grows; nothing further can land in range
+		}
+		for _, sd := range []int64{dist, -dist} {
+			x := a * sd
+			if x < rng.Lo || x > rng.Hi {
+				continue
+			}
+			if g0 > 0 && !congruent(x, c0, g0) {
+				continue
+			}
+			candidates = append(candidates, sd)
+		}
+	}
+	if len(candidates) == 0 {
+		reason := fmt.Sprintf("no carried collision: %d·δ stays outside the footprint distance range %s for 1 ≤ |δ| ≤ %d",
+			a, rng, maxAbs)
+		if g0 > 1 {
+			reason = fmt.Sprintf("no carried collision: %d·δ ∈ %s with %d·δ ≡ %d (mod %d) has no solution for 1 ≤ |δ| ≤ %d",
+				a, rng, a, c0, g0, maxAbs)
+		}
+		return pairOutcome{kind: pairNone, reason: reason}
+	}
+	for _, sd := range candidates {
+		if w, ok := buildNestWitness(r1, r2, sd, a, d, g, ni); ok {
+			return pairOutcome{kind: pairConflict, witness: w}
+		}
+	}
+	return pairOutcome{kind: pairUnknown, blocker: Blocker{
+		Slug: "nest-witness",
+		Reason: fmt.Sprintf("%s and %s may collide at iteration distance %d, but no replayable witness is constructible (guarded references or symbolic inner bounds)",
+			refText(r1), refText(r2), abs64(candidates[0])),
+		Comparison: fmt.Sprintf("%d·δ = %s at δ = %d", a, d, candidates[0]),
+		Missing:    "constant inner loop bounds and unguarded references for a concrete witness",
+	}}
+}
+
+// resolveNestZeroStride handles a = 0: the outer iteration number drops
+// out, so the pair collides across iterations exactly when D = B1 − B2′
+// can reach zero.
+func resolveNestZeroStride(r1, r2 *ir.Ref, g *ir.Graph, ni *nestInfo, d poly.Poly, rng rangefacts.Interval, g0, c0 int64) pairOutcome {
+	if (rng.HasLo && rng.Lo >= 1) || (rng.HasHi && rng.Hi <= -1) {
+		return pairOutcome{kind: pairNone, reason: fmt.Sprintf(
+			"footprints never meet: %s ∈ %s excludes 0", d, rng)}
+	}
+	if g0 > 0 && !congruent(0, c0, g0) {
+		return pairOutcome{kind: pairNone, reason: fmt.Sprintf(
+			"footprints never meet: %s ≡ %d (mod %d) excludes 0", d, mod(c0, g0), g0)}
+	}
+	if d.IsZero() {
+		// Identical footprint every outer iteration; any element collides at
+		// distance 1.
+		if w, ok := buildNestWitness(r1, r2, 1, 0, d, g, ni); ok {
+			return pairOutcome{kind: pairConflict, witness: w}
+		}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "nest-witness",
+			Reason: fmt.Sprintf("%s and %s touch the same elements in every iteration of %s, but no replayable witness is constructible (guarded references or symbolic inner bounds)",
+				refText(r1), refText(r2), g.IV),
+			Comparison: fmt.Sprintf("%s − %s = 0", refText(r1), refText(r2)),
+			Missing:    "constant inner loop bounds and unguarded references for a concrete witness",
+		}}
+	}
+	if w, ok := solveNestZero(r1, r2, d, g, ni); ok {
+		return pairOutcome{kind: pairConflict, witness: w}
+	}
+	return pairOutcome{kind: pairUnknown, blocker: Blocker{
+		Slug: "nest-symbolic-range",
+		Reason: fmt.Sprintf("whether the footprints of %s and %s overlap depends on %s",
+			refText(r1), refText(r2), d),
+		Comparison: fmt.Sprintf("%s = 0 for independent inner iterations", d),
+		Missing:    fmt.Sprintf("a bound excluding 0 for %s", d),
+	}}
+}
+
+// resolveNestConstDistance handles a constant D with a nonzero stride: the
+// unique candidate distance is c0/a.
+func resolveNestConstDistance(r1, r2 *ir.Ref, g *ir.Graph, ni *nestInfo, a, c0, maxAbs int64) pairOutcome {
+	if c0%a != 0 {
+		return pairOutcome{kind: pairNone, reason: fmt.Sprintf(
+			"offset %d is not divisible by stride %d", c0, a)}
+	}
+	delta := c0 / a
+	if delta == 0 {
+		return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
+	}
+	if abs64(delta) > maxAbs {
+		return pairOutcome{kind: pairNone, reason: fmt.Sprintf(
+			"collision distance %d exceeds the trip count", abs64(delta))}
+	}
+	if w, ok := buildNestWitness(r1, r2, delta, a, poly.Const(c0), g, ni); ok {
+		return pairOutcome{kind: pairConflict, witness: w}
+	}
+	return pairOutcome{kind: pairUnknown, blocker: Blocker{
+		Slug: "nest-witness",
+		Reason: fmt.Sprintf("%s and %s may collide at iteration distance %d, but no replayable witness is constructible (guarded references or symbolic inner bounds)",
+			refText(r1), refText(r2), abs64(delta)),
+		Comparison: fmt.Sprintf("%d·δ = %d at δ = %d", a, c0, delta),
+		Missing:    "constant inner loop bounds and unguarded references for a concrete witness",
+	}}
+}
+
+// solveNestZero searches for inner values making D = 0 with a = 0 — the
+// footprints of any two outer iterations then share that element, so the
+// witness uses distance 1.
+func solveNestZero(r1, r2 *ir.Ref, d poly.Poly, g *ir.Graph, ni *nestInfo) (*Witness, bool) {
+	return solveNestCollision(r1, r2, 1, 0, d, g, ni)
+}
+
+// buildNestWitness constructs a replayable witness for the signed
+// iteration distance sd (sd = i2 − i1; positive means r1 executes first).
+func buildNestWitness(r1, r2 *ir.Ref, sd, a int64, d poly.Poly, g *ir.Graph, ni *nestInfo) (*Witness, bool) {
+	return solveNestCollision(r1, r2, sd, a, d, g, ni)
+}
+
+// solveNestCollision enumerates feasible inner-iteration tuples solving
+// a·sd = D and, on success, packages the collision as a witness with
+// concrete outer iterations 1 and 1+|sd|. Requirements for replayability:
+// both references execute unconditionally, every enclosing inner loop has
+// a constant normalized bound, and D mentions only inner induction
+// variables (primed or not).
+func solveNestCollision(r1, r2 *ir.Ref, sd, a int64, d poly.Poly, g *ir.Graph, ni *nestInfo) (*Witness, bool) {
+	ctx1, ok1 := ni.refs[r1.Expr]
+	ctx2, ok2 := ni.refs[r2.Expr]
+	if !ok1 || !ok2 || ctx1.conditional || ctx2.conditional {
+		return nil, false
+	}
+	for _, chain := range [][]string{ctx1.chain, ctx2.chain} {
+		for _, v := range chain {
+			if hi, ok := ni.constHi[v]; !ok || hi < 1 {
+				return nil, false
+			}
+		}
+	}
+	vars := d.Symbols()
+	his := make([]int64, len(vars))
+	for i, v := range vars {
+		hi, ok := ni.constHi[nestBase(v)]
+		if !ok {
+			return nil, false // non-inner symbol or symbolic inner bound
+		}
+		his[i] = hi
+	}
+	target := a * sd
+	env := map[string]int64{}
+	idx := make([]int64, len(vars))
+	tried := int64(0)
+	for {
+		for i, v := range vars {
+			env[v] = idx[i] + 1
+		}
+		if d.Eval(env) == target {
+			return packageNestWitness(r1, r2, sd, env, g, ni), true
+		}
+		tried++
+		if tried >= nestWitnessAssignments {
+			return nil, false
+		}
+		// Odometer increment, deterministic enumeration order.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < his[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return nil, false // odometer wrapped (or constant D missed the target)
+		}
+	}
+}
+
+// packageNestWitness builds the Witness for a solved collision: env binds
+// r1's inner variables by source name and r2's by primed name.
+func packageNestWitness(r1, r2 *ir.Ref, sd int64, env map[string]int64, g *ir.Graph, ni *nestInfo) *Witness {
+	early, late := r1, r2
+	dist := sd
+	earlyEnv, lateEnv := splitNestEnv(env)
+	if sd < 0 {
+		early, late, dist = r2, r1, -sd
+		earlyEnv, lateEnv = lateEnv, earlyEnv
+	}
+	w := &Witness{
+		IV:        g.IV,
+		IterEarly: 1,
+		IterLate:  1 + dist,
+		Distance:  dist,
+		Kind:      dependenceKind(early, late),
+		Array:     early.Array,
+		FromText:  refText(early),
+		ToText:    refText(late),
+		FromStore: early.Kind == ir.Def,
+		ToStore:   late.Kind == ir.Def,
+		FromPos:   early.Expr.Pos(),
+		ToPos:     late.Expr.Pos(),
+	}
+	earlyEnv[g.IV] = w.IterEarly
+	if cell, ok := nestCell(early.Expr, earlyEnv); ok {
+		w.Cell, w.HasCell = cell, true
+	}
+	return w
+}
+
+// splitNestEnv separates a solved assignment into the unprimed (r1) and
+// primed (r2, renamed back) halves.
+func splitNestEnv(env map[string]int64) (unprimed, primed map[string]int64) {
+	unprimed = map[string]int64{}
+	primed = map[string]int64{}
+	for k, v := range env {
+		if b := nestBase(k); b != k {
+			primed[b] = v
+		} else {
+			unprimed[k] = v
+		}
+	}
+	return unprimed, primed
+}
+
+// nestCell evaluates a reference's subscript tuple under env, succeeding
+// only when every subscript mentions only bound symbols.
+func nestCell(ref *ast.ArrayRef, env map[string]int64) ([]int64, bool) {
+	out := make([]int64, len(ref.Subs))
+	for k, sub := range ref.Subs {
+		p, err := sema.ExprToPoly(sub)
+		if err != nil {
+			return nil, false
+		}
+		for _, s := range p.Symbols() {
+			if _, ok := env[s]; !ok {
+				return nil, false
+			}
+		}
+		out[k] = p.Eval(env)
+	}
+	return out, true
+}
+
+// congruenceOf extracts the gcd congruence of a distance polynomial: over
+// integer symbol values, D ≡ c0 (mod g0) where c0 is the constant term
+// and g0 the gcd of the non-constant monomial coefficients (g0 = 0 for a
+// constant D).
+func congruenceOf(d poly.Poly) (g0, c0 int64) {
+	c0 = d.ConstPart()
+	for _, m := range d.Monomials() {
+		if len(m.Symbols) == 0 {
+			continue
+		}
+		g0 = gcd(g0, abs64(m.Coeff))
+	}
+	return g0, c0
+}
+
+// congruent reports x ≡ c0 (mod g0).
+func congruent(x, c0, g0 int64) bool { return mod(x-c0, g0) == 0 }
+
+// congruenceSolvable reports whether some δ with 1 ≤ |δ| ≤ maxAbs has
+// a·δ ≡ c0 (mod g0). a·δ mod g0 cycles with period dividing g0, so
+// scanning min(maxAbs, g0) distances is exhaustive.
+func congruenceSolvable(a, c0, g0, maxAbs int64) bool {
+	limit := g0
+	if maxAbs < limit {
+		limit = maxAbs
+	}
+	for d := int64(1); d <= limit; d++ {
+		if congruent(a*d, c0, g0) || congruent(-a*d, c0, g0) {
+			return true
+		}
+	}
+	return false
+}
+
+// mod is the nonnegative remainder.
+func mod(x, m int64) int64 {
+	if m == 0 {
+		return x
+	}
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// unboundedSymbols names the symbols of d lacking a bounded interval, for
+// the "missing fact" line of a why-certificate.
+func unboundedSymbols(d poly.Poly, facts *rangefacts.Facts) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range d.Symbols() {
+		b := nestBase(s)
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if !facts.SymbolRange(b).Bounded() {
+			out = append(out, b)
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return []string{"the footprint distance"}
+	}
+	return out
+}

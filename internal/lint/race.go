@@ -9,6 +9,9 @@ import (
 	"repro/internal/depend"
 	"repro/internal/diag"
 	"repro/internal/ir"
+	"repro/internal/poly"
+	"repro/internal/rangefacts"
+	"repro/internal/sema"
 	"repro/internal/token"
 )
 
@@ -99,10 +102,45 @@ func (w *Witness) CellString() string {
 	return w.Array + "[" + strings.Join(parts, ", ") + "]"
 }
 
-// Blocker names one construct preventing certification.
+// Blocker names one construct preventing certification. Beyond the prose
+// Reason, a blocker is a structured why-certificate: the taxonomy slug,
+// the exact comparison the certifier could not resolve, the range facts
+// that were available when it tried, and the single missing fact that
+// would settle it.
 type Blocker struct {
 	Pos    token.Pos
 	Reason string
+	// Slug is the stable taxonomy identifier (one of BlockerSlugs).
+	Slug string
+	// Comparison renders the failed comparison, e.g. "n·δ = j − j' + 6".
+	Comparison string
+	// Facts lists the range facts in scope when the comparison failed.
+	Facts string
+	// Missing names the single fact that would resolve the comparison.
+	Missing string
+}
+
+// BlockerSlugs is the closed taxonomy of certification blockers, exported
+// so output consumers (SARIF rule metadata, the corpus harness) can
+// bucket unknown verdicts without parsing prose.
+func BlockerSlugs() []string {
+	return []string{
+		"fuel-exhausted",
+		"guarded-conflict",
+		"inner-bound-ref",
+		"nest-nonlinear-subscript",
+		"nest-stride-mismatch",
+		"nest-symbolic-range",
+		"nest-symbolic-stride",
+		"nest-witness",
+		"nonaffine-nest-subscript",
+		"nonaffine-subscript",
+		"scalar-carried",
+		"symbolic-bound-scan",
+		"symbolic-coeffs",
+		"symbolic-distance",
+		"symbolic-stride",
+	}
 }
 
 // PairEvidence records why one conflicting reference pair cannot carry a
@@ -133,7 +171,8 @@ type Verdict struct {
 type pairOutcome struct {
 	kind    pairKind
 	witness *Witness // kind == pairConflict
-	reason  string   // evidence (pairNone/pairIndependent) or blocker (pairUnknown)
+	reason  string   // evidence (pairNone/pairIndependent)
+	blocker Blocker  // why-certificate (pairUnknown)
 }
 
 type pairKind int
@@ -262,6 +301,21 @@ func runRace(c *Context) []diag.Finding {
 				"blockers": fmt.Sprintf("%d", len(v.Blockers)),
 			},
 		}
+		// The leading blocker's why-certificate, machine-readable: the
+		// failed comparison, the facts that were in scope, and the one
+		// missing fact that would settle it.
+		if b.Slug != "" {
+			f.Detail["blocker.slug"] = b.Slug
+		}
+		if b.Comparison != "" {
+			f.Detail["why.comparison"] = b.Comparison
+		}
+		if b.Facts != "" {
+			f.Detail["why.facts"] = b.Facts
+		}
+		if b.Missing != "" {
+			f.Detail["why.missing"] = b.Missing
+		}
 		for i, bl := range v.Blockers {
 			if i >= 4 {
 				break
@@ -313,9 +367,13 @@ func CertifyLoop(c *Context) *Verdict {
 	if name, res := fuelExhaustedResult(c); res != nil {
 		v.Class = VerdictUnknown
 		v.Blockers = []Blocker{{
-			Pos: c.Loop.Loop.Pos(),
+			Pos:  c.Loop.Loop.Pos(),
+			Slug: "fuel-exhausted",
 			Reason: fmt.Sprintf("the solver's fuel budget (%d) was exhausted on problem %s — data flow facts degraded to claim nothing",
 				res.FuelBudget, name),
+			Comparison: fmt.Sprintf("fixed point of problem %s within %d solver steps", name, res.FuelBudget),
+			Facts:      "none (solve degraded before facts stabilized)",
+			Missing:    "a larger fuel budget (-fuel)",
 		}}
 		return v
 	}
@@ -337,6 +395,17 @@ func CertifyLoop(c *Context) *Verdict {
 	// Structural blockers.
 	blockers := structuralBlockers(c)
 
+	// The loop's range facts and, when the bound is symbolic, its bound
+	// polynomial — both feed the facts-assisted cases of resolvePair.
+	facts := c.Facts()
+	var ubPoly poly.Poly
+	hasUBPoly := false
+	if !g.HasUB && g.UB != nil {
+		if p, err := sema.ExprToPoly(g.UB); err == nil {
+			ubPoly, hasUBPoly = p, true
+		}
+	}
+
 	// Pairwise exact resolution over the loop's own affine references.
 	exit := exitNode(g)
 	var racy []*Witness
@@ -351,7 +420,7 @@ func CertifyLoop(c *Context) *Verdict {
 			if r1.Array != r2.Array || (r1.Kind != ir.Def && r2.Kind != ir.Def) {
 				continue
 			}
-			o := resolvePair(r1, r2, g.HasUB, g.UBConst, g.IV)
+			o := resolvePair(r1, r2, g, facts, ubPoly, hasUBPoly)
 			switch o.kind {
 			case pairNone, pairIndependent:
 				v.Evidence = append(v.Evidence, PairEvidence{
@@ -362,16 +431,42 @@ func CertifyLoop(c *Context) *Verdict {
 					racy = append(racy, o.witness)
 				} else {
 					blockers = append(blockers, Blocker{
-						Pos: r1.Expr.Pos(),
+						Pos:  r1.Expr.Pos(),
+						Slug: "guarded-conflict",
 						Reason: fmt.Sprintf("potential race between %s and %s at distance %d is guarded by a branch — not provable either way",
 							refText(r1), refText(r2), o.witness.Distance),
+						Comparison: fmt.Sprintf("%s and %s collide at distance %d only when the guard holds",
+							refText(r1), refText(r2), o.witness.Distance),
+						Missing: "guard conditions are not modeled as constraints on the collision",
 					})
 				}
 			case pairUnknown:
-				blockers = append(blockers, Blocker{Pos: r1.Expr.Pos(), Reason: o.reason})
+				b := o.blocker
+				if !b.Pos.IsValid() {
+					b.Pos = r1.Expr.Pos()
+				}
+				blockers = append(blockers, b)
 			}
 		}
 	}
+
+	// Pairs involving a summarized inner loop, which the pairwise solver
+	// above skips (their subscripts range over inner induction variables).
+	nestEv, nestRacy, nestBlockers := certifyNest(c, g)
+	v.Evidence = append(v.Evidence, nestEv...)
+	racy = append(racy, nestRacy...)
+	blockers = append(blockers, nestBlockers...)
+
+	// Every certificate records the facts that were in scope; fill the ones
+	// the resolvers left empty, then collapse duplicates (distinct pairs
+	// often fail on the same construct at the same position).
+	factsDesc := facts.Describe()
+	for i := range blockers {
+		if blockers[i].Facts == "" {
+			blockers[i].Facts = factsDesc
+		}
+	}
+	blockers = dedupeBlockers(blockers)
 
 	switch {
 	case len(racy) > 0:
@@ -405,20 +500,22 @@ func CertifyLoop(c *Context) *Verdict {
 }
 
 // structuralBlockers collects the constructs that keep a loop out of the
-// provably-parallel class regardless of subscript arithmetic.
+// provably-parallel class regardless of subscript arithmetic. Summarized
+// inner loops are NOT blockers by themselves any more — certifyNest
+// resolves their reference pairs exactly and reports its own certificates
+// when it cannot.
 func structuralBlockers(c *Context) []Blocker {
 	var out []Blocker
 	g := c.Loop.Graph()
-	for _, nd := range g.Nodes {
-		if nd.Kind == ir.KindSummary {
-			out = append(out, Blocker{Pos: nd.SrcPos,
-				Reason: "a nested loop is summarized — its cross-iteration behavior is analyzed separately"})
-		}
-	}
 	for _, r := range g.Refs {
 		if !r.FromInner && !r.Affine {
-			out = append(out, Blocker{Pos: r.Expr.Pos(),
-				Reason: fmt.Sprintf("subscript of %s is not affine in %s", refText(r), g.IV)})
+			out = append(out, Blocker{
+				Pos:        r.Expr.Pos(),
+				Slug:       "nonaffine-subscript",
+				Reason:     fmt.Sprintf("subscript of %s is not affine in %s", refText(r), g.IV),
+				Comparison: fmt.Sprintf("footprint of %s across iterations of %s", refText(r), g.IV),
+				Missing:    fmt.Sprintf("a subscript of the form a·%s + b", g.IV),
+			})
 		}
 	}
 	// Scalar assignments carry values between iterations through a single
@@ -426,12 +523,38 @@ func structuralBlockers(c *Context) []Blocker {
 	ast.Inspect(c.Loop.Loop.Body, func(n ast.Node) bool {
 		if as, ok := n.(*ast.Assign); ok {
 			if id, ok := as.LHS.(*ast.Ident); ok {
-				out = append(out, Blocker{Pos: id.Pos(),
-					Reason: fmt.Sprintf("scalar assignment to %s may carry a dependence between iterations", id.Name)})
+				out = append(out, Blocker{
+					Pos:        id.Pos(),
+					Slug:       "scalar-carried",
+					Reason:     fmt.Sprintf("scalar assignment to %s may carry a dependence between iterations", id.Name),
+					Comparison: fmt.Sprintf("cross-iteration flow through the single cell %s", id.Name),
+					Missing:    fmt.Sprintf("a privatization or reduction proof for %s", id.Name),
+				})
 			}
 		}
 		return true
 	})
+	return out
+}
+
+// dedupeBlockers collapses blockers sharing position and reason — distinct
+// reference pairs frequently trip over the same construct — keeping the
+// first occurrence (which carries the same certificate by construction).
+func dedupeBlockers(bs []Blocker) []Blocker {
+	type key struct {
+		pos    token.Pos
+		reason string
+	}
+	seen := map[key]bool{}
+	out := bs[:0]
+	for _, b := range bs {
+		k := key{b.Pos, b.Reason}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, b)
+	}
 	return out
 }
 
@@ -462,10 +585,51 @@ func witnessLess(a, b *Witness) bool {
 }
 
 // resolvePair decides whether two references can touch the same element in
-// two different iterations of the loop, exactly where possible. hasUB/ub
-// give the constant trip count when known; iv names the induction variable
-// for witness construction.
-func resolvePair(r1, r2 *ir.Ref, hasUB bool, ub int64, iv string) pairOutcome {
+// two different iterations of the loop, exactly where possible. The loop's
+// range facts settle symbolic comparisons the constant arithmetic cannot:
+// a symbolic collision distance proved to reach past the trip count, a
+// symbolic element difference proved nonzero, a stride proved larger than
+// a constant offset. Every statically undecidable pair yields a blocker
+// carrying the exact comparison that failed.
+func resolvePair(r1, r2 *ir.Ref, g *ir.Graph, facts *rangefacts.Facts, ubPoly poly.Poly, hasUBPoly bool) pairOutcome {
+	hasUB, ub, iv := g.HasUB, g.UBConst, g.IV
+	// tripAtMost reports whether the trip count provably fits within k
+	// iterations — from the constant bound, or from the facts when the
+	// bound is a symbolic expression with a known upper bound.
+	tripAtMost := func(k int64) bool {
+		if hasUB {
+			return ub <= k
+		}
+		if hasUBPoly {
+			if hi, ok := facts.UpperBound(ubPoly); ok {
+				return hi <= k
+			}
+		}
+		return false
+	}
+	// beyondTrip reports whether a collision at (signed) distance delta
+	// lies past the last iteration.
+	beyondTrip := func(delta int64) bool {
+		if hasUB {
+			return abs64(delta)+1 > ub
+		}
+		return tripAtMost(abs64(delta))
+	}
+	constDelta := func(delta int64) pairOutcome {
+		if delta == 0 {
+			return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
+		}
+		if beyondTrip(delta) {
+			return pairOutcome{kind: pairNone,
+				reason: fmt.Sprintf("collision distance %d exceeds the trip count", abs64(delta))}
+		}
+		early, late := r1, r2
+		if delta < 0 {
+			early, late, delta = r2, r1, -delta
+		}
+		return conflict(early, late, 1, 1+delta, iv)
+	}
+
 	a1, b1, ok1 := r1.Form.ConstCoeffs()
 	a2, b2, ok2 := r2.Form.ConstCoeffs()
 	switch {
@@ -473,7 +637,7 @@ func resolvePair(r1, r2 *ir.Ref, hasUB bool, ub int64, iv string) pairOutcome {
 		if b1 != b2 {
 			return pairOutcome{kind: pairNone, reason: "distinct constant elements"}
 		}
-		if hasUB && ub < 2 {
+		if tripAtMost(1) {
 			return pairOutcome{kind: pairNone, reason: "single-iteration loop"}
 		}
 		return conflict(r1, r2, 1, 2, iv)
@@ -483,52 +647,98 @@ func resolvePair(r1, r2 *ir.Ref, hasUB bool, ub int64, iv string) pairOutcome {
 			return pairOutcome{kind: pairNone,
 				reason: fmt.Sprintf("offset %d is not divisible by stride %d", diff, a1)}
 		}
-		delta := diff / a1
-		if delta == 0 {
-			return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
-		}
-		early, late := r1, r2
-		if delta < 0 {
-			early, late, delta = r2, r1, -delta
-		}
-		if hasUB && delta+1 > ub {
-			return pairOutcome{kind: pairNone,
-				reason: fmt.Sprintf("collision distance %d exceeds the trip count %d", delta, ub)}
-		}
-		return conflict(early, late, 1, 1+delta, iv)
+		return constDelta(diff / a1)
 	case ok1 && ok2: // different constant strides
 		return resolveDifferentStrides(r1, r2, a1, b1, a2, b2, hasUB, ub, iv)
+	case r1.Form.A.Equal(r2.Form.A) && r1.Form.A.IsZero():
+		// Both subscripts are invariant in iv (common for the innermost loop
+		// of a nest, where the subscript ranges over the outer variables):
+		// they collide across iterations exactly when the symbolic elements
+		// coincide.
+		diff := r1.Form.B.Sub(r2.Form.B)
+		if diff.IsZero() {
+			if tripAtMost(1) {
+				return pairOutcome{kind: pairNone, reason: "single-iteration loop"}
+			}
+			return conflict(r1, r2, 1, 2, iv)
+		}
+		if facts.ProveNonZero(diff) {
+			return pairOutcome{kind: pairNone,
+				reason: fmt.Sprintf("distinct elements: %s ≠ 0 by the loop's range facts", diff)}
+		}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "symbolic-distance",
+			Reason: fmt.Sprintf("whether %s and %s name the same element depends on %s",
+				refText(r1), refText(r2), diff),
+			Comparison: fmt.Sprintf("%s = 0?", diff),
+			Missing:    fmt.Sprintf("a fact excluding 0 for %s", diff),
+		}}
 	case r1.Form.A.Equal(r2.Form.A):
-		// Symbolic but equal linear parts: the distance is (b1−b2)/a when
-		// that quotient is an integer constant.
+		// Symbolic but equal linear parts: the collision distance is
+		// (b1−b2)/a when that quotient is exact.
 		diff := r1.Form.B.Sub(r2.Form.B)
 		if q, ok := diff.DivExact(r1.Form.A); ok {
 			if delta, isConst := q.IsConst(); isConst {
-				if delta == 0 {
-					return pairOutcome{kind: pairIndependent, reason: "collide only within one iteration (δ = 0)"}
-				}
-				early, late := r1, r2
-				if delta < 0 {
-					early, late, delta = r2, r1, -delta
-				}
-				if hasUB && delta+1 > ub {
-					return pairOutcome{kind: pairNone,
-						reason: fmt.Sprintf("collision distance %d exceeds the trip count %d", delta, ub)}
-				}
-				return conflict(early, late, 1, 1+delta, iv)
+				return constDelta(delta)
 			}
+			// Symbolic distance. The facts may pin it to a constant, or
+			// prove it reaches past the trip count in either direction
+			// (distance ≥ trip ⟹ the colliding iteration pair does not fit).
+			lo, okLo := facts.LowerBound(q)
+			hi, okHi := facts.UpperBound(q)
+			if okLo && okHi && lo == hi {
+				return constDelta(lo)
+			}
+			// A collision at distance δ pairs iterations (i, i+|δ|), which
+			// fits a trip count of ub only when |δ| < ub: a proven one-sided
+			// bound past that excludes every pair.
+			if hasUB && ((okLo && lo >= ub) || (okHi && hi <= -ub)) {
+				return pairOutcome{kind: pairNone,
+					reason: fmt.Sprintf("collision distance %s provably reaches past the trip count %d", q, ub)}
+			}
+			if hasUBPoly && (facts.ProveGE(q, ubPoly) || facts.ProveGE(q.Neg(), ubPoly)) {
+				return pairOutcome{kind: pairNone,
+					reason: fmt.Sprintf("collision distance %s provably reaches past the trip count %s", q, ubPoly)}
+			}
+			return pairOutcome{kind: pairUnknown, blocker: Blocker{
+				Slug: "symbolic-distance",
+				Reason: fmt.Sprintf("collision distance of %s and %s is symbolic (%s)",
+					refText(r1), refText(r2), q),
+				Comparison: fmt.Sprintf("δ = %s with 1 ≤ |δ| < trip count?", q),
+				Missing:    fmt.Sprintf("a constant value for %s, or a proof it reaches the trip count", q),
+			}}
 		}
-		if _, isConst := diff.IsConst(); isConst {
-			return pairOutcome{kind: pairUnknown,
-				reason: fmt.Sprintf("collision of %s and %s depends on the symbolic stride (%s)",
-					refText(r1), refText(r2), r1.Form.A)}
+		if diffC, isConst := diff.IsConst(); isConst {
+			// a·δ = diffC with a symbolic: impossible for δ ≠ 0 once |a| is
+			// proved to exceed |diffC|.
+			if diffC != 0 && (facts.ProveGT(r1.Form.A, poly.Const(abs64(diffC))) ||
+				facts.ProveGT(r1.Form.A.Neg(), poly.Const(abs64(diffC)))) {
+				return pairOutcome{kind: pairNone,
+					reason: fmt.Sprintf("stride magnitude |%s| provably exceeds the offset %d", r1.Form.A, abs64(diffC))}
+			}
+			return pairOutcome{kind: pairUnknown, blocker: Blocker{
+				Slug: "symbolic-stride",
+				Reason: fmt.Sprintf("collision of %s and %s depends on the symbolic stride (%s)",
+					refText(r1), refText(r2), r1.Form.A),
+				Comparison: fmt.Sprintf("%s·δ = %d for some integer δ ≠ 0?", r1.Form.A, diffC),
+				Missing:    fmt.Sprintf("a fact proving |%s| > %d, or a constant value for it", r1.Form.A, abs64(diffC)),
+			}}
 		}
-		return pairOutcome{kind: pairUnknown,
-			reason: fmt.Sprintf("collision distance of %s and %s is symbolic (%s)",
-				refText(r1), refText(r2), diff)}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug: "symbolic-distance",
+			Reason: fmt.Sprintf("collision distance of %s and %s is symbolic (%s)",
+				refText(r1), refText(r2), diff),
+			Comparison: fmt.Sprintf("%s·δ = %s for some integer δ ≠ 0?", r1.Form.A, diff),
+			Missing:    fmt.Sprintf("bounds resolving %s against %s", diff, r1.Form.A),
+		}}
 	default:
-		return pairOutcome{kind: pairUnknown,
-			reason: fmt.Sprintf("subscripts of %s and %s have symbolic coefficients", refText(r1), refText(r2))}
+		return pairOutcome{kind: pairUnknown, blocker: Blocker{
+			Slug:   "symbolic-coeffs",
+			Reason: fmt.Sprintf("subscripts of %s and %s have symbolic coefficients", refText(r1), refText(r2)),
+			Comparison: fmt.Sprintf("(%s)·i + %s = (%s)·i' + %s?",
+				r1.Form.A, r1.Form.B, r2.Form.A, r2.Form.B),
+			Missing: "constant or matching strides",
+		}}
 	}
 }
 
@@ -570,9 +780,13 @@ func resolveDifferentStrides(r1, r2 *ir.Ref, a1, b1, a2, b2 int64, hasUB bool, u
 		return pairOutcome{kind: pairNone,
 			reason: fmt.Sprintf("strides %d and %d never produce the same element (no integer solution)", a1, a2)}
 	}
-	return pairOutcome{kind: pairUnknown,
-		reason: fmt.Sprintf("no collision of %s and %s within %d iterations, but the loop bound is symbolic",
-			refText(r1), refText(r2), differentStrideScan)}
+	return pairOutcome{kind: pairUnknown, blocker: Blocker{
+		Slug: "symbolic-bound-scan",
+		Reason: fmt.Sprintf("no collision of %s and %s within %d iterations, but the loop bound is symbolic",
+			refText(r1), refText(r2), differentStrideScan),
+		Comparison: fmt.Sprintf("%d·i + %d = %d·i' + %d for some i' − i > %d?", a1, b1, a2, b2, differentStrideScan),
+		Missing:    "a constant trip count (the scan is exhaustive only under one)",
+	}}
 }
 
 // conflict builds the pairConflict outcome with a fully-populated witness:

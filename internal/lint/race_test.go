@@ -12,6 +12,8 @@ import (
 	"repro/internal/driver"
 	"repro/internal/lint"
 	"repro/internal/parser"
+	"repro/internal/poly"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 )
 
@@ -42,15 +44,17 @@ func raceVerdicts(t *testing.T, res *lint.VetResult) [][2]string {
 // loops must survive the shuffled-schedule permutation check.
 func TestRaceVerdictsPerExample(t *testing.T) {
 	want := map[string][][2]string{
-		"bounds":         {{"parallel", "verified"}},
-		"deadstore":      {{"racy", "confirmed"}},
-		"fig1":           {{"racy", "confirmed"}},
-		"nest":           {{"unknown", ""}, {"racy", "confirmed"}},
-		"parallel":       {{"parallel", "verified"}, {"racy", "confirmed"}},
-		"race_multidim":  {{"racy", "confirmed"}, {"parallel", "verified"}},
-		"race_negstride": {{"racy", "confirmed"}},
-		"uninit":         {{"racy", "confirmed"}, {"parallel", "verified"}},
-		"unknown":        {{"unknown", ""}, {"unknown", ""}},
+		"bounds":           {{"parallel", "verified"}},
+		"deadstore":        {{"racy", "confirmed"}},
+		"fig1":             {{"racy", "confirmed"}},
+		"guarded_parallel": {{"parallel", "verified"}},
+		"nest":             {{"parallel", "verified"}, {"racy", "confirmed"}},
+		"symbolic_dist":    {{"unknown", ""}},
+		"parallel":         {{"parallel", "verified"}, {"racy", "confirmed"}},
+		"race_multidim":    {{"racy", "confirmed"}, {"parallel", "verified"}},
+		"race_negstride":   {{"racy", "confirmed"}},
+		"uninit":           {{"racy", "confirmed"}, {"parallel", "verified"}},
+		"unknown":          {{"unknown", ""}, {"unknown", ""}},
 	}
 	for _, path := range examplePaths(t) {
 		name := strings.TrimSuffix(filepath.Base(path), ".loop")
@@ -111,6 +115,94 @@ func TestRaceSyntheticSweep(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestRangefactsVerdictDeterminism renders the race findings of the two
+// examples whose verdicts depend on derived range facts — the certified
+// nest and the guard-resolved symbolic offset — 50 times across
+// parallelism, cache, solver-engine, and fuel settings, and requires
+// byte-for-byte identical output: a facts-assisted proof must not depend
+// on scheduling, memoization, the engine, or a (sufficient) budget.
+func TestRangefactsVerdictDeterminism(t *testing.T) {
+	fuels := []int64{0, 1 << 16, 1 << 20}
+	engines := []dataflow.Engine{"", dataflow.EnginePacked, dataflow.EngineReference}
+	for _, base := range []string{"nest", "guarded_parallel"} {
+		t.Run(base, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", base+".loop")
+			render := func(opts *lint.Options) []byte {
+				res := vetExample(t, path, opts)
+				var buf bytes.Buffer
+				for _, f := range res.Findings {
+					if f.Analyzer == "race" {
+						fmt.Fprintf(&buf, "%s detail=%v related=%v\n", f, f.Detail, f.Related)
+					}
+				}
+				return buf.Bytes()
+			}
+			want := render(&lint.Options{Parallelism: 1, DisableCache: true})
+			if len(want) == 0 {
+				t.Fatal("no race findings rendered")
+			}
+			if !bytes.Contains(want, []byte("provably parallel")) {
+				t.Fatalf("facts-assisted example lost its parallel proof:\n%s", want)
+			}
+			for run := 0; run < 50; run++ {
+				opts := &lint.Options{
+					Parallelism:  1 + run%8,
+					DisableCache: run%2 == 0,
+					Engine:       engines[run%3],
+					Fuel:         fuels[run%len(fuels)],
+				}
+				if got := render(opts); !bytes.Equal(got, want) {
+					t.Fatalf("run %d (%+v) diverged\n-- got --\n%s-- want --\n%s", run, opts, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFabricatedFactFailsPermutation is the negative control of the
+// facts-assisted certification: an assumed fact that is false on the probe
+// inputs (k ≥ n, while the loop actually runs with k < n) makes the static
+// side claim a parallel loop that really races, and the shuffled-schedule
+// check must catch the lie as a bridge-failure error finding.
+func TestFabricatedFactFailsPermutation(t *testing.T) {
+	src := "dim X[100]\ndo i = 1, n\n  X[i] := X[i+k] + 1\nenddo\n"
+	fabricated := []rangefacts.Fact{
+		rangefacts.NonNeg(poly.Sym("k").Sub(poly.Sym("n")), "fabricated"),
+	}
+	res := lint.Vet("<fabricated>", src, &lint.Options{
+		Analyzers: []string{"race"}, Parallelism: 1, Assume: fabricated,
+	})
+	var bridgeFailure, parallel bool
+	for _, f := range res.Findings {
+		if f.Analyzer != "race" {
+			continue
+		}
+		if f.Severity == diag.Error && f.Detail["permutation"] == "diverged" {
+			bridgeFailure = true
+		}
+		if f.Detail["verdict"] == "parallel" {
+			parallel = true
+		}
+	}
+	if !parallel {
+		t.Fatal("fabricated fact did not produce the parallel claim the control needs")
+	}
+	if !bridgeFailure {
+		t.Fatal("permutation check accepted a verdict built on a false assumption")
+	}
+
+	// The sound counterpart: the same comparison supplied by a real guard
+	// is vacuously true on any input that reaches the loop, so the verdict
+	// survives the dynamic bridge.
+	guarded := "dim X[100]\nif k >= n then\n" + "do i = 1, n\n  X[i] := X[i+k] + 1\nenddo\nendif\n"
+	res = lint.Vet("<guarded>", guarded, &lint.Options{Analyzers: []string{"race"}, Parallelism: 1})
+	for _, f := range res.Findings {
+		if f.Analyzer == "race" && f.Severity == diag.Error {
+			t.Fatalf("guard-derived fact failed the dynamic bridge: %s", f)
 		}
 	}
 }

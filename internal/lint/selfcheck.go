@@ -118,9 +118,14 @@ func crossEngineCheck(c *Context, name string, res *dataflow.Result) []diag.Find
 	if c.Engine == dataflow.EngineReference {
 		other = dataflow.EnginePacked
 	}
-	// The re-solve runs under the same fuel budget so a degraded solution is
-	// compared against an identically degraded one, not a full fixed point.
-	res2 := dataflow.Solve(c.Loop.Graph(), res.Spec, &dataflow.Options{Engine: other, Fuel: c.Fuel})
+	// The re-solve runs under the same fuel budget and the same range-fact
+	// oracle so a degraded (or fact-strengthened) solution is compared
+	// against an identically parameterized one, not a different problem.
+	var oracle dataflow.RangeOracle
+	if f := c.Facts(); !f.Empty() && !f.Exhausted() {
+		oracle = f
+	}
+	res2 := dataflow.Solve(c.Loop.Graph(), res.Spec, &dataflow.Options{Engine: other, Fuel: c.Fuel, Facts: oracle})
 	want := res.TupleTable(-1)
 	got := res2.TupleTable(-1)
 	if want == got {

@@ -52,6 +52,7 @@ import (
 	"repro/internal/goimport"
 	"repro/internal/lint"
 	"repro/internal/parser"
+	"repro/internal/rangefacts"
 	"repro/internal/sema"
 )
 
@@ -378,6 +379,19 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := queryName(r)
+	// Repeatable assume parameters inject range-fact assumptions into the
+	// analysis (the static side only — dynamically certified verdicts are
+	// still probed with unconstrained inputs, and a probe falsifying the
+	// assumption reports a bridge-failure error finding).
+	var assume []rangefacts.Fact
+	for _, a := range r.URL.Query()["assume"] {
+		facts, err := rangefacts.ParseAssumption(a)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_assume", err.Error(), 0)
+			return
+		}
+		assume = append(assume, facts...)
+	}
 	opts := &lint.Options{
 		Parallelism:  1,
 		DisableCache: s.opts.DisableCache,
@@ -385,6 +399,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		Engine:       s.opts.Engine,
 		Fuel:         s.opts.Fuel,
 		Werror:       queryBool(r, "werror", false),
+		Assume:       assume,
 	}
 	var res *lint.VetResult
 	rules := lint.RuleMetas()

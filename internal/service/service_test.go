@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
@@ -121,6 +122,48 @@ func TestVetMatchesCLIRender(t *testing.T) {
 				t.Errorf("%s/%s: exit header %d, CLI exit %d", name, format, vr.Exit, res.ExitCode())
 			}
 		}
+	}
+}
+
+// TestVetAssume pins the wire plumbing of the assume parameter: a valid
+// assumption reaches the analyzer and flips the symbolic-distance verdict
+// off unknown (the adversarial dynamic bridge still probes unconstrained
+// inputs, so the parallel claim is accompanied by a loud bridge-failure
+// error, never silently trusted), and a malformed assumption is refused
+// with 400 before analysis.
+func TestVetAssume(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	src := "dim X[100]\ndo i = 1, 20\n  X[i] := X[i+k] + 1\nenddo\n"
+
+	post := func(url string) (int, string) {
+		resp, err := http.Post(url, "text/plain", strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	_, plain := post(ts.URL + "/v1/vet?name=sym")
+	if !strings.Contains(plain, "unknown") || !strings.Contains(plain, "collision distance") {
+		t.Fatalf("baseline vet lost the why-certificate:\n%s", plain)
+	}
+
+	_, assumed := post(ts.URL + "/v1/vet?name=sym&assume=" + url.QueryEscape("k >= 20"))
+	if !strings.Contains(assumed, "provably parallel") {
+		t.Fatalf("assume=k>=20 did not reach the analyzer:\n%s", assumed)
+	}
+	if !strings.Contains(assumed, "certification bridge failure") {
+		t.Fatalf("assumption-dependent verdict was not dynamically probed:\n%s", assumed)
+	}
+
+	status, body := post(ts.URL + "/v1/vet?name=sym&assume=" + url.QueryEscape("k != 0"))
+	if status != http.StatusBadRequest || !strings.Contains(body, "bad_assume") {
+		t.Fatalf("malformed assume: status %d body %q (want 400 bad_assume)", status, body)
 	}
 }
 

@@ -42,6 +42,9 @@
 #   BENCH_RATIO        same-snapshot ratio spec NUM:DEN:FACTOR (default
 #                      holds disk-warm analysis to 0.5x cold; set empty
 #                      to skip)
+#   SWEEP_BENCH        set to 0 to skip the symbolic-bound sweep phase
+#   SWEEP_OUT          sweep snapshot path (default BENCH_PR10.json)
+#   SWEEP_FLOOR        minimum provably-classified percentage (default 78)
 #   SERVE_BENCH        set to 0 to skip the service load phase
 #   SERVE_OUT          service snapshot path (default BENCH_PR6.json)
 #   SERVE_CONCURRENCY  loadgen workers (default 1000)
@@ -85,6 +88,26 @@ if [ -n "$RATIO" ]; then
   # Hard gate within this snapshot: disk-warm analysis must be at most
   # half the cold time, or the persistent cache is not earning its keep.
   go run ./cmd/benchjson -ratio "$RATIO" "$OUT" > /dev/null
+fi
+
+# ---- symbolic-bound sweep ---------------------------------------------------
+# Self-analysis precision, recorded as a trajectory point: cmd/corpus lowers
+# and certifies every loop of this repository, and the verdict counts land
+# in BENCH_PR10.json as CorpusVerdicts pseudo-rows. Two hard gates: the
+# provably-classified fraction (parallel + racy over all verdict-bearing
+# units) must stay at or above its floor — the symbolic-bounds analysis is
+# what holds it there — and differential execution must report zero
+# mismatches (a mismatch means a certificate lied about a real program).
+
+if [ "${SWEEP_BENCH:-1}" != "0" ]; then
+  SWEEP_OUT="${SWEEP_OUT:-BENCH_PR10.json}"
+  SWEEP_FLOOR="${SWEEP_FLOOR:-78}"
+  go run ./cmd/corpus -root ./... -o "$RESTART_DIR/corpus.json"
+  go run ./cmd/benchjson -corpus "$RESTART_DIR/corpus.json" \
+    -floor "CorpusVerdicts/provablyClassified:$SWEEP_FLOOR" \
+    -ceiling "CorpusDifferential/mismatch:0" \
+    -o "$SWEEP_OUT" < /dev/null
+  echo "wrote $SWEEP_OUT"
 fi
 
 # ---- warm-restart phase ----------------------------------------------------
